@@ -1,0 +1,39 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: build test test-short vet bench experiments experiments-paper examples clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One benchmark per paper table/figure plus component and ablation
+# benches; writes bench_output.txt.
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Regenerate every table and figure of the paper's evaluation at quick
+# scale (about an hour on one core); -paper for full scale.
+experiments:
+	$(GO) run ./cmd/experiments -run all | tee quick_experiments_output.txt
+
+experiments-paper:
+	$(GO) run ./cmd/experiments -run all -paper
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/customkernel
+	$(GO) run ./examples/faultinjection
+	$(GO) run ./examples/mpiscaling
+
+clean:
+	rm -f bench_output.txt test_output.txt

@@ -1,0 +1,62 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures (§6): Table 3-6 and Figures 5-9.
+//
+// Usage:
+//
+//	experiments [-run all|table3|table4|table5|table6|fig5|fig6|fig7|fig8|fig9]
+//	            [-quick|-paper] [-workloads CoMD,HPCCG,...] [-trials N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ipas/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: all or one of "+strings.Join(experiments.IDs(), "|"))
+	paper := flag.Bool("paper", false, "paper-scale parameters (hours of CPU time)")
+	wl := flag.String("workloads", "", "comma-separated workload subset (default: all five)")
+	trials := flag.Int("trials", 0, "override evaluation injections per variant")
+	samples := flag.Int("samples", 0, "override training sample count")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	csv := flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
+	flag.Parse()
+
+	params := experiments.Quick()
+	if *paper {
+		params = experiments.Paper()
+	}
+	if *wl != "" {
+		params.Workloads = strings.Split(*wl, ",")
+	}
+	if *trials > 0 {
+		params.Opts.EvalTrials = *trials
+		params.InputTrials = *trials
+	}
+	if *samples > 0 {
+		params.Opts.Samples = *samples
+	}
+	params.Opts.Seed = *seed
+
+	suite := experiments.NewSuite(params)
+	ids := experiments.IDs()
+	if *run != "all" {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		t, err := suite.Run(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s: %s\n%s\n", t.ID, t.Title, t.CSV())
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+}

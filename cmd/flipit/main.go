@@ -1,0 +1,93 @@
+// Command flipit runs a statistical fault-injection campaign (the
+// paper's FlipIt role) against one of the five evaluation workloads and
+// prints the outcome proportions of §5.5.
+//
+// Usage:
+//
+//	flipit [-workload NAME] [-input N] [-n TRIALS] [-seed S] [-funcs]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ipas/internal/fault"
+	"ipas/internal/stats"
+	"ipas/internal/workloads"
+)
+
+func main() {
+	name := flag.String("workload", "FFT", "workload: CoMD, HPCCG, AMG, FFT, IS")
+	input := flag.Int("input", 1, "input level 1..4 (Table 5)")
+	n := flag.Int("n", 200, "number of injection trials")
+	seed := flag.Int64("seed", 1, "campaign RNG seed")
+	funcs := flag.Bool("funcs", false, "break outcomes down per function")
+	flag.Parse()
+
+	spec, err := workloads.Get(*name, *input)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := spec.Compile()
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := fault.Compile(m)
+	if err != nil {
+		fatal(err)
+	}
+	c := &fault.Campaign{Prog: prog, Verify: spec.Verify, Config: spec.BaseConfig(1), Seed: *seed}
+	res, err := c.Run(*n)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s input %d (%s): %d injections, golden run %d dyn instrs\n",
+		*name, *input, spec.InputDesc, *n, res.GoldenDyn)
+	for _, o := range []fault.Outcome{fault.OutcomeSymptom, fault.OutcomeDetected, fault.OutcomeMasked, fault.OutcomeSOC} {
+		p := res.Proportion(o)
+		fmt.Printf("  %-9s %6.2f%%  ± %.2f%% (95%%)\n", o, 100*p, 100*stats.MarginOfError95(p, *n))
+	}
+
+	if *funcs {
+		siteFn := map[int]string{}
+		for _, f := range m.Funcs() {
+			for _, b := range f.Blocks() {
+				for _, in := range b.Instrs() {
+					siteFn[in.SiteID] = f.Name()
+				}
+			}
+		}
+		type agg struct{ soc, total int }
+		byFn := map[string]*agg{}
+		for _, tr := range res.Trials {
+			a := byFn[siteFn[tr.Site]]
+			if a == nil {
+				a = &agg{}
+				byFn[siteFn[tr.Site]] = a
+			}
+			a.total++
+			if tr.Outcome == fault.OutcomeSOC {
+				a.soc++
+			}
+		}
+		names := make([]string, 0, len(byFn))
+		for fn := range byFn {
+			names = append(names, fn)
+		}
+		sort.Strings(names)
+		fmt.Println("per-function SOC rate:")
+		for _, fn := range names {
+			a := byFn[fn]
+			fmt.Printf("  %-16s %3d/%3d trials SOC (%.1f%%)\n",
+				"@"+fn, a.soc, a.total, 100*float64(a.soc)/float64(a.total))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flipit:", err)
+	os.Exit(1)
+}

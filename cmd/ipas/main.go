@@ -1,0 +1,129 @@
+// Command ipas runs the full IPAS workflow against one workload and
+// prints every variant's coverage, slowdown and duplication stats, plus
+// the ideal-point best configurations (the tool a user would run to
+// decide how to protect their code).
+//
+// Usage:
+//
+//	ipas [-workload NAME] [-input N] [-quick|-paper] [-samples N]
+//	     [-trials N] [-topn N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"ipas"
+	"ipas/internal/core"
+	"ipas/internal/fault"
+	"ipas/internal/ir"
+)
+
+func main() {
+	name := flag.String("workload", "FFT", "workload: CoMD, HPCCG, AMG, FFT, IS")
+	input := flag.Int("input", 1, "input level 1..4")
+	paper := flag.Bool("paper", false, "paper-scale parameters (2500 samples, 500 grid points, 1024 trials)")
+	samples := flag.Int("samples", 0, "override training sample count")
+	trials := flag.Int("trials", 0, "override evaluation injections per variant")
+	topn := flag.Int("topn", 0, "override top-N configuration count")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	saveProtected := flag.String("save-protected", "", "write the best IPAS protected module (textual IR) to this file")
+	saveClassifier := flag.String("save-classifier", "", "write the best IPAS classifier (JSON) to this file")
+	withClassifier := flag.String("with-classifier", "", "skip training: protect using a previously saved classifier and write the module to -save-protected")
+	flag.Parse()
+
+	opts := ipas.QuickOptions()
+	if *paper {
+		opts = ipas.PaperOptions()
+	}
+	if *samples > 0 {
+		opts.Samples = *samples
+	}
+	if *trials > 0 {
+		opts.EvalTrials = *trials
+	}
+	if *topn > 0 {
+		opts.TopN = *topn
+	}
+	opts.Seed = *seed
+
+	app, err := ipas.FromWorkload(*name, *input)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Protect-only mode: reuse a saved classifier (steps 1-3 already
+	// paid for) and emit the protected build.
+	if *withClassifier != "" {
+		cls, err := core.LoadClassifier(*withClassifier)
+		if err != nil {
+			fatal(err)
+		}
+		protected, st, err := core.ProtectModule(app.Module, cls, core.PolicyIPAS)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s input %d: duplicated %d of %d duplicable instructions (%.1f%%), %d checks\n",
+			*name, *input, st.Duplicated, st.Candidates, st.DuplicatedPercent(), st.Checks)
+		if *saveProtected == "" {
+			fatal(fmt.Errorf("-with-classifier requires -save-protected"))
+		}
+		if err := os.WriteFile(*saveProtected, []byte(ir.Print(protected)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("protected module written to %s (run it with: irun %s)\n", *saveProtected, *saveProtected)
+		return
+	}
+
+	fmt.Printf("IPAS workflow: %s input %d — %d training samples, %d grid points, top-%d, %d eval injections\n",
+		*name, *input, opts.Samples, len(opts.Grid.Cs)*len(opts.Grid.Gammas), opts.TopN, opts.EvalTrials)
+
+	res, err := ipas.RunWorkflow(app, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "variant\tdup%\tsymptom%\tdetected%\tmasked%\tSOC%\treduction%\tslowdown")
+	for _, v := range res.AllVariants() {
+		cov := v.Coverage
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\n",
+			v.Label(), v.Stats.DuplicatedPercent(),
+			100*cov.Proportion(fault.OutcomeSymptom),
+			100*cov.Proportion(fault.OutcomeDetected),
+			100*cov.Proportion(fault.OutcomeMasked),
+			100*cov.Proportion(fault.OutcomeSOC),
+			v.SOCReductionPct, v.Slowdown)
+	}
+	w.Flush()
+
+	bi := res.Best(core.PolicyIPAS)
+	bb := res.Best(core.PolicyBaseline)
+	fmt.Printf("\nbest (ideal-point criterion):\n")
+	fmt.Printf("  IPAS     %s: SOC reduction %.1f%% at %.2fx slowdown\n", bi.Label(), bi.SOCReductionPct, bi.Slowdown)
+	fmt.Printf("  Baseline %s: SOC reduction %.1f%% at %.2fx slowdown\n", bb.Label(), bb.SOCReductionPct, bb.Slowdown)
+	fmt.Printf("\ntraining %v (IPAS) + %v (baseline); classification+duplication %v\n",
+		res.TrainIPASTime.Round(msRound), res.TrainBaselineTime.Round(msRound), res.ProtectTime.Round(msRound))
+
+	if *saveClassifier != "" {
+		if err := core.SaveClassifier(*saveClassifier, bi.Classifier); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("best classifier written to %s\n", *saveClassifier)
+	}
+	if *saveProtected != "" {
+		if err := os.WriteFile(*saveProtected, []byte(ir.Print(bi.Module)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("best protected module written to %s\n", *saveProtected)
+	}
+}
+
+const msRound = 1e7 // 10ms
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ipas:", err)
+	os.Exit(1)
+}

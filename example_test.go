@@ -1,0 +1,55 @@
+package ipas_test
+
+import (
+	"fmt"
+
+	"ipas"
+)
+
+// ExampleFromSci shows the sci front end and the deterministic
+// executor: compile a program, run it fault-free, and read its output
+// buffer.
+func ExampleFromSci() {
+	src := `
+func main() {
+	var s float = 0.0;
+	for (var i int = 1; i <= 4; i = i + 1) {
+		s = s + sqrt(float(i * i));
+	}
+	out_f64(0, s);
+}
+`
+	verify := func(golden, run *ipas.RunResult) bool {
+		return len(run.OutputF) == 1 && run.OutputF[0] == golden.OutputF[0]
+	}
+	app, err := ipas.FromSci(src, verify, ipas.RunConfig{})
+	if err != nil {
+		panic(err)
+	}
+	res, err := ipas.Execute(app, app.Config)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.OutputF[0])
+	// Output: 10
+}
+
+// ExampleInjectFaults runs a small FlipIt-style campaign against the
+// FFT workload and classifies every outcome into the paper's four
+// categories.
+func ExampleInjectFaults() {
+	app, err := ipas.FromWorkload("FFT", 1)
+	if err != nil {
+		panic(err)
+	}
+	res, err := ipas.InjectFaults(app, 25, 7)
+	if err != nil {
+		panic(err)
+	}
+	total := 0
+	for _, c := range res.Counts {
+		total += c
+	}
+	fmt.Println(total, res.Counts[ipas.OutcomeDetected])
+	// Output: 25 0
+}

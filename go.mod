@@ -1,0 +1,3 @@
+module ipas
+
+go 1.22

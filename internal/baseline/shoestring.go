@@ -1,0 +1,168 @@
+// Package baseline implements a static, data-flow-driven approximation
+// of the original Shoestring policy (Feng et al., ASPLOS 2010). The
+// IPAS paper compares against Shoestring by re-training its classifier
+// on symptom labels (§5.3) because the original is not public; this
+// package provides the other road: the original's *analysis* shape —
+// no fault injection, no learning — so the two baselines can be
+// compared against each other.
+//
+// Shoestring's premise: faults in instructions whose values quickly
+// reach "symptom-prone" consumers (memory addresses, division
+// denominators) crash on their own and need no protection; instructions
+// whose values reach "high-value" consumers (stores, call arguments,
+// program outputs) are silently dangerous and get duplicated.
+package baseline
+
+import "ipas/internal/ir"
+
+// Config tunes the static analysis.
+type Config struct {
+	// SymptomHops is the maximum def-use distance at which feeding a
+	// symptom-prone operand classifies an instruction as
+	// symptom-generating (the original uses a small constant; default 2).
+	SymptomHops int
+	// ValueHops bounds the search from an instruction to a high-value
+	// consumer (default: unbounded within the function).
+	ValueHops int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SymptomHops <= 0 {
+		c.SymptomHops = 2
+	}
+	if c.ValueHops <= 0 {
+		c.ValueHops = 1 << 20
+	}
+	return c
+}
+
+// Analysis is the per-module classification result.
+type Analysis struct {
+	// SymptomGenerating marks instructions whose corruption is likely
+	// to raise an architectural symptom quickly.
+	SymptomGenerating map[*ir.Instr]bool
+	// HighValue marks instructions whose values reach stores, call
+	// arguments, or outputs.
+	HighValue map[*ir.Instr]bool
+}
+
+// Analyze runs the static classification over every function.
+func Analyze(m *ir.Module, cfg Config) *Analysis {
+	cfg = cfg.withDefaults()
+	a := &Analysis{
+		SymptomGenerating: map[*ir.Instr]bool{},
+		HighValue:         map[*ir.Instr]bool{},
+	}
+	// symptomDist[v] = min def-use hops from v's definition to a
+	// symptom-prone use; computed by backwards propagation from the
+	// consumers.
+	symptomDist := map[*ir.Instr]int{}
+	var work []*ir.Instr
+
+	relax := func(in *ir.Instr, d int) {
+		if cur, ok := symptomDist[in]; !ok || d < cur {
+			symptomDist[in] = d
+			work = append(work, in)
+		}
+	}
+
+	for _, f := range m.Funcs() {
+		for _, b := range f.Blocks() {
+			for _, in := range b.Instrs() {
+				for oi, op := range in.Operands() {
+					d, ok := op.(*ir.Instr)
+					if !ok {
+						continue
+					}
+					if symptomProneUse(in, oi) {
+						relax(d, 1)
+					}
+				}
+			}
+		}
+	}
+	for len(work) > 0 {
+		in := work[len(work)-1]
+		work = work[:len(work)-1]
+		d := symptomDist[in]
+		if d >= cfg.SymptomHops {
+			continue
+		}
+		for _, op := range in.Operands() {
+			if def, ok := op.(*ir.Instr); ok {
+				relax(def, d+1)
+			}
+		}
+	}
+	for in, d := range symptomDist {
+		if d <= cfg.SymptomHops {
+			a.SymptomGenerating[in] = true
+		}
+	}
+
+	// High value: forward reachability to stores/call args/outputs.
+	for _, f := range m.Funcs() {
+		for _, b := range f.Blocks() {
+			for _, in := range b.Instrs() {
+				if !in.HasResult() {
+					continue
+				}
+				if reachesHighValue(in, cfg.ValueHops, map[*ir.Instr]bool{}) {
+					a.HighValue[in] = true
+				}
+			}
+		}
+	}
+	return a
+}
+
+// symptomProneUse reports whether operand oi of instruction in is a
+// position where corruption tends to trap: the pointer operand of a
+// memory access, or the denominator of an integer division.
+func symptomProneUse(in *ir.Instr, oi int) bool {
+	switch in.Op() {
+	case ir.OpLoad:
+		return oi == 0
+	case ir.OpStore:
+		return oi == 1
+	case ir.OpAtomicRMW:
+		return oi == 0
+	case ir.OpGEP:
+		return oi == 0 // base pointer; the result feeds a memory access
+	case ir.OpSDiv, ir.OpSRem:
+		return oi == 1
+	}
+	return false
+}
+
+// reachesHighValue walks def-use edges to find a store value operand, a
+// call argument, or a return.
+func reachesHighValue(in *ir.Instr, budget int, seen map[*ir.Instr]bool) bool {
+	if budget <= 0 || seen[in] {
+		return false
+	}
+	seen[in] = true
+	for _, u := range in.Users() {
+		switch u.Op() {
+		case ir.OpStore:
+			if u.Operand(0) == in {
+				return true
+			}
+		case ir.OpCall, ir.OpRet:
+			return true
+		}
+		if u.HasResult() && reachesHighValue(u, budget-1, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// Policy returns the Shoestring protection predicate for dup.Protect:
+// duplicate high-value instructions that are not symptom-generating.
+func Policy(m *ir.Module, cfg Config) func(*ir.Instr) bool {
+	a := Analyze(m, cfg)
+	return func(in *ir.Instr) bool {
+		return a.HighValue[in] && !a.SymptomGenerating[in]
+	}
+}

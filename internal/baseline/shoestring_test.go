@@ -1,0 +1,137 @@
+package baseline
+
+import (
+	"testing"
+
+	"ipas/internal/dup"
+	"ipas/internal/fault"
+	"ipas/internal/interp"
+	"ipas/internal/ir"
+	"ipas/internal/lang"
+	"ipas/internal/workloads"
+)
+
+func TestAnalyzeClassifiesAddressChains(t *testing.T) {
+	src := `
+func @main() void {
+entry:
+  %buf = alloca f64, 16
+  %i = add i64 1, 2
+  %j = mul i64 %i, 2
+  %p = gep f64* %buf, %j
+  %v = load f64* %p
+  %w = fmul f64 %v, 2.5
+  store f64 %w, %p
+  ret void
+}
+`
+	m := ir.MustParse(src)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*ir.Instr{}
+	for _, b := range m.FuncByName("main").Blocks() {
+		for _, in := range b.Instrs() {
+			if in.HasResult() {
+				byName[in.Name()] = in
+			}
+		}
+	}
+	a := Analyze(m, Config{SymptomHops: 2})
+	// %p feeds the load/store addresses directly; %j feeds %p.
+	if !a.SymptomGenerating[byName["p"]] || !a.SymptomGenerating[byName["j"]] {
+		t.Error("address chain not classified symptom-generating")
+	}
+	// %w only feeds a store value: high value, not symptom-generating.
+	if a.SymptomGenerating[byName["w"]] {
+		t.Error("store value classified symptom-generating")
+	}
+	if !a.HighValue[byName["w"]] || !a.HighValue[byName["v"]] {
+		t.Error("value chain to store not classified high-value")
+	}
+	pol := Policy(m, Config{})
+	if pol(byName["p"]) {
+		t.Error("policy protects an address computation Shoestring leaves to symptoms")
+	}
+	if !pol(byName["w"]) {
+		t.Error("policy skips a high-value computation")
+	}
+}
+
+func TestStaticShoestringPreservesSemantics(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		orig, err := lang.Compile(lang.RandomProgram(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prot := ir.CloneModule(orig)
+		if _, err := dup.Protect(prot, Policy(prot, Config{})); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		run := func(m *ir.Module) *interp.Result {
+			p, err := interp.Compile(m, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := interp.Run(p, interp.Config{MaxInstrs: 500_000_000})
+			if res.Trap != interp.TrapNone {
+				t.Fatalf("seed %d: trap %v", seed, res.Trap)
+			}
+			return res
+		}
+		r1, r2 := run(orig), run(prot)
+		if len(r1.OutputF) != len(r2.OutputF) || len(r1.OutputI) != len(r2.OutputI) {
+			t.Fatalf("seed %d: output shape changed", seed)
+		}
+		for i := range r1.OutputI {
+			if r1.OutputI[i] != r2.OutputI[i] {
+				t.Fatalf("seed %d: semantics changed", seed)
+			}
+		}
+	}
+}
+
+func TestStaticShoestringReducesSOC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaigns")
+	}
+	spec := workloads.MustGet("FFT", 1)
+	m, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaign := func(mod *ir.Module, seed int64) *fault.CampaignResult {
+		p, err := fault.Compile(mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := (&fault.Campaign{Prog: p, Verify: spec.Verify, Config: spec.BaseConfig(1), Seed: seed}).Run(120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	unprot := campaign(m, 31)
+
+	prot := ir.CloneModule(m)
+	st, err := dup.Protect(prot, Policy(prot, Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Duplicated == 0 || st.Duplicated == st.Candidates {
+		t.Fatalf("static policy degenerate: %d of %d", st.Duplicated, st.Candidates)
+	}
+	protected := campaign(prot, 32)
+
+	uSOC := unprot.Proportion(fault.OutcomeSOC)
+	pSOC := protected.Proportion(fault.OutcomeSOC)
+	t.Logf("static Shoestring: dup %.1f%%, SOC %.1f%% -> %.1f%%, slowdown %.2f",
+		st.DuplicatedPercent(), 100*uSOC, 100*pSOC,
+		float64(protected.GoldenDyn)/float64(unprot.GoldenDyn))
+	if pSOC >= uSOC {
+		t.Errorf("static Shoestring failed to reduce SOC: %.1f%% -> %.1f%%", 100*uSOC, 100*pSOC)
+	}
+	if protected.Counts[fault.OutcomeDetected] == 0 {
+		t.Error("no detections")
+	}
+}

@@ -1,0 +1,241 @@
+// Package core implements the IPAS workflow (Figure 1 of the paper):
+//
+//  1. the user provides an application with a verification routine;
+//  2. statistical fault injection collects labeled training examples
+//     (instruction feature vectors labeled SOC / non-SOC);
+//  3. an SVM classifier is trained, with (C, γ) selected by grid search
+//     on cross-validated F-score;
+//  4. a compiler pass duplicates the instructions the classifier
+//     predicts as SOC-generating.
+//
+// The package also implements the paper's comparison baseline
+// (Shoestring-style): the same pipeline trained with symptom /
+// non-symptom labels, protecting predicted non-symptom-generating
+// instructions (§5.3).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ipas/internal/dup"
+	"ipas/internal/fault"
+	"ipas/internal/features"
+	"ipas/internal/interp"
+	"ipas/internal/ir"
+	"ipas/internal/svm"
+)
+
+// App bundles an application for the workflow: its unprotected module
+// (SiteIDs assigned), its verification routine, and its execution
+// configuration.
+type App struct {
+	Module *ir.Module
+	Verify fault.Verifier
+	Config interp.Config
+}
+
+// Policy selects the protection strategy.
+type Policy int
+
+const (
+	// PolicyIPAS protects instructions the classifier predicts as
+	// SOC-generating (the paper's contribution).
+	PolicyIPAS Policy = iota
+	// PolicyBaseline is the Shoestring-style baseline: train on
+	// symptom labels and protect predicted NON-symptom-generating
+	// instructions.
+	PolicyBaseline
+	// PolicyFullDup duplicates everything (SWIFT-style); no training.
+	PolicyFullDup
+	// PolicyNone leaves the code unprotected.
+	PolicyNone
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyIPAS:
+		return "IPAS"
+	case PolicyBaseline:
+		return "Baseline"
+	case PolicyFullDup:
+		return "FullDup"
+	case PolicyNone:
+		return "Unprotected"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// TrainingData is the output of the data-collection step: one labeled
+// feature vector per injection trial.
+type TrainingData struct {
+	// X holds raw (unscaled) feature vectors, one per trial.
+	X [][]float64
+	// SOC holds +1 where the trial produced silent output corruption.
+	SOC []int
+	// Symptom holds +1 where the trial produced a crash or hang.
+	Symptom []int
+	// Campaign is the underlying fault-injection campaign.
+	Campaign *fault.CampaignResult
+	// SiteFeatures caches the per-site feature table of the module.
+	SiteFeatures [][]float64
+}
+
+// Labels returns the label vector for the given policy's classifier.
+func (d *TrainingData) Labels(p Policy) []int {
+	if p == PolicyBaseline {
+		return d.Symptom
+	}
+	return d.SOC
+}
+
+// Collect performs Step 2 of the workflow: statistical fault injection
+// with `samples` trials against the unprotected application, labeling
+// each injected instruction's feature vector by the observed outcome.
+func Collect(app *App, samples int, seed int64) (*TrainingData, error) {
+	prog, err := fault.Compile(app.Module)
+	if err != nil {
+		return nil, err
+	}
+	campaign := &fault.Campaign{
+		Prog:   prog,
+		Verify: app.Verify,
+		Config: app.Config,
+		Seed:   seed,
+	}
+	res, err := campaign.Run(samples)
+	if err != nil {
+		return nil, err
+	}
+	ext := features.NewExtractor(app.Module)
+	siteFeats := ext.VectorBySite()
+
+	d := &TrainingData{Campaign: res, SiteFeatures: siteFeats}
+	for _, tr := range res.Trials {
+		if tr.Site < 0 || tr.Site >= len(siteFeats) || siteFeats[tr.Site] == nil {
+			return nil, fmt.Errorf("core: trial hit unknown site %d", tr.Site)
+		}
+		d.X = append(d.X, siteFeats[tr.Site])
+		d.SOC = append(d.SOC, pm1(tr.Outcome == fault.OutcomeSOC))
+		d.Symptom = append(d.Symptom, pm1(tr.Outcome == fault.OutcomeSymptom))
+	}
+	return d, nil
+}
+
+func pm1(b bool) int {
+	if b {
+		return 1
+	}
+	return -1
+}
+
+// Classifier is a trained, scaled site classifier.
+type Classifier struct {
+	Model  *svm.Model
+	Scaler *svm.Scaler
+	Config svm.Config
+}
+
+// PredictPositive reports whether the classifier assigns class +1 to
+// the raw feature vector.
+func (c *Classifier) PredictPositive(raw []float64) bool {
+	return c.Model.Predict(c.Scaler.Apply(raw)) == 1
+}
+
+// Train performs Step 3: grid search ranked by cross-validated F-score,
+// then fits one final model per top-N configuration on the full
+// training set. Labels must be the policy-appropriate label vector.
+func Train(d *TrainingData, labels []int, grid svm.GridSpec, topN int) ([]*Classifier, error) {
+	if len(labels) != len(d.X) {
+		return nil, fmt.Errorf("core: %d labels for %d samples", len(labels), len(d.X))
+	}
+	pos := 0
+	for _, y := range labels {
+		if y == 1 {
+			pos++
+		}
+	}
+	if pos == 0 || pos == len(labels) {
+		return nil, fmt.Errorf("core: degenerate training set (%d of %d positive)", pos, len(labels))
+	}
+
+	scaler := svm.FitScaler(d.X)
+	prob := &svm.Problem{X: scaler.ApplyAll(d.X), Y: labels}
+	grid.WeightByClassFreq = true
+	configs, err := svm.GridSearch(prob, grid)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Classifier
+	for _, cfg := range svm.TopN(configs, topN) {
+		model, err := svm.Train(prob, cfg.Params)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Classifier{Model: model, Scaler: scaler, Config: cfg})
+	}
+	return out, nil
+}
+
+// SelectSites applies a trained classifier to every site of the module
+// per Step 4 and the chosen policy, returning the protection predicate
+// input: protect[site] == true means the site must be duplicated.
+func SelectSites(d *TrainingData, cls *Classifier, policy Policy) []bool {
+	protect := make([]bool, len(d.SiteFeatures))
+	for site, feats := range d.SiteFeatures {
+		if feats == nil {
+			continue
+		}
+		positive := cls.PredictPositive(feats)
+		switch policy {
+		case PolicyIPAS:
+			// Positive class = SOC-generating -> protect.
+			protect[site] = positive
+		case PolicyBaseline:
+			// Positive class = symptom-generating -> those are left to
+			// symptom detectors; protect the complement.
+			protect[site] = !positive
+		}
+	}
+	return protect
+}
+
+// SiteFeaturesOf extracts the per-site feature table of a module.
+func SiteFeaturesOf(m *ir.Module) [][]float64 {
+	return features.NewExtractor(m).VectorBySite()
+}
+
+// ProtectModule clones m and applies policy-directed duplication using
+// a classifier trained elsewhere (possibly on a different input of the
+// same code — the paper's §6.5 input-variation study). Site features
+// are extracted fresh from m.
+func ProtectModule(m *ir.Module, cls *Classifier, policy Policy) (*ir.Module, dup.Stats, error) {
+	feats := SiteFeaturesOf(m)
+	protect := make([]bool, len(feats))
+	for site, f := range feats {
+		if f == nil {
+			continue
+		}
+		positive := cls.PredictPositive(f)
+		if policy == PolicyBaseline {
+			protect[site] = !positive
+		} else {
+			protect[site] = positive
+		}
+	}
+	clone := ir.CloneModule(m)
+	st, err := dup.Protect(clone, func(in *ir.Instr) bool {
+		return in.SiteID >= 0 && in.SiteID < len(protect) && protect[in.SiteID]
+	})
+	return clone, st, err
+}
+
+// IdealDistance is the paper's §6.3 configuration-quality metric: the
+// Euclidean distance from (slowdown, reduction%) to the ideal point
+// (1, 100).
+func IdealDistance(slowdown, reductionPct float64) float64 {
+	ds := slowdown - 1
+	dr := reductionPct - 100
+	return math.Sqrt(ds*ds + dr*dr)
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"ipas/internal/svm"
+)
+
+// classifierFile is the serialized form of a trained classifier; it
+// captures everything step 4 needs, so production builds can reuse a
+// training run without repeating steps 1-3 (the paper's workflow note:
+// "a protected scientific code that can be used in production
+// calculations without any need to repeat steps 1-4").
+type classifierFile struct {
+	Format string      `json:"format"`
+	Model  *svm.Model  `json:"model"`
+	Scaler *svm.Scaler `json:"scaler"`
+	// Training metadata, informational only.
+	C      float64 `json:"c"`
+	Gamma  float64 `json:"gamma"`
+	FScore float64 `json:"fscore"`
+}
+
+const classifierFormat = "ipas-classifier-v1"
+
+// SaveClassifier writes a trained classifier to path as JSON.
+func SaveClassifier(path string, cls *Classifier) error {
+	cf := classifierFile{
+		Format: classifierFormat,
+		Model:  cls.Model,
+		Scaler: cls.Scaler,
+		C:      cls.Config.Params.C,
+		Gamma:  cls.Config.Params.Gamma,
+		FScore: cls.Config.CV.FScore,
+	}
+	data, err := json.MarshalIndent(&cf, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: encoding classifier: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadClassifier reads a classifier saved by SaveClassifier.
+func LoadClassifier(path string) (*Classifier, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cf classifierFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return nil, fmt.Errorf("core: decoding classifier %s: %w", path, err)
+	}
+	if cf.Format != classifierFormat {
+		return nil, fmt.Errorf("core: %s: unknown format %q", path, cf.Format)
+	}
+	if cf.Model == nil || cf.Scaler == nil {
+		return nil, fmt.Errorf("core: %s: incomplete classifier", path)
+	}
+	cls := &Classifier{Model: cf.Model, Scaler: cf.Scaler}
+	cls.Config.Params.C = cf.C
+	cls.Config.Params.Gamma = cf.Gamma
+	cls.Config.CV.FScore = cf.FScore
+	return cls, nil
+}

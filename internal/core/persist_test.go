@@ -1,0 +1,66 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestClassifierSaveLoadRoundtrip(t *testing.T) {
+	cls := trainedClassifier(t)
+	cls.Config.Params.C = 42
+	cls.Config.Params.Gamma = 0.25
+	cls.Config.CV.FScore = 0.9
+
+	path := filepath.Join(t.TempDir(), "cls.json")
+	if err := SaveClassifier(path, cls); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadClassifier(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config.Params.C != 42 || got.Config.Params.Gamma != 0.25 || got.Config.CV.FScore != 0.9 {
+		t.Fatalf("metadata lost: %+v", got.Config)
+	}
+	// Predictions must be bit-identical on a probe grid.
+	for i := -4; i <= 4; i++ {
+		x := make([]float64, 31)
+		x[0] = float64(i) / 4
+		x[1] = float64(-i) / 3
+		a := cls.Model.Decision(cls.Scaler.Apply(x))
+		b := got.Model.Decision(got.Scaler.Apply(x))
+		if a != b {
+			t.Fatalf("decision differs after roundtrip: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestLoadClassifierErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadClassifier(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	writeFile(t, bad, `{"format":"nope"}`)
+	if _, err := LoadClassifier(bad); err == nil {
+		t.Fatal("wrong format accepted")
+	}
+	trunc := filepath.Join(dir, "trunc.json")
+	writeFile(t, trunc, `{"format":"ipas-classifier-v1"}`)
+	if _, err := LoadClassifier(trunc); err == nil {
+		t.Fatal("incomplete classifier accepted")
+	}
+	garbage := filepath.Join(dir, "garbage.json")
+	writeFile(t, garbage, `not json`)
+	if _, err := LoadClassifier(garbage); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+
+	"ipas/internal/fault"
+	"ipas/internal/svm"
+	"ipas/internal/workloads"
+)
+
+// trainedClassifier builds a small real classifier over 31-dim data
+// (class decided by feature 0) for exercising policy polarity.
+func trainedClassifier(t *testing.T) *Classifier {
+	t.Helper()
+	prob := &svm.Problem{}
+	for i := 0; i < 40; i++ {
+		x := make([]float64, 31)
+		y := -1
+		if i%2 == 0 {
+			x[0] = 1
+			y = 1
+		}
+		prob.X = append(prob.X, x)
+		prob.Y = append(prob.Y, y)
+	}
+	model, err := svm.Train(prob, svm.Params{C: 100, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Classifier{Model: model, Scaler: svm.FitScaler(prob.X)}
+}
+
+func TestSelectSitesPolarity(t *testing.T) {
+	spec := workloads.MustGet("FFT", 1)
+	m, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := &App{Module: m, Verify: spec.Verify, Config: spec.BaseConfig(1)}
+	data, err := Collect(app, 60, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := trainedClassifier(t)
+	ipasSites := SelectSites(data, cls, PolicyIPAS)
+	baseSites := SelectSites(data, cls, PolicyBaseline)
+	if len(ipasSites) != len(baseSites) {
+		t.Fatal("site table sizes differ")
+	}
+	// Baseline must be the exact complement of IPAS for a shared
+	// classifier (positive = protect for IPAS; positive = skip for
+	// Baseline).
+	for s := range ipasSites {
+		if data.SiteFeatures[s] == nil {
+			continue
+		}
+		if ipasSites[s] == baseSites[s] {
+			t.Fatalf("site %d: policies agree (%v); polarity broken", s, ipasSites[s])
+		}
+	}
+}
+
+func TestProtectModuleConsistentAcrossInputs(t *testing.T) {
+	// The same classifier applied to the same code at two input levels
+	// must protect structurally corresponding instructions: since only
+	// constants change, duplicated counts must match.
+	spec1 := workloads.MustGet("IS", 1)
+	spec2 := workloads.MustGet("IS", 2)
+	m1, err := spec1.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := spec2.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := &App{Module: m1, Verify: spec1.Verify, Config: spec1.BaseConfig(1)}
+	data, err := Collect(app, 120, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clss, err := Train(data, data.Labels(PolicyIPAS), svm.LogGrid(1, 1e4, 3, 1e-4, 1, 3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st1, err := ProtectModule(m1, clss[0], PolicyIPAS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st2, err := ProtectModule(m2, clss[0], PolicyIPAS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Duplicated != st2.Duplicated || st1.Candidates != st2.Candidates {
+		t.Fatalf("input levels protected differently: %+v vs %+v", st1, st2)
+	}
+	if st1.Duplicated == 0 {
+		t.Fatal("classifier protected nothing")
+	}
+}
+
+func TestTrainRejectsDegenerateLabels(t *testing.T) {
+	d := &TrainingData{
+		X:   [][]float64{make([]float64, 31), make([]float64, 31)},
+		SOC: []int{-1, -1},
+	}
+	if _, err := Train(d, d.SOC, svm.QuickGrid(), 2); err == nil {
+		t.Fatal("all-negative training set accepted")
+	}
+	if _, err := Train(d, []int{1}, svm.QuickGrid(), 2); err == nil {
+		t.Fatal("mismatched label length accepted")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	for _, p := range []Policy{PolicyIPAS, PolicyBaseline, PolicyFullDup, PolicyNone} {
+		if p.String() == "" {
+			t.Errorf("policy %d unnamed", p)
+		}
+	}
+	v := &Variant{Policy: PolicyIPAS, ConfigIndex: 2}
+	if v.Label() != "IPAS-3" {
+		t.Errorf("label = %q", v.Label())
+	}
+	v2 := &Variant{Policy: PolicyFullDup, ConfigIndex: -1}
+	if v2.Label() != "FullDup" {
+		t.Errorf("label = %q", v2.Label())
+	}
+}
+
+func TestCollectLabelsMatchCampaign(t *testing.T) {
+	spec := workloads.MustGet("FFT", 1)
+	m, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := &App{Module: m, Verify: spec.Verify, Config: spec.BaseConfig(1)}
+	data, err := Collect(app, 50, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range data.Campaign.Trials {
+		wantSOC := pm1(tr.Outcome == fault.OutcomeSOC)
+		wantSym := pm1(tr.Outcome == fault.OutcomeSymptom)
+		if data.SOC[i] != wantSOC || data.Symptom[i] != wantSym {
+			t.Fatalf("trial %d labels inconsistent with outcome %v", i, tr.Outcome)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package dup implements the paper's code-duplication protection
+// (§4.4): selected computational instructions are duplicated into
+// shadow copies that consume shadow operands, duplication paths are
+// derived from use-def chains within each basic block, and a comparison
+// of the original and shadow values is inserted at the end of every
+// duplication path; a mismatch branches to a trap that the runtime
+// reports as "detected by duplication".
+//
+// Loads, stores, calls, allocas and control flow are never duplicated
+// (memory is ECC-protected and control flow is out of scope, §3), and
+// duplication paths never cross basic-block boundaries.
+package dup
+
+import (
+	"ipas/internal/ir"
+)
+
+// Duplicable reports whether the instruction can be protected by
+// duplication: pure computational instructions whose re-execution is
+// side-effect free and whose result is comparable.
+func Duplicable(in *ir.Instr) bool {
+	op := in.Op()
+	switch {
+	case op.IsBinary(), op.IsCast(), op == ir.OpICmp, op == ir.OpFCmp,
+		op == ir.OpGEP, op == ir.OpSelect:
+		return true
+	}
+	return false
+}
+
+// Stats summarizes what a protection pass did.
+type Stats struct {
+	// Candidates is the number of duplicable original instructions.
+	Candidates int
+	// Duplicated is the number of shadow copies inserted.
+	Duplicated int
+	// Checks is the number of duplication-path checks inserted.
+	Checks int
+	// OriginalInstrs is the static instruction count before the pass.
+	OriginalInstrs int
+	// ProtectedInstrs is the static instruction count after the pass.
+	ProtectedInstrs int
+}
+
+// DuplicatedPercent is the percentage of duplicable instructions that
+// were protected (Figure 7's metric).
+func (s Stats) DuplicatedPercent() float64 {
+	if s.Candidates == 0 {
+		return 0
+	}
+	return 100 * float64(s.Duplicated) / float64(s.Candidates)
+}
+
+// Options tunes the protection pass.
+type Options struct {
+	// EagerChecks inserts a comparison after EVERY duplicated
+	// instruction instead of only at duplication-path ends. This is
+	// the ablation knob for the paper's §4.4 design choice ("we add
+	// comparison instructions at the end of duplication paths" rather
+	// than per instruction): eager checking catches corruption sooner
+	// but pays one check per instruction.
+	EagerChecks bool
+}
+
+// Protect applies selective duplication in place: every original
+// instruction for which policy returns true (and that is Duplicable)
+// gets a shadow copy; path-end checks are inserted before each block's
+// terminator. The module must have SiteIDs assigned; inserted code
+// inherits the SiteID of the instruction it protects.
+func Protect(m *ir.Module, policy func(*ir.Instr) bool) (Stats, error) {
+	return ProtectWithOptions(m, policy, Options{})
+}
+
+// ProtectWithOptions is Protect with explicit pass options.
+func ProtectWithOptions(m *ir.Module, policy func(*ir.Instr) bool, opts Options) (Stats, error) {
+	var st Stats
+	st.OriginalInstrs = m.NumInstrs()
+	for _, f := range m.Funcs() {
+		if f.Builtin {
+			continue
+		}
+		protectFunc(f, policy, opts, &st)
+	}
+	st.ProtectedInstrs = m.NumInstrs()
+	return st, ir.Verify(m)
+}
+
+// FullDuplication is SWIFT-style full protection: duplicate every
+// duplicable instruction.
+func FullDuplication(m *ir.Module) (Stats, error) {
+	return Protect(m, func(*ir.Instr) bool { return true })
+}
+
+func protectFunc(f *ir.Func, policy func(*ir.Instr) bool, opts Options, st *Stats) {
+	var trapBB *ir.Block // lazily created per function
+
+	// Snapshot the block list: we append chain blocks while iterating.
+	blocks := append([]*ir.Block(nil), f.Blocks()...)
+	for _, b := range blocks {
+		// Phase 1: choose the duplication set of this block.
+		var dups []*ir.Instr
+		for _, in := range b.Instrs() {
+			if in.Prot != ir.ProtNone {
+				continue
+			}
+			if !Duplicable(in) {
+				continue
+			}
+			st.Candidates++
+			if policy(in) {
+				dups = append(dups, in)
+			}
+		}
+		if len(dups) == 0 {
+			continue
+		}
+
+		// Phase 2: insert shadow copies right after their originals,
+		// consuming shadow operands where available (use-def chains
+		// within the block).
+		shadow := map[ir.Value]*ir.Instr{}
+		for _, in := range dups {
+			sh := cloneShadow(in, shadow)
+			b.InsertAfter(sh, in)
+			shadow[in] = sh
+			in.Shadow = sh
+			st.Duplicated++
+		}
+
+		// Phase 3: decide where checks go. The paper's placement is at
+		// duplication-path ends — duplicated instructions with no
+		// duplicated user later in the same block; the eager ablation
+		// checks every duplicated instruction.
+		var ends []*ir.Instr
+		if opts.EagerChecks {
+			ends = dups
+		} else {
+			for _, in := range dups {
+				isEnd := true
+				for _, u := range in.Users() {
+					if u.Prot != ir.ProtNone {
+						continue
+					}
+					if u.Block() == b && u.Shadow != nil {
+						isEnd = false
+						break
+					}
+				}
+				if isEnd {
+					ends = append(ends, in)
+				}
+			}
+		}
+		if len(ends) == 0 {
+			continue
+		}
+		if trapBB == nil {
+			trapBB = f.NewBlock("dup.trap")
+			tb := ir.NewBuilder(trapBB)
+			tr := tb.Trap(interpTrapDetected)
+			tr.Prot = ir.ProtCheck
+		}
+		insertChecks(f, b, ends, shadow, trapBB)
+		st.Checks += len(ends)
+	}
+}
+
+// interpTrapDetected matches interp.TrapCodeDetected without importing
+// the interpreter (the IR layer must not depend on execution).
+const interpTrapDetected = 1
+
+// cloneShadow copies in, replacing operands that have shadows.
+func cloneShadow(in *ir.Instr, shadow map[ir.Value]*ir.Instr) *ir.Instr {
+	ops := make([]ir.Value, in.NumOperands())
+	for i := 0; i < in.NumOperands(); i++ {
+		op := in.Operand(i)
+		if sh, ok := shadow[op]; ok {
+			ops[i] = sh
+		} else {
+			ops[i] = op
+		}
+	}
+	sh := ir.NewInstr(in.Op(), in.Type(), ops)
+	sh.Pred = in.Pred
+	sh.SetName(in.Name() + ".dup")
+	sh.SiteID = in.SiteID
+	sh.Prot = ir.ProtDup
+	return sh
+}
+
+// insertChecks builds the check chain for the block's path ends:
+//
+//	b:        ... br chk0
+//	chk0:     cmp e0 vs shadow(e0); condbr mismatch -> trap, chk1
+//	...
+//	chkN-1:   cmp ...; condbr mismatch -> trap, tail
+//	tail:     <original terminator>
+func insertChecks(f *ir.Func, b *ir.Block, ends []*ir.Instr, shadow map[ir.Value]*ir.Instr, trapBB *ir.Block) {
+	term := b.Terminator()
+	tail := ir.SplitBlockBefore(b, term)
+	// b now ends in "br tail"; mark that br as protection plumbing.
+	br := b.Terminator()
+	br.Prot = ir.ProtCheck
+	br.SiteID = ends[0].SiteID
+
+	// Build chain in reverse so each check knows its continuation.
+	succ := tail
+	for i := len(ends) - 1; i >= 0; i-- {
+		e := ends[i]
+		sh := shadow[e]
+		chk := f.NewBlock(b.Name() + ".chk")
+		cb := ir.NewBuilder(chk)
+		var a, bv ir.Value = e, sh
+		if e.Type().IsFloat() {
+			// Compare bit patterns so identical NaNs do not trip the
+			// check on fault-free runs.
+			ba := cb.Cast(ir.OpBitcast, e, ir.I64)
+			bb := cb.Cast(ir.OpBitcast, sh, ir.I64)
+			markCheck(ba, e)
+			markCheck(bb, e)
+			a, bv = ba, bb
+		}
+		ne := cb.ICmp(ir.PredNE, a, bv)
+		markCheck(ne, e)
+		cbr := cb.CondBr(ne, trapBB, succ)
+		markCheck(cbr, e)
+		succ = chk
+	}
+	br.Targets[0] = succ
+}
+
+func markCheck(in *ir.Instr, protects *ir.Instr) {
+	in.Prot = ir.ProtCheck
+	in.SiteID = protects.SiteID
+}

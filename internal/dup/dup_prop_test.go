@@ -1,0 +1,179 @@
+package dup
+
+import (
+	"math"
+	"testing"
+
+	"ipas/internal/fault"
+	"ipas/internal/interp"
+	"ipas/internal/ir"
+	"ipas/internal/lang"
+)
+
+// TestFullDuplicationPreservesRandomPrograms is the pass's core
+// soundness property: on a fault-free run, a fully duplicated random
+// program must produce bitwise-identical outputs to the original and
+// never fire a check.
+func TestFullDuplicationPreservesRandomPrograms(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		src := lang.RandomProgram(seed)
+		orig, err := lang.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		prot := ir.CloneModule(orig)
+		if _, err := FullDuplication(prot); err != nil {
+			t.Fatalf("seed %d: protect: %v", seed, err)
+		}
+		if err := ir.Verify(prot); err != nil {
+			t.Fatalf("seed %d: protected module invalid: %v", seed, err)
+		}
+		r1 := run(t, orig, seed, "original")
+		r2 := run(t, prot, seed, "protected")
+		if !bitEqual(r1, r2) {
+			t.Fatalf("seed %d: duplication changed program behaviour", seed)
+		}
+		if r2.TotalDyn <= r1.TotalDyn {
+			t.Fatalf("seed %d: no duplication overhead (%d vs %d)", seed, r2.TotalDyn, r1.TotalDyn)
+		}
+	}
+}
+
+// TestRandomPolicyPreservesRandomPrograms: the same property for
+// arbitrary (pseudo-random) protection subsets, which exercises
+// partial duplication paths and shadow-operand plumbing.
+func TestRandomPolicyPreservesRandomPrograms(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		orig, err := lang.Compile(lang.RandomProgram(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		prot := ir.CloneModule(orig)
+		state := uint64(seed)
+		if _, err := Protect(prot, func(in *ir.Instr) bool {
+			state = state*6364136223846793005 + 1442695040888963407
+			return state>>62 == 0 // protect ~25% of candidates
+		}); err != nil {
+			t.Fatalf("seed %d: protect: %v", seed, err)
+		}
+		r1 := run(t, orig, seed, "original")
+		r2 := run(t, prot, seed, "protected")
+		if !bitEqual(r1, r2) {
+			t.Fatalf("seed %d: selective duplication changed behaviour", seed)
+		}
+	}
+}
+
+// TestNoSilentEscapeOnProtectedSites: flipping any bit of a duplicated
+// instruction's result must never silently corrupt output — the run
+// either detects, crashes, or masks back to identical output. Sampled
+// over random programs, instances and bits.
+func TestNoSilentEscapeOnProtectedSites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sampling campaign")
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		orig, err := lang.Compile(lang.RandomProgram(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		prot := ir.CloneModule(orig)
+		if _, err := FullDuplication(prot); err != nil {
+			t.Fatal(err)
+		}
+		// Inject only into originals that have shadows.
+		injectable := func(in *ir.Instr) bool {
+			return in.Prot == ir.ProtNone && in.Shadow != nil
+		}
+		p, err := interp.Compile(prot, injectable)
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden := interp.Run(p, interp.Config{MaxInstrs: 500_000_000})
+		if golden.Trap != interp.TrapNone {
+			t.Fatalf("seed %d: golden trap %v", seed, golden.Trap)
+		}
+		total := golden.Injectable[0]
+		if total == 0 {
+			continue
+		}
+		step := total/60 + 1
+		rng := uint64(seed * 977)
+		for idx := int64(0); idx < total; idx += step {
+			rng = rng*6364136223846793005 + 1
+			bit := int(rng % 64)
+			res := interp.Run(p, interp.Config{
+				Fault:     &interp.FaultPlan{Rank: 0, Index: idx, Bit: bit},
+				MaxInstrs: golden.TotalDyn*10 + 1_000_000,
+			})
+			if res.Trap == interp.TrapNone && !bitEqual(golden, res) {
+				t.Fatalf("seed %d instance %d bit %d: silent escape through full duplication",
+					seed, idx, bit)
+			}
+		}
+	}
+}
+
+// TestInjectablePredicateConsistency: the fault package's injectable
+// predicate must reject checks and accept shadows.
+func TestInjectablePredicateConsistency(t *testing.T) {
+	m, err := lang.Compile(lang.RandomProgram(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FullDuplication(m); err != nil {
+		t.Fatal(err)
+	}
+	var shadows, checks int
+	for _, f := range m.Funcs() {
+		for _, b := range f.Blocks() {
+			for _, in := range b.Instrs() {
+				switch in.Prot {
+				case ir.ProtDup:
+					shadows++
+					if in.HasResult() && !fault.Injectable(in) {
+						t.Fatalf("shadow not injectable: %s", in)
+					}
+				case ir.ProtCheck:
+					checks++
+					if fault.Injectable(in) {
+						t.Fatalf("check instruction injectable: %s", in)
+					}
+				}
+			}
+		}
+	}
+	if shadows == 0 || checks == 0 {
+		t.Fatal("no protection code found")
+	}
+}
+
+func run(t *testing.T, m *ir.Module, seed int64, what string) *interp.Result {
+	t.Helper()
+	p, err := interp.Compile(m, nil)
+	if err != nil {
+		t.Fatalf("seed %d: %s: %v", seed, what, err)
+	}
+	res := interp.Run(p, interp.Config{MaxInstrs: 500_000_000})
+	if res.Trap != interp.TrapNone {
+		t.Fatalf("seed %d: %s: trap %v (%s)", seed, what, res.Trap, res.TrapMsg)
+	}
+	return res
+}
+
+func bitEqual(a, b *interp.Result) bool {
+	if len(a.OutputF) != len(b.OutputF) || len(a.OutputI) != len(b.OutputI) {
+		return false
+	}
+	for i := range a.OutputF {
+		if math.Float64bits(a.OutputF[i]) != math.Float64bits(b.OutputF[i]) {
+			return false
+		}
+	}
+	for i := range a.OutputI {
+		if a.OutputI[i] != b.OutputI[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,58 @@
+package dup
+
+import (
+	"testing"
+
+	"ipas/internal/interp"
+	"ipas/internal/ir"
+	"ipas/internal/workloads"
+)
+
+// TestProtectedWorkloadsMultiRank: full duplication must compose with
+// the MPI runtime — a protected parallel run must pass the workload's
+// verification against the unprotected single-rank golden and show the
+// same slowdown character at every rank count.
+func TestProtectedWorkloadsMultiRank(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-rank workload runs")
+	}
+	for _, name := range []string{"HPCCG", "IS"} {
+		t.Run(name, func(t *testing.T) {
+			spec := workloads.MustGet(name, 1)
+			m, err := spec.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			prot := ir.CloneModule(m)
+			if _, err := FullDuplication(prot); err != nil {
+				t.Fatal(err)
+			}
+			unprot, err := interp.Compile(m, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			protProg, err := interp.Compile(prot, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := interp.Run(unprot, spec.BaseConfig(1))
+			if golden.Trap != interp.TrapNone {
+				t.Fatal(golden.Trap)
+			}
+			for _, ranks := range []int{1, 3} {
+				ru := interp.Run(unprot, spec.BaseConfig(ranks))
+				rp := interp.Run(protProg, spec.BaseConfig(ranks))
+				if rp.Trap != interp.TrapNone {
+					t.Fatalf("%d ranks: protected run trapped: %v (%s)", ranks, rp.Trap, rp.TrapMsg)
+				}
+				if !spec.Verify(golden, rp) {
+					t.Fatalf("%d ranks: protected run fails verification", ranks)
+				}
+				slow := float64(rp.MaxRankDyn) / float64(ru.MaxRankDyn)
+				if slow <= 1.0 || slow > 3.5 {
+					t.Fatalf("%d ranks: slowdown %.2f implausible", ranks, slow)
+				}
+			}
+		})
+	}
+}

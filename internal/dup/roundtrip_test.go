@@ -1,0 +1,66 @@
+package dup
+
+import (
+	"testing"
+
+	"ipas/internal/fault"
+	"ipas/internal/interp"
+	"ipas/internal/ir"
+	"ipas/internal/lang"
+)
+
+// TestProtectedModuleTextRoundtrip mirrors the cmd/ipas -save-protected
+// + irun flow: a protected module printed to text, reparsed, and
+// re-executed must behave identically on clean runs and must still
+// catch injected faults (the Prot metadata is advisory; the checks are
+// real instructions).
+func TestProtectedModuleTextRoundtrip(t *testing.T) {
+	orig, err := lang.Compile(testProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot := ir.CloneModule(orig)
+	if _, err := FullDuplication(prot); err != nil {
+		t.Fatal(err)
+	}
+
+	text := ir.Print(prot)
+	reparsed, err := ir.Parse(text)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if err := ir.Verify(reparsed); err != nil {
+		t.Fatal(err)
+	}
+	reparsed.AssignSiteIDs()
+
+	r1 := mustRun(t, prot, interp.Config{})
+	r2 := mustRun(t, reparsed, interp.Config{})
+	if r1.Trap != interp.TrapNone || r2.Trap != interp.TrapNone {
+		t.Fatalf("traps: %v / %v", r1.Trap, r2.Trap)
+	}
+	if r1.OutputF[0] != r2.OutputF[0] || r1.TotalDyn != r2.TotalDyn {
+		t.Fatal("reparsed protected module behaves differently")
+	}
+
+	// Fault campaign against the reparsed module must still detect.
+	// (Prot tags are comments in the text format, so after reparsing
+	// every value-producing instruction is injectable — a superset of
+	// the usual model; detection still must fire.)
+	p, err := fault.Compile(reparsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify := func(golden, faulty *interp.Result) bool {
+		return len(faulty.OutputF) == len(golden.OutputF) &&
+			len(faulty.OutputF) > 0 &&
+			faulty.OutputF[0] == golden.OutputF[0]
+	}
+	res, err := (&fault.Campaign{Prog: p, Verify: verify, Seed: 77}).Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[fault.OutcomeDetected] == 0 {
+		t.Fatal("reparsed protected module never detects")
+	}
+}

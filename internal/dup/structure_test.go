@@ -1,0 +1,207 @@
+package dup
+
+import (
+	"strings"
+	"testing"
+
+	"ipas/internal/ir"
+	"ipas/internal/lang"
+)
+
+// TestCheckChainStructure inspects the protected IR: shadows sit right
+// after their originals, checks live in dedicated chain blocks that
+// funnel into a per-function trap block, and protection code carries
+// the SiteID of the instruction it protects.
+func TestCheckChainStructure(t *testing.T) {
+	m, err := lang.Compile(`
+func main() {
+	var a float = 1.5;
+	var b float = 2.5;
+	var c float = a * b + a / b;
+	var k int = 7;
+	var j int = k * 3 - 1;
+	out_f64(0, c);
+	out_i64(0, j);
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := FullDuplication(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Checks == 0 {
+		t.Fatal("no checks inserted")
+	}
+
+	fn := m.FuncByName("main")
+	var trapBlocks, chkBlocks int
+	for _, b := range fn.Blocks() {
+		if strings.HasPrefix(b.Name(), "dup.trap") {
+			trapBlocks++
+			term := b.Terminator()
+			if term.Op() != ir.OpTrap || term.Prot != ir.ProtCheck {
+				t.Fatalf("trap block malformed: %s", term)
+			}
+		}
+		if strings.Contains(b.Name(), ".chk") {
+			chkBlocks++
+			term := b.Terminator()
+			if term.Op() != ir.OpCondBr {
+				t.Fatalf("check block must end in condbr, got %s", term)
+			}
+			if !strings.HasPrefix(term.Targets[0].Name(), "dup.trap") {
+				t.Fatalf("check true-edge must go to the trap block, goes to %s", term.Targets[0].Name())
+			}
+		}
+	}
+	if trapBlocks != 1 {
+		t.Fatalf("%d trap blocks, want exactly 1 per function", trapBlocks)
+	}
+	if chkBlocks != st.Checks {
+		t.Fatalf("%d check blocks for %d checks", chkBlocks, st.Checks)
+	}
+
+	for _, b := range fn.Blocks() {
+		for _, in := range b.Instrs() {
+			switch in.Prot {
+			case ir.ProtDup:
+				if in.Shadow != nil {
+					t.Fatal("shadow of a shadow")
+				}
+				// The original must be the immediately preceding
+				// instruction and must link back to this shadow.
+				idx := b.Index(in)
+				if idx == 0 {
+					t.Fatalf("shadow %s at block head", in)
+				}
+				orig := b.Instrs()[idx-1]
+				if orig.Shadow != in || orig.SiteID != in.SiteID {
+					t.Fatalf("shadow %s not adjacent to its original", in)
+				}
+				if orig.Op() != in.Op() {
+					t.Fatalf("shadow opcode mismatch: %s vs %s", orig.Op(), in.Op())
+				}
+			case ir.ProtCheck:
+				if in.SiteID < 0 {
+					t.Fatalf("check %s without a protected SiteID", in)
+				}
+			}
+		}
+	}
+}
+
+// TestShadowOperandsUseShadows: within a block, a shadow consumes the
+// shadow of its operand when one exists (independent recomputation).
+func TestShadowOperandsUseShadows(t *testing.T) {
+	m := ir.MustParse(`
+func @main() i64 {
+entry:
+  %a = add i64 1, 2
+  %b = mul i64 %a, 3
+  %c = add i64 %b, %a
+  ret i64 %c
+}
+`)
+	m.AssignSiteIDs()
+	if _, err := FullDuplication(m); err != nil {
+		t.Fatal(err)
+	}
+	fn := m.FuncByName("main")
+	for _, b := range fn.Blocks() {
+		for _, in := range b.Instrs() {
+			if in.Prot != ir.ProtDup {
+				continue
+			}
+			for _, op := range in.Operands() {
+				d, ok := op.(*ir.Instr)
+				if !ok {
+					continue
+				}
+				if d.Prot == ir.ProtNone && d.Shadow != nil {
+					t.Fatalf("shadow %s consumes original %%%s instead of its shadow", in, d.Name())
+				}
+			}
+		}
+	}
+}
+
+// TestPathEndsMinimal: in a straight-line chain a->b->c only the chain
+// end c gets a check (one duplication path).
+func TestPathEndsMinimal(t *testing.T) {
+	m := ir.MustParse(`
+func @main() i64 {
+entry:
+  %a = add i64 1, 2
+  %b = mul i64 %a, 3
+  %c = sub i64 %b, 4
+  ret i64 %c
+}
+`)
+	m.AssignSiteIDs()
+	st, err := FullDuplication(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Checks != 1 {
+		t.Fatalf("straight-line chain produced %d checks, want 1", st.Checks)
+	}
+	if st.Duplicated != 3 {
+		t.Fatalf("duplicated %d, want 3", st.Duplicated)
+	}
+}
+
+// TestIndependentPathsEachChecked: two independent computations in one
+// block form two duplication paths, each with its own check (§4.4).
+func TestIndependentPathsEachChecked(t *testing.T) {
+	m := ir.MustParse(`
+func @main() i64 {
+entry:
+  %a = add i64 1, 2
+  %b = mul i64 %a, 3
+  %x = add i64 10, 20
+  %y = mul i64 %x, 30
+  %r = add i64 %b, %y
+  ret i64 %r
+}
+`)
+	m.AssignSiteIDs()
+	st, err := FullDuplication(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All five feed %r, which is the single path end... %r uses both
+	// chains, so there is exactly one path end: %r.
+	if st.Checks != 1 {
+		t.Fatalf("%d checks, want 1 (both chains merge into %%r)", st.Checks)
+	}
+
+	m2 := ir.MustParse(`
+func @f(i64* %p, i64* %q) void {
+entry:
+  %a = add i64 1, 2
+  %b = mul i64 10, 20
+  store i64 %a, %p
+  store i64 %b, %q
+  ret void
+}
+func @main() i64 {
+entry:
+  %m = alloca i64, 2
+  %m2 = gep i64* %m, 1
+  call void @f(i64* %m, i64* %m2)
+  ret i64 0
+}
+`)
+	m2.AssignSiteIDs()
+	st2, err := FullDuplication(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In @f, %a and %b are two independent path ends (their only users
+	// are stores); @main adds one more for the gep chain.
+	if st2.Checks != 3 {
+		t.Fatalf("%d checks, want 3 (two independent paths in @f, one in @main)", st2.Checks)
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ipas/internal/core"
+	"ipas/internal/fault"
+	"ipas/internal/stats"
+)
+
+// Fig5 reproduces Figure 5: the outcome proportions (observable
+// symptom, detected by duplication, masked, SOC) of statistical fault
+// injection against the unprotected build, full duplication, and the
+// top-N IPAS and Baseline configurations, with the 95% margin of error
+// of the unprotected SOC proportion reported as a note (§6.2).
+func (s *Suite) Fig5() (*Table, error) {
+	t := &Table{
+		ID:     "Figure5",
+		Title:  "Coverage results (outcome proportions per variant)",
+		Header: []string{"Code", "Variant", "Symptom%", "Detected%", "Masked%", "SOC%"},
+	}
+	for _, name := range s.Params.Workloads {
+		r, err := s.Result(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range r.AllVariants() {
+			t.Rows = append(t.Rows, []string{
+				name,
+				v.Label(),
+				f1(100 * v.Coverage.Proportion(fault.OutcomeSymptom)),
+				f1(100 * v.Coverage.Proportion(fault.OutcomeDetected)),
+				f1(100 * v.Coverage.Proportion(fault.OutcomeMasked)),
+				f1(100 * v.Coverage.Proportion(fault.OutcomeSOC)),
+			})
+		}
+		p := r.Unprotected.Coverage.Proportion(fault.OutcomeSOC)
+		n := len(r.Unprotected.Coverage.Trials)
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"%s: unprotected SOC %.2f%% ± %.2f%% at 95%% confidence (n=%d)",
+			name, 100*p, 100*stats.MarginOfError95(p, n), n))
+	}
+	return t, nil
+}
+
+// Fig6 reproduces Figure 6: SOC-reduction percentage versus slowdown
+// for every top-N configuration of IPAS and Baseline.
+func (s *Suite) Fig6() (*Table, error) {
+	t := &Table{
+		ID:     "Figure6",
+		Title:  "Percentage of SOC reduction versus slowdown",
+		Header: []string{"Code", "Variant", "SOC reduction %", "Slowdown"},
+	}
+	for _, name := range s.Params.Workloads {
+		r, err := s.Result(name)
+		if err != nil {
+			return nil, err
+		}
+		vars := append(append([]*core.Variant{}, r.IPAS...), r.Baseline...)
+		vars = append(vars, r.FullDup)
+		for _, v := range vars {
+			t.Rows = append(t.Rows, []string{
+				name, v.Label(), f1(v.SOCReductionPct), f2s(v.Slowdown),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Fig7 reproduces Figure 7: the percentage of duplicated (duplicable)
+// instructions, averaged over the top-N configurations per technique.
+func (s *Suite) Fig7() (*Table, error) {
+	t := &Table{
+		ID:     "Figure7",
+		Title:  "Average percentage of duplicated instructions (top-N mean)",
+		Header: []string{"Code", "IPAS dup%", "Baseline dup%", "FullDup dup%"},
+	}
+	for _, name := range s.Params.Workloads {
+		r, err := s.Result(name)
+		if err != nil {
+			return nil, err
+		}
+		avg := func(vs []*core.Variant) float64 {
+			var xs []float64
+			for _, v := range vs {
+				xs = append(xs, v.Stats.DuplicatedPercent())
+			}
+			return stats.Mean(xs)
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			f1(avg(r.IPAS)),
+			f1(avg(r.Baseline)),
+			f1(r.FullDup.Stats.DuplicatedPercent()),
+		})
+	}
+	return t, nil
+}
+
+// Table4 reproduces Table 4: for each code, the best IPAS and Baseline
+// configurations under the ideal-point criterion (minimum Euclidean
+// distance to slowdown 1, reduction 100 — §6.3).
+func (s *Suite) Table4() (*Table, error) {
+	t := &Table{
+		ID:    "Table4",
+		Title: "Best configurations (ideal-point criterion)",
+		Header: []string{"Code", "IPAS reduction %", "Baseline reduction %",
+			"IPAS slowdown", "Baseline slowdown"},
+	}
+	for _, name := range s.Params.Workloads {
+		r, err := s.Result(name)
+		if err != nil {
+			return nil, err
+		}
+		bi := r.Best(core.PolicyIPAS)
+		bb := r.Best(core.PolicyBaseline)
+		t.Rows = append(t.Rows, []string{
+			name,
+			f1(bi.SOCReductionPct), f1(bb.SOCReductionPct),
+			f2s(bi.Slowdown), f2s(bb.Slowdown),
+		})
+	}
+	return t, nil
+}

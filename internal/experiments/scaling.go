@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ipas/internal/core"
+	"ipas/internal/interp"
+	"ipas/internal/workloads"
+)
+
+// Fig8 reproduces Figure 8: the slowdown of the best IPAS configuration
+// as the number of MPI processes grows (strong scaling). The slowdown
+// is the ratio of the protected job's makespan (maximum per-rank
+// dynamic instruction count) to the unprotected one at the same rank
+// count; the paper's claim is that it stays flat because duplication
+// instruments computation only.
+func (s *Suite) Fig8() (*Table, error) {
+	header := []string{"Code"}
+	for _, r := range s.Params.Ranks {
+		header = append(header, fmt.Sprintf("%d ranks", r))
+	}
+	t := &Table{
+		ID:     "Figure8",
+		Title:  "Scalability: slowdown of the best IPAS configuration vs MPI processes",
+		Header: header,
+	}
+	for _, name := range s.Params.Workloads {
+		r, err := s.Result(name)
+		if err != nil {
+			return nil, err
+		}
+		best := r.Best(core.PolicyIPAS)
+		app, err := s.App(name)
+		if err != nil {
+			return nil, err
+		}
+		spec := workloads.MustGet(name, 1)
+
+		unprot, err := interp.Compile(app.Module, nil)
+		if err != nil {
+			return nil, err
+		}
+		prot, err := interp.Compile(best.Module, nil)
+		if err != nil {
+			return nil, err
+		}
+
+		row := []string{name}
+		for _, ranks := range s.Params.Ranks {
+			ru := interp.Run(unprot, spec.BaseConfig(ranks))
+			rp := interp.Run(prot, spec.BaseConfig(ranks))
+			if ru.Trap != interp.TrapNone || rp.Trap != interp.TrapNone {
+				return nil, fmt.Errorf("experiments: fig8 %s at %d ranks trapped: %v/%v (%s%s)",
+					name, ranks, ru.Trap, rp.Trap, ru.TrapMsg, rp.TrapMsg)
+			}
+			row = append(row, f2s(float64(rp.MaxRankDyn)/float64(ru.MaxRankDyn)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"slowdown = protected/unprotected makespan (max per-rank dynamic instructions)")
+	return t, nil
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ipas/internal/workloads"
+)
+
+// Table3 reports the size of each code: static IR instructions and sci
+// lines of code (the paper's Table 3 reports static LLVM instructions
+// and C lines of code).
+func (s *Suite) Table3() (*Table, error) {
+	t := &Table{
+		ID:     "Table3",
+		Title:  "Number of static IR instructions and lines of code",
+		Header: []string{"", "Static instructions", "Lines of code"},
+	}
+	for _, name := range s.Params.Workloads {
+		app, err := s.App(name)
+		if err != nil {
+			return nil, err
+		}
+		spec := workloads.MustGet(name, 1)
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprint(app.Module.NumInstrs()),
+			fmt.Sprint(countLoC(spec.Source)),
+		})
+	}
+	return t, nil
+}
+
+// countLoC counts non-blank, non-comment-only sci source lines.
+func countLoC(src string) int {
+	n := 0
+	for _, ln := range strings.Split(src, "\n") {
+		ln = strings.TrimSpace(ln)
+		if ln == "" || strings.HasPrefix(ln, "//") {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// Table5 lists the application inputs (the paper's Table 5): input 1 is
+// used for training, inputs 2-4 are the larger production-style inputs.
+func (s *Suite) Table5() (*Table, error) {
+	t := &Table{
+		ID:     "Table5",
+		Title:  "Application inputs (input 1 is used for training)",
+		Header: []string{"Code", "Input 1", "Input 2", "Input 3", "Input 4"},
+	}
+	for _, name := range s.Params.Workloads {
+		row := []string{name}
+		for in := 1; in <= 4; in++ {
+			spec, err := workloads.Get(name, in)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, spec.InputDesc)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import "fmt"
+
+// Table6 reproduces Table 6: per code, the wall time of Step 3
+// (training, including grid search and the top-N final fits) and of
+// Step 4 (classification of every instruction plus duplication of all
+// protected variants).
+func (s *Suite) Table6() (*Table, error) {
+	t := &Table{
+		ID:     "Table6",
+		Title:  "Training and duplication time",
+		Header: []string{"", "Training time (sec)", "Duplication time (sec)", "Total time (sec)"},
+	}
+	for _, name := range s.Params.Workloads {
+		r, err := s.Result(name)
+		if err != nil {
+			return nil, err
+		}
+		train := r.TrainIPASTime.Seconds()
+		dupT := r.ProtectTime.Seconds()
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%.2f", train),
+			fmt.Sprintf("%.2f", dupT),
+			fmt.Sprintf("%.2f", train+dupT),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"duplication time covers classification + duplication of all top-N variants of both techniques")
+	return t, nil
+}

@@ -1,0 +1,266 @@
+// Package fault implements statistical fault injection over the IPAS
+// IR, the role FlipIt plays in the paper: it samples uniformly random
+// dynamic instances of injectable instructions, flips one uniformly
+// random bit in the instruction's result, and classifies the run's
+// outcome into the paper's four categories (§5.5): observable symptom,
+// detected by duplication, masked, and silent output corruption.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"ipas/internal/interp"
+	"ipas/internal/ir"
+)
+
+// Injectable is the paper's fault model (§3): faults corrupt the
+// resulting register value of computational instructions — functional
+// units, address computations, stack allocation, and values returned
+// from calls. Loads and stores are excluded (memory and its datapaths
+// are ECC-protected), control-flow instructions are excluded (handled
+// by control-flow checking, out of scope), and PHI nodes are excluded
+// (SSA bookkeeping, not a hardware operation). Shadow duplicates are
+// legitimate targets — protection code is code — but the comparison
+// checks themselves are not (they are branch logic).
+func Injectable(in *ir.Instr) bool {
+	if !in.HasResult() || in.Op().IsTerminator() {
+		return false
+	}
+	switch in.Op() {
+	case ir.OpLoad, ir.OpPhi:
+		return false
+	}
+	return in.Prot != ir.ProtCheck
+}
+
+// InjectableIncludingLoads widens the fault model to load results,
+// modeling a machine WITHOUT ECC on the memory datapath. The paper
+// assumes ECC (§3); this variant exists for the ablation that
+// quantifies how much that assumption matters (loads are never
+// duplicable, so every protection scheme loses coverage under it).
+func InjectableIncludingLoads(in *ir.Instr) bool {
+	if Injectable(in) {
+		return true
+	}
+	return in.Op() == ir.OpLoad && in.Prot != ir.ProtCheck
+}
+
+// CompileWithModel compiles a module with an explicit injectable
+// predicate (used by ablations; Compile uses the paper's model).
+func CompileWithModel(m *ir.Module, injectable func(*ir.Instr) bool) (*interp.Program, error) {
+	return interp.Compile(m, injectable)
+}
+
+// Outcome classifies one fault-injection run (§5.5 of the paper).
+type Outcome int
+
+const (
+	// OutcomeSymptom: crash, hang, or other system-visible failure;
+	// recoverable by checkpoint/restart.
+	OutcomeSymptom Outcome = iota
+	// OutcomeDetected: a duplication check caught the corruption.
+	OutcomeDetected
+	// OutcomeMasked: the run completed and the verification routine
+	// accepted the output.
+	OutcomeMasked
+	// OutcomeSOC: silent output corruption — the run completed but the
+	// verification routine rejected the output.
+	OutcomeSOC
+
+	NumOutcomes = 4
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeSymptom:
+		return "symptom"
+	case OutcomeDetected:
+		return "detected"
+	case OutcomeMasked:
+		return "masked"
+	case OutcomeSOC:
+		return "SOC"
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
+// Verifier decides whether a completed faulty run's output is
+// acceptable (true = no SOC). It receives the golden (fault-free)
+// result for reference-based checks such as the FFT L2 norm.
+type Verifier func(golden, faulty *interp.Result) bool
+
+// Classify maps a run result onto an outcome category.
+func Classify(golden, res *interp.Result, verify Verifier) Outcome {
+	switch {
+	case res.Trap == interp.TrapDetected:
+		return OutcomeDetected
+	case res.Trap != interp.TrapNone:
+		return OutcomeSymptom
+	case verify(golden, res):
+		return OutcomeMasked
+	default:
+		return OutcomeSOC
+	}
+}
+
+// Trial records one injection.
+type Trial struct {
+	// Site is the static instruction (SiteID) the fault landed on.
+	Site int
+	// Bit is the flipped bit position (modulo the result width).
+	Bit int
+	// Index is the dynamic injectable-instance index targeted.
+	Index int64
+	// Outcome is the classified result.
+	Outcome Outcome
+	// Latency is the number of dynamic instructions the injected rank
+	// executed between the bit flip and the run's termination — the
+	// error-detection latency for Detected/Symptom outcomes, and the
+	// residual run length for Masked/SOC (§2.1: duplication detects
+	// "close to the occurrence", enabling recent checkpoints).
+	Latency int64
+}
+
+// CampaignResult aggregates a statistical fault-injection campaign.
+type CampaignResult struct {
+	Trials []Trial
+	Counts [NumOutcomes]int
+	// GoldenDyn is the fault-free total dynamic instruction count.
+	GoldenDyn int64
+}
+
+// Proportion returns the fraction of trials with outcome o.
+func (c *CampaignResult) Proportion(o Outcome) float64 {
+	if len(c.Trials) == 0 {
+		return 0
+	}
+	return float64(c.Counts[o]) / float64(len(c.Trials))
+}
+
+// MeanLatency returns the average injection-to-termination latency (in
+// dynamic instructions) over trials with outcome o, or -1 when none.
+func (c *CampaignResult) MeanLatency(o Outcome) float64 {
+	var sum float64
+	n := 0
+	for _, tr := range c.Trials {
+		if tr.Outcome == o {
+			sum += float64(tr.Latency)
+			n++
+		}
+	}
+	if n == 0 {
+		return -1
+	}
+	return sum / float64(n)
+}
+
+// Campaign drives statistical fault injection against one program.
+type Campaign struct {
+	// Prog must be compiled with fault.Injectable as its injectable
+	// predicate (see Compile).
+	Prog *interp.Program
+	// Verify is the application's output verification routine.
+	Verify Verifier
+	// Config is the base execution configuration; the campaign adds
+	// the fault plan and hang budget per trial.
+	Config interp.Config
+	// HangFactor multiplies the golden dynamic count to form the
+	// hang-detection budget (default 10).
+	HangFactor int64
+	// Seed makes the campaign deterministic.
+	Seed int64
+	// Workers bounds concurrent trial execution (default: GOMAXPROCS).
+	// Trials are independent interpreter runs and the plan sequence is
+	// drawn up front, so results are identical for any worker count.
+	Workers int
+}
+
+// Compile compiles a module for fault injection.
+func Compile(m *ir.Module) (*interp.Program, error) {
+	return interp.Compile(m, Injectable)
+}
+
+// Run executes the golden run plus n injection trials.
+func (c *Campaign) Run(n int) (*CampaignResult, error) {
+	hang := c.HangFactor
+	if hang <= 0 {
+		hang = 10
+	}
+	golden := interp.Run(c.Prog, c.Config)
+	if golden.Trap != interp.TrapNone {
+		return nil, fmt.Errorf("fault: golden run trapped: %v (%s)", golden.Trap, golden.TrapMsg)
+	}
+	pop := golden.Injectable[0]
+	if pop == 0 {
+		return nil, fmt.Errorf("fault: program has no injectable dynamic instances")
+	}
+
+	// Draw the whole plan sequence up front so results do not depend
+	// on worker scheduling.
+	rng := rand.New(rand.NewSource(c.Seed))
+	plans := make([]interp.FaultPlan, n)
+	for t := range plans {
+		plans[t] = interp.FaultPlan{Rank: 0, Index: rng.Int63n(pop), Bit: rng.Intn(64)}
+	}
+
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	out := &CampaignResult{GoldenDyn: golden.TotalDyn, Trials: make([]Trial, n)}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				plan := plans[t]
+				cfg := c.Config
+				cfg.Fault = &plan
+				cfg.MaxInstrs = golden.MaxRankDyn*hang + 1_000_000
+				res := interp.Run(c.Prog, cfg)
+				if !res.Injected && res.Trap == interp.TrapNone {
+					errs[t] = fmt.Errorf("fault: trial %d did not inject (index %d of %d)", t, plan.Index, pop)
+					continue
+				}
+				out.Trials[t] = Trial{
+					Site:    res.InjectedSite,
+					Bit:     plan.Bit,
+					Index:   plan.Index,
+					Outcome: Classify(golden, res, c.Verify),
+					Latency: res.InjectedRankDyn - res.InjectedAt,
+				}
+			}
+		}()
+	}
+	for t := 0; t < n; t++ {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, tr := range out.Trials {
+		out.Counts[tr.Outcome]++
+	}
+	return out, nil
+}
+
+// Golden runs the program fault-free and returns the result.
+func (c *Campaign) Golden() *interp.Result {
+	return interp.Run(c.Prog, c.Config)
+}

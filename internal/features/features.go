@@ -1,0 +1,259 @@
+// Package features extracts the 31 instruction features of Table 1 of
+// the IPAS paper. Features fall into four categories: properties of the
+// instruction itself (1–12), of its basic block (13–19), of its
+// function (20–24), and of its forward program slice (25–31).
+package features
+
+import (
+	"ipas/internal/ir"
+	"ipas/internal/slicer"
+)
+
+// Dim is the feature-vector dimensionality.
+const Dim = 31
+
+// Names documents each feature, indexed 0..30 (paper numbering 1..31).
+var Names = [Dim]string{
+	"is binary operation",
+	"is add or sub operation",
+	"is multiplication or division operation",
+	"is division remainder operation",
+	"is logical operation",
+	"is call instruction",
+	"is comparison instruction",
+	"is atomic read/write instruction",
+	"is get-pointer instruction",
+	"is stack-allocation instruction",
+	"is cast instruction",
+	"bytes in the instruction's result",
+	"number of remaining instructions in BB",
+	"size of basic block",
+	"number of successor basic blocks",
+	"sum of basic block sizes of successor BBs",
+	"basic block is within a loop",
+	"BB has a PHI instruction",
+	"BB terminator is a branch instruction",
+	"remaining instructions to reach return",
+	"number of instructions in the function",
+	"number of basic blocks in the function",
+	"number of future function calls",
+	"function returns a value",
+	"number of instructions in the slice",
+	"number of loads in the slice",
+	"number of stores in the slice",
+	"number of function calls in the slice",
+	"number of binary operations in the slice",
+	"number of stack-allocation instructions in the slice",
+	"number of get-pointer instructions in the slice",
+}
+
+// unreachableDist caps feature 20 for instructions from which no return
+// is reachable.
+const unreachableDist = 1 << 20
+
+// Options configures the extractor.
+type Options struct {
+	// InterproceduralSlices computes features 25-31 over slices that
+	// cross call boundaries (full Weiser slicing) instead of staying
+	// within the instruction's function. Default off: the shipped
+	// evaluation numbers use intraprocedural slices.
+	InterproceduralSlices bool
+}
+
+// Extractor computes feature vectors for a module's instructions,
+// caching the per-function CFG analyses.
+type Extractor struct {
+	mod    *ir.Module
+	slices *slicer.Computer
+	fns    map[*ir.Func]*fnInfo
+}
+
+type fnInfo struct {
+	loops *ir.LoopInfo
+	// distToRet[b] is the minimum dynamic instruction count from the
+	// first instruction of b to (and including) a return.
+	distToRet map[*ir.Block]int
+	// callsFrom[b] is the number of static call instructions in b and
+	// in every block reachable from b.
+	callsFrom map[*ir.Block]int
+	// callsIn[b] is the number of calls inside b alone.
+	callsIn map[*ir.Block]int
+}
+
+// NewExtractor prepares feature extraction for m with default options.
+func NewExtractor(m *ir.Module) *Extractor {
+	return NewExtractorOpts(m, Options{})
+}
+
+// NewExtractorOpts prepares feature extraction with explicit options.
+func NewExtractorOpts(m *ir.Module, opts Options) *Extractor {
+	e := &Extractor{
+		mod: m,
+		slices: slicer.NewComputerOpts(m, slicer.Options{
+			Interprocedural: opts.InterproceduralSlices,
+		}),
+		fns: map[*ir.Func]*fnInfo{},
+	}
+	for _, f := range m.Funcs() {
+		if f.Builtin {
+			continue
+		}
+		e.fns[f] = analyzeFunc(f)
+	}
+	return e
+}
+
+func analyzeFunc(f *ir.Func) *fnInfo {
+	dom := ir.ComputeDom(f)
+	info := &fnInfo{
+		loops:     ir.ComputeLoops(f, dom),
+		distToRet: map[*ir.Block]int{},
+		callsIn:   map[*ir.Block]int{},
+		callsFrom: map[*ir.Block]int{},
+	}
+
+	// distToRet: Bellman-Ford style relaxation over the reverse CFG.
+	for _, b := range f.Blocks() {
+		info.distToRet[b] = unreachableDist
+		for _, in := range b.Instrs() {
+			if in.Op() == ir.OpCall {
+				info.callsIn[b]++
+			}
+		}
+	}
+	for _, b := range f.Blocks() {
+		if t := b.Terminator(); t != nil && t.Op() == ir.OpRet {
+			info.distToRet[b] = b.NumInstrs()
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks() {
+			best := info.distToRet[b]
+			for _, s := range b.Succs() {
+				if d := info.distToRet[s]; d < unreachableDist && b.NumInstrs()+d < best {
+					best = b.NumInstrs() + d
+				}
+			}
+			if best < info.distToRet[b] {
+				info.distToRet[b] = best
+				changed = true
+			}
+		}
+	}
+
+	// callsFrom: calls in all blocks reachable from b (including b).
+	for _, b := range f.Blocks() {
+		seen := map[*ir.Block]bool{}
+		stack := []*ir.Block{b}
+		total := 0
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[x] {
+				continue
+			}
+			seen[x] = true
+			total += info.callsIn[x]
+			stack = append(stack, x.Succs()...)
+		}
+		info.callsFrom[b] = total
+	}
+	return info
+}
+
+// Vector computes the 31-feature vector of an instruction. Booleans are
+// encoded 0/1; integers as float64.
+func (e *Extractor) Vector(in *ir.Instr) []float64 {
+	f := e.fns[in.Block().Func()]
+	v := make([]float64, Dim)
+	op := in.Op()
+	b := in.Block()
+	fn := b.Func()
+	idx := b.Index(in)
+
+	// Instruction category (1–12).
+	v[0] = b2f(op.IsBinary())
+	v[1] = b2f(op == ir.OpAdd || op == ir.OpSub || op == ir.OpFAdd || op == ir.OpFSub)
+	v[2] = b2f(op == ir.OpMul || op == ir.OpSDiv || op == ir.OpFMul || op == ir.OpFDiv)
+	v[3] = b2f(op == ir.OpSRem)
+	v[4] = b2f(op.IsLogical())
+	v[5] = b2f(op == ir.OpCall)
+	v[6] = b2f(op == ir.OpICmp || op == ir.OpFCmp)
+	v[7] = b2f(op == ir.OpAtomicRMW)
+	v[8] = b2f(op == ir.OpGEP)
+	v[9] = b2f(op == ir.OpAlloca)
+	v[10] = b2f(op.IsCast())
+	v[11] = float64(in.Type().Size())
+
+	// Basic-block category (13–19).
+	v[12] = float64(b.NumInstrs() - idx - 1)
+	v[13] = float64(b.NumInstrs())
+	succs := b.Succs()
+	v[14] = float64(len(succs))
+	sumSucc := 0
+	for _, s := range succs {
+		sumSucc += s.NumInstrs()
+	}
+	v[15] = float64(sumSucc)
+	v[16] = b2f(f.loops.InLoop(b))
+	v[17] = b2f(len(b.Phis()) > 0)
+	term := b.Terminator()
+	v[18] = b2f(term != nil && (term.Op() == ir.OpBr || term.Op() == ir.OpCondBr))
+
+	// Function category (20–24).
+	d := f.distToRet[b]
+	if d >= unreachableDist {
+		v[19] = unreachableDist
+	} else {
+		v[19] = float64(d - idx - 1)
+	}
+	v[20] = float64(fn.NumInstrs())
+	v[21] = float64(len(fn.Blocks()))
+	future := f.callsFrom[b] - f.callsIn[b] // reachable beyond this block
+	for _, x := range b.Instrs()[idx+1:] {
+		if x.Op() == ir.OpCall {
+			future++
+		}
+	}
+	// Avoid double counting when the block can reach itself (loop):
+	// callsFrom includes callsIn of every reachable block including b
+	// when b is in a cycle; the subtraction above removed b once, which
+	// is the best static approximation without path enumeration.
+	v[22] = float64(future)
+	v[23] = b2f(fn.RetType() != ir.Void)
+
+	// Slice category (25–31).
+	c := e.slices.Forward(in).Counts()
+	v[24] = float64(c.Total)
+	v[25] = float64(c.Loads)
+	v[26] = float64(c.Stores)
+	v[27] = float64(c.Calls)
+	v[28] = float64(c.Binary)
+	v[29] = float64(c.Allocas)
+	v[30] = float64(c.GEPs)
+	return v
+}
+
+// VectorBySite returns feature vectors for all original instructions,
+// indexed by SiteID. AssignSiteIDs must have been called on the module.
+func (e *Extractor) VectorBySite() [][]float64 {
+	out := make([][]float64, e.mod.NumSites())
+	for _, fn := range e.mod.Funcs() {
+		for _, b := range fn.Blocks() {
+			for _, in := range b.Instrs() {
+				if in.Prot == ir.ProtNone {
+					out[in.SiteID] = e.Vector(in)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

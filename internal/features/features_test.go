@@ -1,0 +1,173 @@
+package features
+
+import (
+	"testing"
+
+	"ipas/internal/ir"
+	"ipas/internal/lang"
+)
+
+// featureModule builds a function with known structure for exact
+// feature assertions.
+func featureModule(t *testing.T) *ir.Module {
+	t.Helper()
+	src := `
+builtin @sqrt(f64) f64
+func @helper(f64 %x) f64 {
+entry:
+  %r = call f64 @sqrt(f64 %x)
+  ret f64 %r
+}
+func @main() void {
+entry:
+  %i0 = add i64 0, 0
+  br %loop
+loop:
+  %i = phi i64 [%i0, %entry], [%inc, %loop]
+  %f = sitofp i64 %i to f64
+  %s = call f64 @helper(f64 %f)
+  %inc = add i64 %i, 1
+  %c = icmp lt i64 %inc, 10
+  condbr %c, %loop, %exit
+exit:
+  ret void
+}
+`
+	m := ir.MustParse(src)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	m.AssignSiteIDs()
+	return m
+}
+
+func find(m *ir.Module, fn, name string) *ir.Instr {
+	for _, b := range m.FuncByName(fn).Blocks() {
+		for _, in := range b.Instrs() {
+			if in.Name() == name {
+				return in
+			}
+		}
+	}
+	return nil
+}
+
+func TestFeatureValues(t *testing.T) {
+	m := featureModule(t)
+	e := NewExtractor(m)
+
+	// %f = sitofp in the loop block of @main.
+	f := find(m, "main", "f")
+	v := e.Vector(f)
+	check := func(idx int, want float64, what string) {
+		t.Helper()
+		if v[idx] != want {
+			t.Errorf("feature %d (%s) = %v, want %v", idx+1, what, v[idx], want)
+		}
+	}
+	check(0, 0, "is binary")          // sitofp is not binary
+	check(10, 1, "is cast")           // sitofp is a cast
+	check(11, 8, "result bytes")      // f64
+	check(12, 4, "remaining in BB")   // s, inc, c, condbr after %f
+	check(13, 6, "BB size")           // phi f s inc c condbr
+	check(14, 2, "successor count")   // loop, exit
+	check(15, 7, "succ sizes")        // loop(6) + exit(1)
+	check(16, 1, "in loop")           // loop block
+	check(17, 1, "has phi")           //
+	check(18, 1, "terminator branch") // condbr
+	check(20, 9, "function instrs")   // i0, br, phi, f, s, inc, c, condbr, ret
+	check(21, 3, "function blocks")   //
+	check(23, 0, "returns value")     // main is void
+
+	// Feature 20: remaining instructions to reach return. From %f:
+	// s, inc, c, condbr (4) then exit's ret (1) = 5.
+	check(19, 5, "remaining to return")
+
+	// Feature 23 (index 22): future function calls. After %f in its
+	// block: %s. Reachable: loop (1 call) and exit (0). callsFrom(loop)
+	// includes loop itself once; the approximation counts 1 (reachable
+	// beyond block) + 1 (rest of block) = 2.
+	if v[22] < 1 {
+		t.Errorf("future calls = %v, want >= 1", v[22])
+	}
+
+	// The call instruction's own type features.
+	s := find(m, "main", "s")
+	vs := e.Vector(s)
+	if vs[5] != 1 {
+		t.Error("call feature not set on call instruction")
+	}
+	if vs[6] != 0 {
+		t.Error("cmp feature set on call instruction")
+	}
+
+	// Slice features of %f: f -> s -> (ret path? s used by nothing) —
+	// %s is unused, so slice = {f, s}.
+	if v[24] != 2 {
+		t.Errorf("slice size = %v, want 2", v[24])
+	}
+	if v[27] != 1 {
+		t.Errorf("slice calls = %v, want 1", v[27])
+	}
+}
+
+func TestVectorBySiteCoversAllSites(t *testing.T) {
+	m := featureModule(t)
+	e := NewExtractor(m)
+	vecs := e.VectorBySite()
+	if len(vecs) != m.NumSites() {
+		t.Fatalf("got %d vectors for %d sites", len(vecs), m.NumSites())
+	}
+	for site, v := range vecs {
+		if v == nil {
+			t.Fatalf("site %d has no vector", site)
+		}
+		if len(v) != Dim {
+			t.Fatalf("site %d has %d features", site, len(v))
+		}
+	}
+}
+
+// TestFeatureInvariantsOnRandomPrograms checks structural invariants
+// over arbitrary modules: boolean features are 0/1, counts are
+// non-negative, type-category features are mutually exclusive, and BB
+// positions are consistent.
+func TestFeatureInvariantsOnRandomPrograms(t *testing.T) {
+	boolIdx := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 16, 17, 18, 23}
+	for seed := int64(1); seed <= 10; seed++ {
+		m, err := lang.Compile(lang.RandomProgram(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := NewExtractor(m)
+		for _, v := range e.VectorBySite() {
+			if v == nil {
+				t.Fatal("missing vector")
+			}
+			for _, bi := range boolIdx {
+				if v[bi] != 0 && v[bi] != 1 {
+					t.Fatalf("seed %d: boolean feature %d = %v", seed, bi+1, v[bi])
+				}
+			}
+			for i, x := range v {
+				if x < 0 {
+					t.Fatalf("seed %d: negative feature %d = %v", seed, i+1, x)
+				}
+			}
+			// A single instruction belongs to at most one type class
+			// among binary/call/cmp/atomic/gep/alloca/cast.
+			sum := v[0] + v[5] + v[6] + v[7] + v[8] + v[9] + v[10]
+			if sum > 1 {
+				t.Fatalf("seed %d: instruction in %v type classes", seed, sum)
+			}
+			// Remaining-in-BB strictly less than BB size.
+			if v[12] >= v[13] {
+				t.Fatalf("seed %d: remaining %v >= bb size %v", seed, v[12], v[13])
+			}
+			// Slice is non-empty (contains the root).
+			if v[24] < 1 {
+				t.Fatalf("seed %d: empty slice", seed)
+			}
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package interp
+
+import "math"
+
+// builtinID identifies a natively implemented runtime function.
+type builtinID int
+
+const (
+	builtinNone builtinID = iota
+	bSqrt
+	bSin
+	bCos
+	bExp
+	bLog
+	bPow
+	bFabs
+	bFloor
+	bFmin
+	bFmax
+	bMallocF64
+	bMallocI64
+	bOutF64
+	bOutI64
+	bAssertTrue
+	bPrintF64
+	bPrintI64
+	bMPIRank
+	bMPISize
+	bMPIBarrier
+	bMPIAllreduceF64
+	bMPIAllreduceI64
+	bMPIBcastF64
+	bMPIBcastI64
+	bMPISendF64
+	bMPIRecvF64
+	bMPISendI64
+	bMPIRecvI64
+	bMPISendF64s
+	bMPIRecvF64s
+	bMPISendI64s
+	bMPIRecvI64s
+)
+
+var builtinByName = map[string]builtinID{
+	"sqrt": bSqrt, "sin": bSin, "cos": bCos, "exp": bExp, "log": bLog,
+	"pow": bPow, "fabs": bFabs, "floor": bFloor, "fmin": bFmin, "fmax": bFmax,
+	"malloc_f64": bMallocF64, "malloc_i64": bMallocI64,
+	"out_f64": bOutF64, "out_i64": bOutI64,
+	"assert_true": bAssertTrue, "print_f64": bPrintF64, "print_i64": bPrintI64,
+	"mpi_rank": bMPIRank, "mpi_size": bMPISize, "mpi_barrier": bMPIBarrier,
+	"mpi_allreduce_f64": bMPIAllreduceF64, "mpi_allreduce_i64": bMPIAllreduceI64,
+	"mpi_bcast_f64": bMPIBcastF64, "mpi_bcast_i64": bMPIBcastI64,
+	"mpi_send_f64": bMPISendF64, "mpi_recv_f64": bMPIRecvF64,
+	"mpi_send_i64": bMPISendI64, "mpi_recv_i64": bMPIRecvI64,
+	"mpi_send_f64s": bMPISendF64s, "mpi_recv_f64s": bMPIRecvF64s,
+	"mpi_send_i64s": bMPISendI64s, "mpi_recv_i64s": bMPIRecvI64s,
+}
+
+// callBuiltin executes a builtin in the context of rank r.
+func (r *rank) callBuiltin(id builtinID, args []Val) Val {
+	switch id {
+	case bSqrt:
+		return FloatVal(math.Sqrt(args[0].F))
+	case bSin:
+		return FloatVal(math.Sin(args[0].F))
+	case bCos:
+		return FloatVal(math.Cos(args[0].F))
+	case bExp:
+		return FloatVal(math.Exp(args[0].F))
+	case bLog:
+		return FloatVal(math.Log(args[0].F))
+	case bPow:
+		return FloatVal(math.Pow(args[0].F, args[1].F))
+	case bFabs:
+		return FloatVal(math.Abs(args[0].F))
+	case bFloor:
+		return FloatVal(math.Floor(args[0].F))
+	case bFmin:
+		return FloatVal(math.Min(args[0].F, args[1].F))
+	case bFmax:
+		return FloatVal(math.Max(args[0].F, args[1].F))
+	case bMallocF64, bMallocI64:
+		return IntVal(r.mem.Malloc(args[0].I * 8))
+	case bOutF64:
+		r.outF64(args[0].I, args[1].F)
+		return Val{}
+	case bOutI64:
+		r.outI64(args[0].I, args[1].I)
+		return Val{}
+	case bAssertTrue:
+		if args[0].I == 0 {
+			panic(trapPanic{TrapAbort, "assertion failed"})
+		}
+		return Val{}
+	case bPrintF64:
+		r.printLog = append(r.printLog, args[0].F)
+		return Val{}
+	case bPrintI64:
+		r.printLog = append(r.printLog, float64(args[0].I))
+		return Val{}
+	case bMPIRank:
+		return IntVal(int64(r.id))
+	case bMPISize:
+		return IntVal(int64(r.comm.size))
+	case bMPIBarrier:
+		r.comm.barrier(r)
+		return Val{}
+	case bMPIAllreduceF64:
+		return FloatVal(r.comm.allreduceF64(r, args[0].F, args[1].I))
+	case bMPIAllreduceI64:
+		return IntVal(r.comm.allreduceI64(r, args[0].I, args[1].I))
+	case bMPIBcastF64:
+		return FloatVal(r.comm.bcastF64(r, args[0].F, args[1].I))
+	case bMPIBcastI64:
+		return IntVal(r.comm.bcastI64(r, args[0].I, args[1].I))
+	case bMPISendF64:
+		r.comm.send(r, args[0].I, args[1].I, []Val{args[2]})
+		return Val{}
+	case bMPIRecvF64:
+		return r.comm.recv(r, args[0].I, args[1].I, 1)[0]
+	case bMPISendI64:
+		r.comm.send(r, args[0].I, args[1].I, []Val{args[2]})
+		return Val{}
+	case bMPIRecvI64:
+		return r.comm.recv(r, args[0].I, args[1].I, 1)[0]
+	case bMPISendF64s:
+		r.comm.send(r, args[0].I, args[1].I, r.readVec(args[2].I, args[3].I, true))
+		return Val{}
+	case bMPIRecvF64s:
+		r.writeVec(args[2].I, r.comm.recv(r, args[0].I, args[1].I, args[3].I), true)
+		return Val{}
+	case bMPISendI64s:
+		r.comm.send(r, args[0].I, args[1].I, r.readVec(args[2].I, args[3].I, false))
+		return Val{}
+	case bMPIRecvI64s:
+		r.writeVec(args[2].I, r.comm.recv(r, args[0].I, args[1].I, args[3].I), false)
+		return Val{}
+	}
+	panic(trapPanic{TrapAbort, "unimplemented builtin"})
+}
+
+// readVec loads n 8-byte elements starting at addr.
+func (r *rank) readVec(addr, n int64, isFloat bool) []Val {
+	if n < 0 || n > 1<<24 {
+		panic(trapPanic{TrapAbort, "bad vector length"})
+	}
+	out := make([]Val, n)
+	for i := int64(0); i < n; i++ {
+		out[i] = r.mem.Load(addr+i*8, 8, isFloat)
+	}
+	return out
+}
+
+// writeVec stores the values as 8-byte elements starting at addr.
+func (r *rank) writeVec(addr int64, vs []Val, isFloat bool) {
+	for i, v := range vs {
+		r.mem.Store(addr+int64(i)*8, 8, v, isFloat)
+	}
+}
+
+// outF64 grows the rank's float output vector as needed and writes v.
+func (r *rank) outF64(idx int64, v float64) {
+	if idx < 0 || idx > 1<<24 {
+		panic(trapPanic{TrapAbort, "bad output index"})
+	}
+	for int64(len(r.outputF)) <= idx {
+		r.outputF = append(r.outputF, 0)
+	}
+	r.outputF[idx] = v
+}
+
+// outI64 grows the rank's integer output vector as needed and writes v.
+func (r *rank) outI64(idx int64, v int64) {
+	if idx < 0 || idx > 1<<24 {
+		panic(trapPanic{TrapAbort, "bad output index"})
+	}
+	for int64(len(r.outputI)) <= idx {
+		r.outputI = append(r.outputI, 0)
+	}
+	r.outputI[idx] = v
+}

@@ -1,0 +1,370 @@
+package interp
+
+import (
+	"math"
+
+	"ipas/internal/ir"
+)
+
+// rank is the per-MPI-process execution state.
+type rank struct {
+	id   int
+	prog *Program
+	mem  *Memory
+	comm *comm
+
+	budget   int64 // remaining instruction budget (-1: unlimited)
+	executed int64
+
+	// Fault plan.
+	injectArmed  bool
+	injectIndex  int64 // dynamic injectable-instance index to corrupt
+	injectBit    int
+	injected     bool
+	injectedSite int
+	injectedAt   int64 // executed-instruction count when the flip fired
+
+	injectableSeen int64
+
+	countSites bool
+	siteCounts []int64
+
+	outputF  []float64
+	outputI  []int64
+	printLog []float64
+
+	callDepth int
+	scratch   []Val // phi parallel-copy buffer
+
+	// arenaBlocks back call frames: frames are carved off sequentially
+	// and released LIFO on return, avoiding per-call heap allocation.
+	// Blocks never move, so outstanding frames stay valid as the arena
+	// grows.
+	arenaBlocks [][]Val
+	arenaCur    int
+	arenaOff    int
+}
+
+const arenaBlockSize = 16384
+
+// frame carves a zeroed slot slice of length n from the arena.
+func (r *rank) frame(n int) []Val {
+	if r.arenaBlocks == nil {
+		size := arenaBlockSize
+		if n > size {
+			size = n
+		}
+		r.arenaBlocks = [][]Val{make([]Val, size)}
+	}
+	if r.arenaOff+n > len(r.arenaBlocks[r.arenaCur]) {
+		r.arenaCur++
+		if r.arenaCur == len(r.arenaBlocks) {
+			size := arenaBlockSize
+			if n > size {
+				size = n
+			}
+			r.arenaBlocks = append(r.arenaBlocks, make([]Val, size))
+		} else if len(r.arenaBlocks[r.arenaCur]) < n {
+			r.arenaBlocks[r.arenaCur] = make([]Val, n)
+		}
+		r.arenaOff = 0
+	}
+	blk := r.arenaBlocks[r.arenaCur]
+	s := blk[r.arenaOff : r.arenaOff+n : r.arenaOff+n]
+	for i := range s {
+		s[i] = Val{}
+	}
+	r.arenaOff += n
+	return s
+}
+
+const maxCallDepth = 4096
+
+// run executes @main on this rank and returns the trap (TrapNone on
+// normal termination).
+func (r *rank) run() (trap Trap, msg string) {
+	defer func() {
+		if p := recover(); p != nil {
+			tp, ok := p.(trapPanic)
+			if !ok {
+				panic(p)
+			}
+			trap, msg = tp.trap, tp.msg
+		}
+	}()
+	r.callFunc(r.prog.main, nil)
+	return TrapNone, ""
+}
+
+// callFunc invokes a compiled function with the given arguments.
+func (r *rank) callFunc(pf *progFunc, args []Val) Val {
+	if pf.builtin != builtinNone {
+		return r.callBuiltin(pf.builtin, args)
+	}
+	r.callDepth++
+	if r.callDepth > maxCallDepth {
+		panic(trapPanic{TrapStackOverflow, "call depth exceeded"})
+	}
+	sp := r.mem.PushFrame()
+	saveCur, saveOff := r.arenaCur, r.arenaOff
+	slots := r.frame(pf.numSlots)
+	copy(slots, args)
+
+	bi := 0
+	var prev *progBlock
+	for {
+		b := pf.blocks[bi]
+		// PHI parallel copies for the edge prev->b.
+		if prev != nil && len(b.phiCopies) > 0 {
+			pi := -1
+			for i, p := range b.preds {
+				if p == prev {
+					pi = i
+					break
+				}
+			}
+			if pi >= 0 && len(b.phiCopies[pi]) > 0 {
+				cps := b.phiCopies[pi]
+				if cap(r.scratch) < len(cps) {
+					r.scratch = make([]Val, len(cps))
+				}
+				tmp := r.scratch[:len(cps)]
+				for i, cp := range cps {
+					tmp[i] = r.get(slots, cp.src)
+				}
+				for i, cp := range cps {
+					slots[cp.dst] = tmp[i]
+				}
+			}
+		}
+		prev = b
+
+		for ii := range b.instrs {
+			pi := &b.instrs[ii]
+			r.executed++
+			if r.budget >= 0 {
+				r.budget--
+				if r.budget < 0 {
+					panic(trapPanic{TrapBudget, "instruction budget exceeded"})
+				}
+			}
+			if r.countSites {
+				r.siteCounts[pi.src.SiteID]++
+			}
+			switch pi.op {
+			case ir.OpBr:
+				bi = pi.blocks[0]
+			case ir.OpCondBr:
+				if r.get(slots, pi.ops[0]).I != 0 {
+					bi = pi.blocks[0]
+				} else {
+					bi = pi.blocks[1]
+				}
+			case ir.OpRet:
+				var ret Val
+				if len(pi.ops) > 0 {
+					ret = r.get(slots, pi.ops[0])
+				}
+				r.mem.PopFrame(sp)
+				r.arenaCur, r.arenaOff = saveCur, saveOff
+				r.callDepth--
+				return ret
+			case ir.OpTrap:
+				code := r.get(slots, pi.ops[0]).I
+				if code == TrapCodeDetected {
+					panic(trapPanic{TrapDetected, "duplication check failed"})
+				}
+				panic(trapPanic{TrapAbort, "explicit trap"})
+			case ir.OpStore:
+				v := r.get(slots, pi.ops[0])
+				addr := r.get(slots, pi.ops[1]).I
+				r.mem.Store(addr, pi.elemSize, v, pi.storeFloat)
+			default:
+				v := r.eval(pi, slots)
+				if pi.injectable {
+					r.injectableSeen++
+					if r.injectArmed && r.injectableSeen-1 == r.injectIndex {
+						v = FlipBit(v, pi.typ, r.injectBit)
+						r.injected = true
+						r.injectedSite = pi.src.SiteID
+						r.injectedAt = r.executed
+						r.injectArmed = false
+					}
+				}
+				if pi.dst >= 0 {
+					slots[pi.dst] = v
+				}
+			}
+			if pi.op.IsTerminator() {
+				break
+			}
+		}
+	}
+}
+
+// TrapCodeDetected is the trap operand used by protection checks; it
+// maps to TrapDetected (the "detected by duplication" outcome).
+const TrapCodeDetected = 1
+
+func (r *rank) get(slots []Val, o operand) Val {
+	if o.isConst {
+		return o.c
+	}
+	return slots[o.slot]
+}
+
+// eval computes the result of a non-control, non-store instruction.
+func (r *rank) eval(pi *pInstr, slots []Val) Val {
+	switch pi.op {
+	case ir.OpAdd:
+		return IntVal(truncToType(pi.typ, r.get(slots, pi.ops[0]).I+r.get(slots, pi.ops[1]).I))
+	case ir.OpSub:
+		return IntVal(truncToType(pi.typ, r.get(slots, pi.ops[0]).I-r.get(slots, pi.ops[1]).I))
+	case ir.OpMul:
+		return IntVal(truncToType(pi.typ, r.get(slots, pi.ops[0]).I*r.get(slots, pi.ops[1]).I))
+	case ir.OpSDiv:
+		d := r.get(slots, pi.ops[1]).I
+		if d == 0 {
+			panic(trapPanic{TrapDivZero, "integer division by zero"})
+		}
+		if d == -1 {
+			return IntVal(truncToType(pi.typ, -r.get(slots, pi.ops[0]).I))
+		}
+		return IntVal(truncToType(pi.typ, r.get(slots, pi.ops[0]).I/d))
+	case ir.OpSRem:
+		d := r.get(slots, pi.ops[1]).I
+		if d == 0 {
+			panic(trapPanic{TrapDivZero, "integer remainder by zero"})
+		}
+		if d == -1 {
+			return IntVal(0)
+		}
+		return IntVal(truncToType(pi.typ, r.get(slots, pi.ops[0]).I%d))
+	case ir.OpFAdd:
+		return FloatVal(r.get(slots, pi.ops[0]).F + r.get(slots, pi.ops[1]).F)
+	case ir.OpFSub:
+		return FloatVal(r.get(slots, pi.ops[0]).F - r.get(slots, pi.ops[1]).F)
+	case ir.OpFMul:
+		return FloatVal(r.get(slots, pi.ops[0]).F * r.get(slots, pi.ops[1]).F)
+	case ir.OpFDiv:
+		return FloatVal(r.get(slots, pi.ops[0]).F / r.get(slots, pi.ops[1]).F)
+	case ir.OpAnd:
+		return IntVal(truncToType(pi.typ, r.get(slots, pi.ops[0]).I&r.get(slots, pi.ops[1]).I))
+	case ir.OpOr:
+		return IntVal(truncToType(pi.typ, r.get(slots, pi.ops[0]).I|r.get(slots, pi.ops[1]).I))
+	case ir.OpXor:
+		return IntVal(truncToType(pi.typ, r.get(slots, pi.ops[0]).I^r.get(slots, pi.ops[1]).I))
+	case ir.OpShl:
+		return IntVal(truncToType(pi.typ, r.get(slots, pi.ops[0]).I<<(uint64(r.get(slots, pi.ops[1]).I)&63)))
+	case ir.OpLShr:
+		w := uint64(pi.typ.Bits())
+		x := uint64(r.get(slots, pi.ops[0]).I) & widthMask(w)
+		return IntVal(truncToType(pi.typ, int64(x>>(uint64(r.get(slots, pi.ops[1]).I)&(w-1)))))
+	case ir.OpAShr:
+		return IntVal(truncToType(pi.typ, r.get(slots, pi.ops[0]).I>>(uint64(r.get(slots, pi.ops[1]).I)&63)))
+	case ir.OpICmp:
+		a, b := r.get(slots, pi.ops[0]).I, r.get(slots, pi.ops[1]).I
+		return Bool(icmp(pi.pred, a, b))
+	case ir.OpFCmp:
+		a, b := r.get(slots, pi.ops[0]).F, r.get(slots, pi.ops[1]).F
+		return Bool(fcmp(pi.pred, a, b))
+	case ir.OpLoad:
+		addr := r.get(slots, pi.ops[0]).I
+		return r.mem.Load(addr, pi.elemSize, pi.typ.IsFloat())
+	case ir.OpAlloca:
+		return IntVal(r.mem.Alloca(pi.allocBytes))
+	case ir.OpGEP:
+		return IntVal(r.get(slots, pi.ops[0]).I + r.get(slots, pi.ops[1]).I*pi.elemSize)
+	case ir.OpAtomicRMW:
+		addr := r.get(slots, pi.ops[0]).I
+		old := r.mem.Load(addr, 8, false)
+		r.mem.Store(addr, 8, IntVal(old.I+r.get(slots, pi.ops[1]).I), false)
+		return old
+	case ir.OpTrunc, ir.OpSExt:
+		return IntVal(truncToType(pi.typ, r.get(slots, pi.ops[0]).I))
+	case ir.OpZExt:
+		src := pi.src.Operand(0).Type()
+		return IntVal(r.get(slots, pi.ops[0]).I & int64(widthMask(uint64(src.Bits()))))
+	case ir.OpSIToFP:
+		return FloatVal(float64(r.get(slots, pi.ops[0]).I))
+	case ir.OpFPToSI:
+		return IntVal(truncToType(pi.typ, fpToInt(r.get(slots, pi.ops[0]).F)))
+	case ir.OpPtrToInt, ir.OpIntToPtr:
+		return r.get(slots, pi.ops[0])
+	case ir.OpBitcast:
+		v := r.get(slots, pi.ops[0])
+		if pi.typ == ir.I64 {
+			return IntVal(int64(math.Float64bits(v.F)))
+		}
+		return FloatVal(math.Float64frombits(uint64(v.I)))
+	case ir.OpSelect:
+		if r.get(slots, pi.ops[0]).I != 0 {
+			return r.get(slots, pi.ops[1])
+		}
+		return r.get(slots, pi.ops[2])
+	case ir.OpCall:
+		args := make([]Val, len(pi.ops))
+		for i := range pi.ops {
+			args[i] = r.get(slots, pi.ops[i])
+		}
+		return r.callFunc(pi.callee, args)
+	}
+	panic(trapPanic{TrapAbort, "unknown opcode " + pi.op.String()})
+}
+
+func widthMask(w uint64) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << w) - 1
+}
+
+// fpToInt converts a float to int64 deterministically: NaN becomes 0
+// and out-of-range values saturate.
+func fpToInt(f float64) int64 {
+	switch {
+	case math.IsNaN(f):
+		return 0
+	case f >= math.MaxInt64:
+		return math.MaxInt64
+	case f <= math.MinInt64:
+		return math.MinInt64
+	}
+	return int64(f)
+}
+
+func icmp(p ir.Pred, a, b int64) bool {
+	switch p {
+	case ir.PredEQ:
+		return a == b
+	case ir.PredNE:
+		return a != b
+	case ir.PredLT:
+		return a < b
+	case ir.PredLE:
+		return a <= b
+	case ir.PredGT:
+		return a > b
+	case ir.PredGE:
+		return a >= b
+	}
+	return false
+}
+
+func fcmp(p ir.Pred, a, b float64) bool {
+	switch p {
+	case ir.PredEQ:
+		return a == b
+	case ir.PredNE:
+		return a != b
+	case ir.PredLT:
+		return a < b
+	case ir.PredLE:
+		return a <= b
+	case ir.PredGT:
+		return a > b
+	case ir.PredGE:
+		return a >= b
+	}
+	return false
+}

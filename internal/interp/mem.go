@@ -1,0 +1,125 @@
+package interp
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Memory is a rank's flat byte-addressed address space:
+//
+//	[0, nullGuard)          unmapped null guard page
+//	[nullGuard, heapEnd)    bump-allocated heap (malloc builtins)
+//	[stackLimit, stackTop)  stack, growing downwards (allocas)
+//
+// All accesses are bounds- and alignment-checked; a violation raises
+// the corresponding trap, which the campaign classifies as a crash
+// symptom (the paper's "observable symptom" category).
+type Memory struct {
+	data       []byte
+	heapPtr    int64
+	heapEnd    int64
+	stackPtr   int64
+	stackLimit int64
+	size       int64
+}
+
+const nullGuard = 4096
+
+// NewMemory creates an address space with the given heap and stack
+// capacities in bytes.
+func NewMemory(heapBytes, stackBytes int64) *Memory {
+	size := nullGuard + heapBytes + stackBytes
+	return &Memory{
+		data:       make([]byte, size),
+		heapPtr:    nullGuard,
+		heapEnd:    nullGuard + heapBytes,
+		stackPtr:   size,
+		stackLimit: nullGuard + heapBytes,
+		size:       size,
+	}
+}
+
+// Malloc bump-allocates n bytes on the heap (8-byte aligned).
+func (m *Memory) Malloc(n int64) int64 {
+	if n < 0 {
+		panic(trapPanic{TrapAbort, "malloc with negative size"})
+	}
+	n = align8(n)
+	if m.heapPtr+n > m.heapEnd || m.heapPtr+n < m.heapPtr {
+		panic(trapPanic{TrapOOM, "heap exhausted"})
+	}
+	p := m.heapPtr
+	m.heapPtr += n
+	return p
+}
+
+// PushFrame returns the current stack pointer so a call can restore it
+// on return.
+func (m *Memory) PushFrame() int64 { return m.stackPtr }
+
+// PopFrame restores a saved stack pointer.
+func (m *Memory) PopFrame(sp int64) { m.stackPtr = sp }
+
+// Alloca carves n bytes from the stack (8-byte aligned).
+func (m *Memory) Alloca(n int64) int64 {
+	p := m.stackPtr - align8(n)
+	if p < m.stackLimit || p > m.stackPtr {
+		panic(trapPanic{TrapStackOverflow, "stack overflow"})
+	}
+	m.stackPtr = p
+	return p
+}
+
+// check validates an access of width bytes at addr.
+func (m *Memory) check(addr, width int64) {
+	if addr >= 0 && addr < nullGuard {
+		panic(trapPanic{TrapNull, "null-page access"})
+	}
+	if addr < 0 || addr+width > m.size || addr+width < addr {
+		panic(trapPanic{TrapOOB, "access out of bounds"})
+	}
+	if width > 1 && addr&(width-1) != 0 {
+		panic(trapPanic{TrapUnaligned, "misaligned access"})
+	}
+}
+
+// Load reads a value of the given width (1, 4, or 8 bytes) at addr.
+// isFloat selects the interpretation of 8-byte payloads.
+func (m *Memory) Load(addr, width int64, isFloat bool) Val {
+	m.check(addr, width)
+	switch width {
+	case 1:
+		return IntVal(int64(int8(m.data[addr])))
+	case 4:
+		return IntVal(int64(int32(binary.LittleEndian.Uint32(m.data[addr:]))))
+	case 8:
+		bits := binary.LittleEndian.Uint64(m.data[addr:])
+		if isFloat {
+			return FloatVal(math.Float64frombits(bits))
+		}
+		return IntVal(int64(bits))
+	}
+	panic(trapPanic{TrapAbort, "bad load width"})
+}
+
+// Store writes a value of the given width at addr.
+func (m *Memory) Store(addr, width int64, v Val, isFloat bool) {
+	m.check(addr, width)
+	switch width {
+	case 1:
+		m.data[addr] = byte(v.I)
+	case 4:
+		binary.LittleEndian.PutUint32(m.data[addr:], uint32(v.I))
+	case 8:
+		bits := uint64(v.I)
+		if isFloat {
+			bits = math.Float64bits(v.F)
+		}
+		binary.LittleEndian.PutUint64(m.data[addr:], bits)
+	default:
+		panic(trapPanic{TrapAbort, "bad store width"})
+	}
+}
+
+// HeapUsed reports the number of heap bytes allocated so far.
+func (m *Memory) HeapUsed() int64 { return m.heapPtr - nullGuard }

@@ -1,0 +1,206 @@
+package interp
+
+import (
+	"fmt"
+	"time"
+)
+
+// comm is the simulated MPI communicator. Point-to-point messages use
+// eager buffered channels per directed (src, dst) pair with in-order
+// tag matching; collectives are built on top of point-to-point with
+// reserved system tags, mirroring a tree-less gather+broadcast
+// implementation. If any rank traps, the job aborts (the paper's §4.4.1
+// relies on exactly this MPI default).
+type comm struct {
+	size  int
+	boxes [][]chan message // boxes[src][dst]
+	done  chan struct{}    // closed on job abort
+	// recvTimeout bounds a blocking receive; expiry means the ranks
+	// have deadlocked (possible only under fault injection).
+	recvTimeout time.Duration
+}
+
+type message struct {
+	tag  int64
+	data []Val
+}
+
+const (
+	// System tags used by collectives (user tags must be >= 0).
+	tagGather int64 = -1
+	tagResult int64 = -2
+)
+
+func newComm(size int, recvTimeout time.Duration) *comm {
+	c := &comm{size: size, done: make(chan struct{}), recvTimeout: recvTimeout}
+	c.boxes = make([][]chan message, size)
+	for s := 0; s < size; s++ {
+		c.boxes[s] = make([]chan message, size)
+		for d := 0; d < size; d++ {
+			c.boxes[s][d] = make(chan message, 4096)
+		}
+	}
+	return c
+}
+
+// abort wakes every blocked rank; first caller wins.
+func (c *comm) abort() {
+	select {
+	case <-c.done:
+	default:
+		close(c.done)
+	}
+}
+
+func (c *comm) checkPeer(r *rank, peer int64) int {
+	if peer < 0 || peer >= int64(c.size) {
+		panic(trapPanic{TrapAbort, fmt.Sprintf("invalid MPI peer rank %d", peer)})
+	}
+	return int(peer)
+}
+
+// send delivers data to dst with an eager (buffered) protocol.
+func (c *comm) send(r *rank, dst, tag int64, data []Val) {
+	d := c.checkPeer(r, dst)
+	select {
+	case c.boxes[r.id][d] <- message{tag: tag, data: data}:
+	case <-c.done:
+		panic(trapPanic{TrapAbort, "job aborted"})
+	default:
+		// Mailbox full: block with abort/deadlock detection.
+		t := time.NewTimer(c.recvTimeout)
+		defer t.Stop()
+		select {
+		case c.boxes[r.id][d] <- message{tag: tag, data: data}:
+		case <-c.done:
+			panic(trapPanic{TrapAbort, "job aborted"})
+		case <-t.C:
+			panic(trapPanic{TrapDeadlock, "send blocked"})
+		}
+	}
+}
+
+// recv blocks until the in-order next message from src arrives; its tag
+// and length must match (a mismatch is a runtime error, which becomes a
+// visible symptom).
+func (c *comm) recv(r *rank, src, tag int64, n int64) []Val {
+	s := c.checkPeer(r, src)
+	var m message
+	select {
+	case m = <-c.boxes[s][r.id]:
+	case <-c.done:
+		panic(trapPanic{TrapAbort, "job aborted"})
+	default:
+		t := time.NewTimer(c.recvTimeout)
+		select {
+		case m = <-c.boxes[s][r.id]:
+			t.Stop()
+		case <-c.done:
+			t.Stop()
+			panic(trapPanic{TrapAbort, "job aborted"})
+		case <-t.C:
+			panic(trapPanic{TrapDeadlock, "recv blocked"})
+		}
+	}
+	if m.tag != tag {
+		panic(trapPanic{TrapAbort, fmt.Sprintf("MPI tag mismatch: want %d, got %d", tag, m.tag)})
+	}
+	if int64(len(m.data)) != n {
+		panic(trapPanic{TrapAbort, fmt.Sprintf("MPI length mismatch: want %d, got %d", n, len(m.data))})
+	}
+	return m.data
+}
+
+// barrier blocks until every rank arrives.
+func (c *comm) barrier(r *rank) { c.allreduceI64(r, 0, 0) }
+
+// Reduction opcodes for the allreduce builtins.
+const (
+	ReduceSum = 0
+	ReduceMin = 1
+	ReduceMax = 2
+)
+
+func (c *comm) allreduceF64(r *rank, v float64, op int64) float64 {
+	out := c.allreduce(r, FloatVal(v), func(a, b Val) Val {
+		switch op {
+		case ReduceMin:
+			if b.F < a.F {
+				return b
+			}
+			return a
+		case ReduceMax:
+			if b.F > a.F {
+				return b
+			}
+			return a
+		default:
+			return FloatVal(a.F + b.F)
+		}
+	})
+	return out.F
+}
+
+func (c *comm) allreduceI64(r *rank, v int64, op int64) int64 {
+	out := c.allreduce(r, IntVal(v), func(a, b Val) Val {
+		switch op {
+		case ReduceMin:
+			if b.I < a.I {
+				return b
+			}
+			return a
+		case ReduceMax:
+			if b.I > a.I {
+				return b
+			}
+			return a
+		default:
+			return IntVal(a.I + b.I)
+		}
+	})
+	return out.I
+}
+
+// allreduce gathers every rank's contribution at rank 0, combines, and
+// broadcasts the result.
+func (c *comm) allreduce(r *rank, v Val, combine func(a, b Val) Val) Val {
+	if c.size == 1 {
+		return v
+	}
+	if r.id == 0 {
+		acc := v
+		for s := 1; s < c.size; s++ {
+			acc = combine(acc, c.recv(r, int64(s), tagGather, 1)[0])
+		}
+		for d := 1; d < c.size; d++ {
+			c.send(r, int64(d), tagResult, []Val{acc})
+		}
+		return acc
+	}
+	c.send(r, 0, tagGather, []Val{v})
+	return c.recv(r, 0, tagResult, 1)[0]
+}
+
+func (c *comm) bcastF64(r *rank, v float64, root int64) float64 {
+	return c.bcast(r, FloatVal(v), root).F
+}
+
+func (c *comm) bcastI64(r *rank, v int64, root int64) int64 {
+	return c.bcast(r, IntVal(v), root).I
+}
+
+func (c *comm) bcast(r *rank, v Val, root int64) Val {
+	if c.size == 1 {
+		return v
+	}
+	rt := c.checkPeer(r, root)
+	if r.id == rt {
+		for d := 0; d < c.size; d++ {
+			if d != rt {
+				c.send(r, int64(d), tagResult, []Val{v})
+			}
+		}
+		return v
+	}
+	return c.recv(r, root, tagResult, 1)[0]
+}

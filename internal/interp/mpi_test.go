@@ -1,0 +1,219 @@
+package interp
+
+import (
+	"testing"
+	"time"
+
+	"ipas/internal/lang"
+)
+
+func compileSci(t *testing.T, src string) *Program {
+	t.Helper()
+	m, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMPISendRecvRing(t *testing.T) {
+	// Each rank sends its id to the next rank around a ring and adds
+	// what it receives; rank 0 reports the total via allreduce.
+	p := compileSci(t, `
+func main() {
+	var rank int = mpi_rank();
+	var np int = mpi_size();
+	var next int = (rank + 1) % np;
+	var prev int = (rank + np - 1) % np;
+	mpi_send_i64(next, 5, rank * 10);
+	var got int = mpi_recv_i64(prev, 5);
+	var total int = mpi_allreduce_i64(got, 0);
+	if (rank == 0) {
+		out_i64(0, total);
+	}
+}
+`)
+	res := Run(p, Config{Ranks: 5})
+	if res.Trap != TrapNone {
+		t.Fatalf("trap: %v %s", res.Trap, res.TrapMsg)
+	}
+	if res.OutputI[0] != (0+1+2+3+4)*10 {
+		t.Fatalf("total = %d, want 100", res.OutputI[0])
+	}
+}
+
+func TestMPIVectorSendRecv(t *testing.T) {
+	p := compileSci(t, `
+func main() {
+	var rank int = mpi_rank();
+	var buf *float = malloc_f64(4);
+	if (rank == 0) {
+		for (var i int = 0; i < 4; i = i + 1) {
+			buf[i] = float(i) * 2.5;
+		}
+		mpi_send_f64s(1, 9, buf, 4);
+	}
+	if (rank == 1) {
+		mpi_recv_f64s(0, 9, buf, 4);
+		var s float = 0.0;
+		for (var i int = 0; i < 4; i = i + 1) {
+			s = s + buf[i];
+		}
+		mpi_send_f64(0, 10, s);
+	}
+	if (rank == 0) {
+		out_f64(0, mpi_recv_f64(1, 10));
+	}
+}
+`)
+	res := Run(p, Config{Ranks: 2})
+	if res.Trap != TrapNone {
+		t.Fatalf("trap: %v %s", res.Trap, res.TrapMsg)
+	}
+	if res.OutputF[0] != 15 {
+		t.Fatalf("sum = %v, want 15", res.OutputF[0])
+	}
+}
+
+func TestMPIBcastAndReduceOps(t *testing.T) {
+	p := compileSci(t, `
+func main() {
+	var rank int = mpi_rank();
+	var v float = float(rank + 1);
+	var mn float = mpi_allreduce_f64(v, 1);
+	var mx float = mpi_allreduce_f64(v, 2);
+	var root float = 0.0;
+	if (rank == 2) {
+		root = 42.5;
+	}
+	var bc float = mpi_bcast_f64(root, 2);
+	var imn int = mpi_allreduce_i64(rank, 1);
+	var imx int = mpi_allreduce_i64(rank, 2);
+	var ibc int = mpi_bcast_i64(rank * 7, 1);
+	if (rank == 0) {
+		out_f64(0, mn);
+		out_f64(1, mx);
+		out_f64(2, bc);
+		out_i64(0, imn);
+		out_i64(1, imx);
+		out_i64(2, ibc);
+	}
+}
+`)
+	res := Run(p, Config{Ranks: 4})
+	if res.Trap != TrapNone {
+		t.Fatalf("trap: %v %s", res.Trap, res.TrapMsg)
+	}
+	if res.OutputF[0] != 1 || res.OutputF[1] != 4 || res.OutputF[2] != 42.5 {
+		t.Fatalf("float collectives = %v", res.OutputF)
+	}
+	if res.OutputI[0] != 0 || res.OutputI[1] != 3 || res.OutputI[2] != 7 {
+		t.Fatalf("int collectives = %v", res.OutputI)
+	}
+}
+
+func TestMPIInvalidPeerAborts(t *testing.T) {
+	p := compileSci(t, `
+func main() {
+	mpi_send_i64(99, 1, 5);
+}
+`)
+	res := Run(p, Config{Ranks: 2})
+	if res.Trap != TrapAbort {
+		t.Fatalf("trap = %v, want abort for invalid peer", res.Trap)
+	}
+}
+
+func TestMPITagMismatchAborts(t *testing.T) {
+	p := compileSci(t, `
+func main() {
+	var rank int = mpi_rank();
+	if (rank == 0) {
+		mpi_send_i64(1, 5, 1);
+	}
+	if (rank == 1) {
+		var x int = mpi_recv_i64(0, 6);
+		out_i64(0, x);
+	}
+}
+`)
+	res := Run(p, Config{Ranks: 2})
+	if res.Trap != TrapAbort {
+		t.Fatalf("trap = %v, want abort for tag mismatch", res.Trap)
+	}
+}
+
+func TestMPIDeadlockDetected(t *testing.T) {
+	// Both ranks receive first: classic deadlock; the watchdog must
+	// fire rather than hang the test.
+	p := compileSci(t, `
+func main() {
+	var rank int = mpi_rank();
+	var peer int = 1 - rank;
+	var v int = mpi_recv_i64(peer, 1);
+	mpi_send_i64(peer, 1, v);
+}
+`)
+	start := time.Now()
+	res := Run(p, Config{Ranks: 2, RecvTimeout: 200 * time.Millisecond})
+	if res.Trap != TrapDeadlock && res.Trap != TrapAbort {
+		t.Fatalf("trap = %v, want deadlock", res.Trap)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("watchdog too slow")
+	}
+}
+
+func TestMPIRankTrapAbortsJob(t *testing.T) {
+	// Rank 1 divides by zero while rank 0 waits on it: the whole job
+	// must abort with the primary trap recorded (the paper's §4.4.1
+	// symptom-propagation behaviour).
+	p := compileSci(t, `
+func main() {
+	var rank int = mpi_rank();
+	if (rank == 1) {
+		var z int = rank - 1;
+		out_i64(0, 5 / (z - 0));
+	} else {
+		var v int = mpi_recv_i64(1, 3);
+		out_i64(1, v);
+	}
+}
+`)
+	res := Run(p, Config{Ranks: 2, RecvTimeout: 5 * time.Second})
+	if res.Trap != TrapDivZero {
+		t.Fatalf("trap = %v (rank %d), want div-by-zero from rank 1", res.Trap, res.TrapRank)
+	}
+	if res.TrapRank != 1 {
+		t.Fatalf("trap rank = %d, want 1", res.TrapRank)
+	}
+}
+
+func TestMPIDeterministicAcrossRuns(t *testing.T) {
+	p := compileSci(t, `
+func main() {
+	var rank int = mpi_rank();
+	var np int = mpi_size();
+	var acc float = 0.0;
+	for (var i int = 0; i < 50; i = i + 1) {
+		acc = acc + mpi_allreduce_f64(float(rank * i), 0);
+	}
+	if (rank == 0) {
+		out_f64(0, acc);
+		out_f64(1, float(np));
+	}
+}
+`)
+	r1 := Run(p, Config{Ranks: 4})
+	r2 := Run(p, Config{Ranks: 4})
+	if r1.Trap != TrapNone || r2.Trap != TrapNone {
+		t.Fatalf("traps: %v %v", r1.Trap, r2.Trap)
+	}
+	if r1.OutputF[0] != r2.OutputF[0] || r1.TotalDyn != r2.TotalDyn {
+		t.Fatal("multi-rank execution not deterministic")
+	}
+}

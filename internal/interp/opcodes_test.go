@@ -1,0 +1,171 @@
+package interp
+
+import (
+	"math"
+	"testing"
+)
+
+// evalI64 runs a one-off IR main that computes the expression and
+// returns it through the output buffer.
+func evalI64(t *testing.T, body string) int64 {
+	t.Helper()
+	src := `
+builtin @out_i64(i64, i64) void
+func @main() void {
+entry:
+` + body + `
+  call void @out_i64(i64 0, i64 %r)
+  ret void
+}
+`
+	res := runIR(t, src, Config{})
+	if res.Trap != TrapNone {
+		t.Fatalf("trap: %v (%s)", res.Trap, res.TrapMsg)
+	}
+	return res.OutputI[0]
+}
+
+func evalF64(t *testing.T, body string) float64 {
+	t.Helper()
+	src := `
+builtin @out_f64(i64, f64) void
+func @main() void {
+entry:
+` + body + `
+  call void @out_f64(i64 0, f64 %r)
+  ret void
+}
+`
+	res := runIR(t, src, Config{})
+	if res.Trap != TrapNone {
+		t.Fatalf("trap: %v (%s)", res.Trap, res.TrapMsg)
+	}
+	return res.OutputF[0]
+}
+
+func TestIntegerOpcodes(t *testing.T) {
+	cases := []struct {
+		body string
+		want int64
+	}{
+		{"  %r = add i64 7, 5", 12},
+		{"  %r = sub i64 7, 5", 2},
+		{"  %r = mul i64 -3, 5", -15},
+		{"  %r = sdiv i64 -7, 2", -3},
+		{"  %r = srem i64 -7, 2", -1},
+		{"  %r = and i64 12, 10", 8},
+		{"  %r = or i64 12, 10", 14},
+		{"  %r = xor i64 12, 10", 6},
+		{"  %r = shl i64 3, 4", 48},
+		{"  %r = ashr i64 -16, 2", -4},
+		{"  %r = lshr i64 -1, 60", 15},
+		// Shift counts are masked, not UB.
+		{"  %r = shl i64 1, 64", 1},
+		{"  %r = shl i64 1, 65", 2},
+		// Narrow types wrap.
+		{"  %a = add i32 2147483647, 1\n  %r = sext i32 %a to i64", math.MinInt32},
+		{"  %a = add i8 127, 1\n  %r = sext i8 %a to i64", -128},
+		{"  %a = add i8 -1, 0\n  %r = zext i8 %a to i64", 255},
+		{"  %a = add i64 511, 0\n  %b = trunc i64 %a to i8\n  %r = sext i8 %b to i64", -1},
+		// Comparisons produce 0/1.
+		{"  %c = icmp le i64 3, 3\n  %r = zext i1 %c to i64", 1},
+		{"  %c = icmp gt i64 3, 3\n  %r = zext i1 %c to i64", 0},
+		// Select.
+		{"  %c = icmp ne i64 1, 0\n  %r = select %c, i64 11, 22", 11},
+		{"  %c = icmp eq i64 1, 0\n  %r = select %c, i64 11, 22", 22},
+		// fptosi saturation semantics.
+		{"  %r = fptosi f64 1.9 to i64", 1},
+		{"  %r = fptosi f64 -1.9 to i64", -1},
+		// bitcast roundtrip: f64 1.0 bits.
+		{"  %r = bitcast f64 1.0 to i64", 0x3FF0000000000000},
+	}
+	for _, c := range cases {
+		if got := evalI64(t, c.body); got != c.want {
+			t.Errorf("%q = %d, want %d", c.body, got, c.want)
+		}
+	}
+}
+
+func TestFloatOpcodes(t *testing.T) {
+	cases := []struct {
+		body string
+		want float64
+	}{
+		{"  %r = fadd f64 1.5, 2.25", 3.75},
+		{"  %r = fsub f64 1.5, 2.25", -0.75},
+		{"  %r = fmul f64 1.5, 2.0", 3.0},
+		{"  %r = fdiv f64 1.0, 4.0", 0.25},
+		{"  %r = sitofp i64 -3 to f64", -3},
+		{"  %a = bitcast f64 2.5 to i64\n  %r = bitcast i64 %a to f64", 2.5},
+		// Division by zero yields infinity, not a trap (IEEE).
+		{"  %r = fdiv f64 1.0, 0.0", math.Inf(1)},
+	}
+	for _, c := range cases {
+		if got := evalF64(t, c.body); got != c.want {
+			t.Errorf("%q = %v, want %v", c.body, got, c.want)
+		}
+	}
+	// NaN comparison semantics: eq false, ne true.
+	body := `  %nan = fdiv f64 0.0, 0.0
+  %e = fcmp eq f64 %nan, %nan
+  %n = fcmp ne f64 %nan, %nan
+  %ei = zext i1 %e to i64
+  %ni = zext i1 %n to i64
+  %r = add i64 %ei, %ni`
+	if got := evalI64(t, body); got != 1 {
+		t.Errorf("NaN cmp semantics: eq+ne = %d, want 1", got)
+	}
+}
+
+func TestAtomicRMW(t *testing.T) {
+	src := `
+builtin @out_i64(i64, i64) void
+func @main() void {
+entry:
+  %p = alloca i64, 1
+  store i64 40, %p
+  %old = atomicrmw i64* %p, 2
+  %new = load i64* %p
+  call void @out_i64(i64 0, i64 %old)
+  call void @out_i64(i64 1, i64 %new)
+  ret void
+}
+`
+	res := runIR(t, src, Config{})
+	if res.Trap != TrapNone {
+		t.Fatal(res.Trap)
+	}
+	if res.OutputI[0] != 40 || res.OutputI[1] != 42 {
+		t.Fatalf("atomicrmw: old=%d new=%d", res.OutputI[0], res.OutputI[1])
+	}
+}
+
+func TestNarrowMemoryAccess(t *testing.T) {
+	// i8 and i32 loads/stores honor their width and sign.
+	src := `
+builtin @out_i64(i64, i64) void
+func @main() void {
+entry:
+  %p8 = alloca i8, 8
+  %v8 = add i8 -1, 0
+  store i8 %v8, %p8
+  %l8 = load i8* %p8
+  %x8 = sext i8 %l8 to i64
+  call void @out_i64(i64 0, i64 %x8)
+  %p32 = alloca i32, 2
+  %v32 = add i32 -123456, 0
+  store i32 %v32, %p32
+  %l32 = load i32* %p32
+  %x32 = sext i32 %l32 to i64
+  call void @out_i64(i64 1, i64 %x32)
+  ret void
+}
+`
+	res := runIR(t, src, Config{})
+	if res.Trap != TrapNone {
+		t.Fatal(res.Trap)
+	}
+	if res.OutputI[0] != -1 || res.OutputI[1] != -123456 {
+		t.Fatalf("narrow accesses: %v", res.OutputI)
+	}
+}

@@ -1,0 +1,226 @@
+package interp
+
+import (
+	"fmt"
+
+	"ipas/internal/ir"
+)
+
+// Program is a module lowered to a dense, slot-based form that the
+// evaluator executes without map lookups. Compilation is deterministic;
+// a Program is immutable and safely shared by concurrent ranks.
+type Program struct {
+	mod   *ir.Module
+	funcs map[*ir.Func]*progFunc
+	main  *progFunc
+
+	// Injectable reports whether a static instruction is a fault-
+	// injection site; fixed at compile time so instance counting is
+	// identical between golden and injection runs.
+	injectable func(*ir.Instr) bool
+
+	// NumSites is the module's site-table size.
+	NumSites int
+}
+
+type progFunc struct {
+	fn       *ir.Func
+	builtin  builtinID
+	numSlots int
+	blocks   []*progBlock
+}
+
+type progBlock struct {
+	instrs []pInstr
+	// phiCopies[p] lists the parallel copies to perform when entering
+	// this block from predecessor index p (indexes into preds).
+	preds     []*progBlock
+	phiCopies [][]phiCopy
+	id        int
+}
+
+type phiCopy struct {
+	dst int
+	src operand
+}
+
+// operand is a resolved instruction operand: either a constant value or
+// a frame slot.
+type operand struct {
+	isConst bool
+	c       Val
+	slot    int
+}
+
+type pInstr struct {
+	op     ir.Op
+	typ    *ir.Type
+	pred   ir.Pred
+	ops    []operand
+	dst    int // destination slot, -1 if none
+	blocks [2]int
+	callee *progFunc
+
+	elemSize   int64 // gep scale / alloca element size / load-store width
+	allocBytes int64
+	storeFloat bool // store payload is f64
+
+	src        *ir.Instr // static instruction (site info, protection tag)
+	injectable bool
+	isCheck    bool // ProtCheck comparison (excluded from injection)
+}
+
+// Compile lowers a verified module into executable form. injectable
+// selects fault-injection sites; nil means nothing is injectable.
+func Compile(m *ir.Module, injectable func(*ir.Instr) bool) (*Program, error) {
+	if injectable == nil {
+		injectable = func(*ir.Instr) bool { return false }
+	}
+	p := &Program{
+		mod:        m,
+		funcs:      map[*ir.Func]*progFunc{},
+		injectable: injectable,
+		NumSites:   m.NumSites(),
+	}
+	// Shells first so calls resolve.
+	for _, f := range m.Funcs() {
+		pf := &progFunc{fn: f, builtin: builtinNone}
+		if f.Builtin {
+			id, ok := builtinByName[f.Name()]
+			if !ok {
+				return nil, fmt.Errorf("interp: unknown builtin @%s", f.Name())
+			}
+			pf.builtin = id
+		}
+		p.funcs[f] = pf
+	}
+	for _, f := range m.Funcs() {
+		if f.Builtin {
+			continue
+		}
+		if err := p.compileFunc(f); err != nil {
+			return nil, err
+		}
+	}
+	mainFn := m.FuncByName("main")
+	if mainFn == nil {
+		return nil, fmt.Errorf("interp: module has no @main")
+	}
+	if len(mainFn.Params()) != 0 {
+		return nil, fmt.Errorf("interp: @main must take no parameters")
+	}
+	p.main = p.funcs[mainFn]
+	return p, nil
+}
+
+// Module returns the compiled module.
+func (p *Program) Module() *ir.Module { return p.mod }
+
+func (p *Program) compileFunc(f *ir.Func) error {
+	pf := p.funcs[f]
+	slot := map[ir.Value]int{}
+	n := 0
+	for _, prm := range f.Params() {
+		slot[prm] = n
+		n++
+	}
+	for _, b := range f.Blocks() {
+		for _, in := range b.Instrs() {
+			if in.HasResult() {
+				slot[in] = n
+				n++
+			}
+		}
+	}
+	pf.numSlots = n
+
+	blockIdx := map[*ir.Block]int{}
+	for i, b := range f.Blocks() {
+		blockIdx[b] = i
+		pf.blocks = append(pf.blocks, &progBlock{id: i})
+	}
+
+	resolve := func(v ir.Value) operand {
+		if c, ok := v.(*ir.Const); ok {
+			if c.Type().IsFloat() {
+				return operand{isConst: true, c: FloatVal(c.Float)}
+			}
+			return operand{isConst: true, c: IntVal(c.Int)}
+		}
+		s, ok := slot[v]
+		if !ok {
+			panic(fmt.Sprintf("interp: unresolved value %s in @%s", v.Ref(), f.Name()))
+		}
+		return operand{slot: s}
+	}
+
+	for bi, b := range f.Blocks() {
+		pb := pf.blocks[bi]
+		// Record predecessors for phi-copy resolution.
+		for _, pred := range b.Preds() {
+			pb.preds = append(pb.preds, pf.blocks[blockIdx[pred]])
+		}
+		pb.phiCopies = make([][]phiCopy, len(pb.preds))
+		for _, phi := range b.Phis() {
+			d := slot[phi]
+			for i, inc := range phi.Incoming {
+				// Find predecessor index of inc.
+				pi := -1
+				for j, pred := range b.Preds() {
+					if pred == inc {
+						pi = j
+						break
+					}
+				}
+				if pi < 0 {
+					return fmt.Errorf("interp: phi incoming %%%s not a predecessor in @%s", inc.Name(), f.Name())
+				}
+				pb.phiCopies[pi] = append(pb.phiCopies[pi], phiCopy{dst: d, src: resolve(phi.Operand(i))})
+			}
+		}
+
+		for _, in := range b.Instrs() {
+			if in.Op() == ir.OpPhi {
+				continue // handled by edge copies
+			}
+			pi := pInstr{
+				op:   in.Op(),
+				typ:  in.Type(),
+				pred: in.Pred,
+				dst:  -1,
+				src:  in,
+			}
+			if in.HasResult() {
+				pi.dst = slot[in]
+			}
+			for _, opnd := range in.Operands() {
+				pi.ops = append(pi.ops, resolve(opnd))
+			}
+			for i, t := range in.Targets {
+				if i < 2 {
+					pi.blocks[i] = blockIdx[t]
+				}
+			}
+			switch in.Op() {
+			case ir.OpCall:
+				pi.callee = p.funcs[in.Callee]
+			case ir.OpGEP:
+				pi.elemSize = in.Type().Elem().Size()
+			case ir.OpAlloca:
+				pi.elemSize = in.Type().Elem().Size()
+				pi.allocBytes = align8(pi.elemSize * in.AllocElems)
+			case ir.OpLoad:
+				pi.elemSize = in.Type().Size()
+			case ir.OpStore:
+				pi.elemSize = in.Operand(0).Type().Size()
+				pi.storeFloat = in.Operand(0).Type().IsFloat()
+			}
+			pi.injectable = in.HasResult() && p.injectable(in)
+			pi.isCheck = in.Prot == ir.ProtCheck
+			pb.instrs = append(pb.instrs, pi)
+		}
+	}
+	return nil
+}
+
+func align8(n int64) int64 { return (n + 7) &^ 7 }

@@ -1,0 +1,179 @@
+package interp
+
+import (
+	"sync"
+	"time"
+)
+
+// FaultPlan asks the interpreter to flip Bit in the result of the
+// Index-th dynamic injectable-instruction instance executed on Rank.
+type FaultPlan struct {
+	Rank  int
+	Index int64
+	Bit   int
+}
+
+// Config parameterizes a job execution.
+type Config struct {
+	// Ranks is the number of simulated MPI processes (default 1).
+	Ranks int
+	// HeapBytes and StackBytes size each rank's address space
+	// (defaults: 64 MiB heap, 1 MiB stack).
+	HeapBytes  int64
+	StackBytes int64
+	// MaxInstrs is the per-rank dynamic instruction budget; exceeding
+	// it raises TrapBudget (the hang detector). 0 means unlimited.
+	MaxInstrs int64
+	// Fault, when non-nil, arms single-bit corruption.
+	Fault *FaultPlan
+	// CountSites enables per-site dynamic instruction counting.
+	CountSites bool
+	// RecvTimeout bounds blocked MPI operations (default 10s).
+	RecvTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ranks <= 0 {
+		c.Ranks = 1
+	}
+	if c.HeapBytes <= 0 {
+		c.HeapBytes = 64 << 20
+	}
+	if c.StackBytes <= 0 {
+		c.StackBytes = 1 << 20
+	}
+	if c.RecvTimeout <= 0 {
+		c.RecvTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Result reports the outcome of a job execution.
+type Result struct {
+	// Trap is the first abnormal termination observed across ranks
+	// (TrapNone for a clean run), with the rank and message.
+	Trap     Trap
+	TrapRank int
+	TrapMsg  string
+
+	// Injected reports whether the fault plan actually fired, on which
+	// static site, and after how many executed instructions on the
+	// injected rank (for detection-latency analysis).
+	Injected     bool
+	InjectedSite int
+	InjectedAt   int64
+	// InjectedRankDyn is the injected rank's final executed count.
+	InjectedRankDyn int64
+
+	// DynInstrs is the per-rank executed dynamic instruction count;
+	// TotalDyn is their sum (the slowdown metric numerator).
+	DynInstrs []int64
+	TotalDyn  int64
+	// MaxRankDyn is the largest per-rank count (parallel makespan).
+	MaxRankDyn int64
+
+	// Injectable is the per-rank count of injectable dynamic
+	// instruction instances (the fault-sampling population).
+	Injectable []int64
+
+	// OutputF and OutputI are rank 0's output buffers, written by the
+	// out_f64/out_i64 builtins and consumed by verification routines.
+	OutputF []float64
+	OutputI []int64
+
+	// PrintLog collects print_f64/print_i64 values from rank 0.
+	PrintLog []float64
+
+	// SiteCounts is the per-site dynamic instruction count summed over
+	// ranks (only when Config.CountSites).
+	SiteCounts []int64
+}
+
+// Run executes the program under the given configuration.
+func Run(p *Program, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	c := newComm(cfg.Ranks, cfg.RecvTimeout)
+	ranks := make([]*rank, cfg.Ranks)
+	for i := range ranks {
+		r := &rank{
+			id:           i,
+			prog:         p,
+			mem:          NewMemory(cfg.HeapBytes, cfg.StackBytes),
+			comm:         c,
+			budget:       -1,
+			injectedSite: -1,
+		}
+		if cfg.MaxInstrs > 0 {
+			r.budget = cfg.MaxInstrs
+		}
+		if cfg.Fault != nil && cfg.Fault.Rank == i {
+			r.injectArmed = true
+			r.injectIndex = cfg.Fault.Index
+			r.injectBit = cfg.Fault.Bit
+		}
+		if cfg.CountSites {
+			r.countSites = true
+			r.siteCounts = make([]int64, p.NumSites)
+		}
+		ranks[i] = r
+	}
+
+	type rankDone struct {
+		trap Trap
+		msg  string
+	}
+	outs := make([]rankDone, cfg.Ranks)
+	var mu sync.Mutex
+	res := &Result{InjectedSite: -1, TrapRank: -1}
+
+	var wg sync.WaitGroup
+	for i := range ranks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			trap, msg := ranks[i].run()
+			outs[i] = rankDone{trap, msg}
+			if trap != TrapNone {
+				mu.Lock()
+				if res.Trap == TrapNone {
+					res.Trap, res.TrapRank, res.TrapMsg = trap, i, msg
+				}
+				mu.Unlock()
+				c.abort()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Secondary aborts ("job aborted") on other ranks are consequences
+	// of the primary trap already recorded.
+	for i, r := range ranks {
+		res.DynInstrs = append(res.DynInstrs, r.executed)
+		res.TotalDyn += r.executed
+		if r.executed > res.MaxRankDyn {
+			res.MaxRankDyn = r.executed
+		}
+		res.Injectable = append(res.Injectable, r.injectableSeen)
+		if r.injected {
+			res.Injected = true
+			res.InjectedSite = r.injectedSite
+			res.InjectedAt = r.injectedAt
+			// Latency from injection to this rank's termination.
+			res.InjectedRankDyn = r.executed
+		}
+		if i == 0 {
+			res.OutputF = r.outputF
+			res.OutputI = r.outputI
+			res.PrintLog = r.printLog
+		}
+		if cfg.CountSites {
+			if res.SiteCounts == nil {
+				res.SiteCounts = make([]int64, p.NumSites)
+			}
+			for s, n := range r.siteCounts {
+				res.SiteCounts[s] += n
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,163 @@
+package interp
+
+import (
+	"testing"
+
+	"ipas/internal/ir"
+	"ipas/internal/rt"
+)
+
+// buildSumProgram constructs: sum of i*i for i in [0,n), written to the
+// output buffer, using a loop with phis.
+func buildSumProgram(t *testing.T, n int64) *ir.Module {
+	t.Helper()
+	m := ir.NewModule()
+	bt := rt.Declare(m)
+	f := m.NewFunc("main", ir.Void, nil, nil)
+	entry := f.NewBlock("entry")
+	loop := f.NewBlock("loop")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+
+	b := ir.NewBuilder(entry)
+	b.Br(loop)
+
+	b.SetBlock(loop)
+	i := b.Phi(ir.I64)
+	acc := b.Phi(ir.I64)
+	cond := b.ICmp(ir.PredLT, i, ir.ConstInt(ir.I64, n))
+	b.CondBr(cond, body, exit)
+
+	b.SetBlock(body)
+	sq := b.Mul(i, i)
+	acc2 := b.Add(acc, sq)
+	i2 := b.Add(i, ir.ConstInt(ir.I64, 1))
+	b.Br(loop)
+
+	ir.AddIncoming(i, ir.ConstInt(ir.I64, 0), entry)
+	ir.AddIncoming(i, i2, body)
+	ir.AddIncoming(acc, ir.ConstInt(ir.I64, 0), entry)
+	ir.AddIncoming(acc, acc2, body)
+
+	b.SetBlock(exit)
+	b.Call(bt["out_i64"], ir.ConstInt(ir.I64, 0), acc)
+	b.Ret(nil)
+
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	m.AssignSiteIDs()
+	return m
+}
+
+func TestInterpLoopSum(t *testing.T) {
+	m := buildSumProgram(t, 10)
+	p, err := Compile(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(p, Config{})
+	if res.Trap != TrapNone {
+		t.Fatalf("trap: %v (%s)", res.Trap, res.TrapMsg)
+	}
+	if len(res.OutputI) != 1 || res.OutputI[0] != 285 {
+		t.Fatalf("output = %v, want [285]", res.OutputI)
+	}
+	if res.TotalDyn == 0 {
+		t.Fatal("no dynamic instructions counted")
+	}
+}
+
+func TestInterpPrintRoundtrip(t *testing.T) {
+	m := buildSumProgram(t, 5)
+	text := ir.Print(m)
+	m2, err := ir.Parse(text)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+	if err := ir.Verify(m2); err != nil {
+		t.Fatalf("verify reparsed: %v", err)
+	}
+	m2.AssignSiteIDs()
+	p, err := Compile(m2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(p, Config{})
+	if res.Trap != TrapNone || res.OutputI[0] != 30 {
+		t.Fatalf("reparsed run: trap=%v out=%v", res.Trap, res.OutputI)
+	}
+}
+
+func TestInterpFaultInjection(t *testing.T) {
+	m := buildSumProgram(t, 10)
+	injectable := func(in *ir.Instr) bool {
+		return in.HasResult() && in.Op() != ir.OpLoad && in.Op() != ir.OpPhi
+	}
+	p, err := Compile(m, injectable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := Run(p, Config{})
+	if golden.Injectable[0] == 0 {
+		t.Fatal("no injectable instances")
+	}
+	// Flip bit 20 of every injectable instance in turn; at least one
+	// run must corrupt the output and none may diverge silently from
+	// the fault model (trap or complete).
+	corrupted := 0
+	for idx := int64(0); idx < golden.Injectable[0]; idx++ {
+		res := Run(p, Config{
+			Fault:     &FaultPlan{Rank: 0, Index: idx, Bit: 20},
+			MaxInstrs: golden.TotalDyn * 10,
+		})
+		if !res.Injected && res.Trap == TrapNone {
+			t.Fatalf("instance %d: fault did not fire", idx)
+		}
+		if res.Trap == TrapNone && len(res.OutputI) == 1 && res.OutputI[0] != 285 {
+			corrupted++
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("no run produced corrupted output; fault model inert")
+	}
+}
+
+func TestInterpBudgetHang(t *testing.T) {
+	m := buildSumProgram(t, 1<<40)
+	p, err := Compile(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(p, Config{MaxInstrs: 10000})
+	if res.Trap != TrapBudget {
+		t.Fatalf("trap = %v, want TrapBudget", res.Trap)
+	}
+}
+
+func TestInterpMPIAllreduce(t *testing.T) {
+	m := ir.NewModule()
+	bt := rt.Declare(m)
+	f := m.NewFunc("main", ir.Void, nil, nil)
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	rk := b.Call(bt["mpi_rank"])
+	rkf := b.SIToFP(rk)
+	sum := b.Call(bt["mpi_allreduce_f64"], rkf, ir.ConstInt(ir.I64, ReduceSum))
+	b.Call(bt["out_f64"], ir.ConstInt(ir.I64, 0), sum)
+	b.Ret(nil)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	m.AssignSiteIDs()
+	p, err := Compile(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(p, Config{Ranks: 4})
+	if res.Trap != TrapNone {
+		t.Fatalf("trap: %v %s", res.Trap, res.TrapMsg)
+	}
+	if res.OutputF[0] != 6 { // 0+1+2+3
+		t.Fatalf("allreduce sum = %v, want 6", res.OutputF[0])
+	}
+}

@@ -1,0 +1,133 @@
+// Package interp executes the IPAS IR deterministically. It provides
+// the behaviours the paper's evaluation observes: crashes (traps),
+// hangs (instruction-budget exhaustion), duplication-check detections,
+// dynamic instruction counts (the slowdown metric), and a fault hook
+// that flips one bit in the result of a chosen dynamic instruction
+// instance (the FlipIt fault model).
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"ipas/internal/ir"
+)
+
+// Val is a runtime value. Integer and pointer payloads live in I;
+// floating payloads live in F. The static type of the producing
+// instruction decides which field is meaningful.
+type Val struct {
+	I int64
+	F float64
+}
+
+// IntVal wraps an integer payload.
+func IntVal(v int64) Val { return Val{I: v} }
+
+// FloatVal wraps a floating payload.
+func FloatVal(v float64) Val { return Val{F: v} }
+
+// Bool converts a truth value to the runtime representation of i1.
+func Bool(b bool) Val {
+	if b {
+		return Val{I: 1}
+	}
+	return Val{}
+}
+
+// FlipBit returns v with bit flipped, interpreting v according to t.
+// For floats the flip happens in the IEEE-754 bit pattern; for integers
+// in the two's-complement pattern truncated to the type's width.
+func FlipBit(v Val, t *ir.Type, bit int) Val {
+	if t.IsFloat() {
+		bits := math.Float64bits(v.F)
+		bits ^= 1 << uint(bit%64)
+		return Val{F: math.Float64frombits(bits)}
+	}
+	w := t.Bits()
+	if w == 0 {
+		return v
+	}
+	flipped := v.I ^ (1 << uint(bit%w))
+	return Val{I: truncToType(t, flipped)}
+}
+
+func truncToType(t *ir.Type, v int64) int64 {
+	switch t.Kind() {
+	case ir.I1Kind:
+		return v & 1
+	case ir.I8Kind:
+		return int64(int8(v))
+	case ir.I32Kind:
+		return int64(int32(v))
+	default:
+		return v
+	}
+}
+
+// Trap enumerates abnormal-termination causes. The fault-outcome
+// classifier maps traps onto the paper's outcome categories: every trap
+// except TrapDetected is an "observable symptom"; TrapDetected is
+// "detected by duplication".
+type Trap int
+
+const (
+	// TrapNone means normal termination.
+	TrapNone Trap = iota
+	// TrapOOB is an out-of-bounds or unmapped memory access (segfault).
+	TrapOOB
+	// TrapNull is a null-page dereference.
+	TrapNull
+	// TrapUnaligned is a misaligned memory access.
+	TrapUnaligned
+	// TrapDivZero is an integer division or remainder by zero.
+	TrapDivZero
+	// TrapStackOverflow is stack exhaustion (deep recursion / big allocas).
+	TrapStackOverflow
+	// TrapOOM is heap exhaustion.
+	TrapOOM
+	// TrapBudget is the hang detector: the per-rank dynamic instruction
+	// budget was exceeded.
+	TrapBudget
+	// TrapDetected is a duplication-check mismatch (protection fired).
+	TrapDetected
+	// TrapAbort is an explicit abort (failed runtime assertion, bad
+	// builtin argument, invalid MPI destination, ...).
+	TrapAbort
+	// TrapDeadlock is reported by the MPI watchdog when ranks stop
+	// making progress.
+	TrapDeadlock
+)
+
+var trapNames = map[Trap]string{
+	TrapNone: "none", TrapOOB: "out-of-bounds", TrapNull: "null-deref",
+	TrapUnaligned: "unaligned", TrapDivZero: "div-by-zero",
+	TrapStackOverflow: "stack-overflow", TrapOOM: "out-of-memory",
+	TrapBudget: "instruction-budget (hang)", TrapDetected: "detected-by-duplication",
+	TrapAbort: "abort", TrapDeadlock: "deadlock",
+}
+
+// String names the trap.
+func (t Trap) String() string {
+	if s, ok := trapNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("trap(%d)", int(t))
+}
+
+// IsSymptom reports whether the trap is an observable system- or
+// architecture-level symptom in the paper's taxonomy (crash or hang),
+// as opposed to a duplication detection.
+func (t Trap) IsSymptom() bool {
+	switch t {
+	case TrapNone, TrapDetected:
+		return false
+	}
+	return true
+}
+
+// trapPanic carries a trap through the Go stack of the evaluator.
+type trapPanic struct {
+	trap Trap
+	msg  string
+}

@@ -1,0 +1,91 @@
+package ir
+
+// CloneModule returns a deep copy of m. SiteIDs, protection tags and
+// all structure are preserved, so a clone can be transformed by a
+// protection pass while the original stays pristine.
+func CloneModule(m *Module) *Module {
+	nm := NewModule()
+	nm.nextSiteID = m.nextSiteID
+
+	// First create all function shells so calls can be remapped.
+	fmap := map[*Func]*Func{}
+	for _, f := range m.funcs {
+		names := make([]string, len(f.params))
+		types := make([]*Type, len(f.params))
+		for i, p := range f.params {
+			names[i] = p.name
+			types[i] = p.Type()
+		}
+		nf := nm.NewFunc(f.name, f.retType, names, types)
+		nf.Builtin = f.Builtin
+		nf.nextName = f.nextName
+		fmap[f] = nf
+	}
+
+	for _, f := range m.funcs {
+		if f.Builtin {
+			continue
+		}
+		nf := fmap[f]
+		bmap := map[*Block]*Block{}
+		for _, b := range f.blocks {
+			bmap[b] = nf.NewBlock(b.name)
+		}
+		vmap := map[Value]Value{}
+		for i, p := range f.params {
+			vmap[p] = nf.params[i]
+		}
+		// Create instruction shells in order.
+		imap := map[*Instr]*Instr{}
+		for _, b := range f.blocks {
+			nb := bmap[b]
+			for _, in := range b.instrs {
+				ni := &Instr{
+					op:         in.op,
+					typ:        in.typ,
+					name:       in.name,
+					Pred:       in.Pred,
+					AllocElems: in.AllocElems,
+					SiteID:     in.SiteID,
+					Prot:       in.Prot,
+				}
+				if in.Callee != nil {
+					ni.Callee = fmap[in.Callee]
+				}
+				for _, t := range in.Targets {
+					ni.Targets = append(ni.Targets, bmap[t])
+				}
+				for _, inc := range in.Incoming {
+					ni.Incoming = append(ni.Incoming, bmap[inc])
+				}
+				nb.Append(ni)
+				imap[in] = ni
+				if in.HasResult() {
+					vmap[in] = ni
+				}
+			}
+		}
+		// Wire operands and shadow links.
+		for _, b := range f.blocks {
+			for _, in := range b.instrs {
+				ni := imap[in]
+				for _, opnd := range in.operands {
+					var nv Value
+					if mapped, ok := vmap[opnd]; ok {
+						nv = mapped
+					} else {
+						nv = opnd // constants are immutable and shared
+					}
+					ni.operands = append(ni.operands, nv)
+					if d, ok := nv.(*Instr); ok {
+						d.users = append(d.users, ni)
+					}
+				}
+				if in.Shadow != nil {
+					ni.Shadow = imap[in.Shadow]
+				}
+			}
+		}
+	}
+	return nm
+}

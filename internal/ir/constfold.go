@@ -1,0 +1,171 @@
+package ir
+
+import "math"
+
+// ConstFold evaluates instructions whose operands are all constants and
+// replaces their uses with the folded constant, iterating with trivial
+// dead-code elimination until a fixpoint. Division by a constant zero
+// is left in place (it must trap at run time). Returns the number of
+// folded instructions.
+//
+// The sci front end keeps its default pipeline at mem2reg+DCE so the
+// shipped evaluation numbers stay reproducible; ConstFold is part of
+// the opt-in Optimize pipeline.
+func ConstFold(f *Func) int {
+	folded := 0
+	for {
+		n := 0
+		for _, b := range f.blocks {
+			for _, in := range append([]*Instr(nil), b.instrs...) {
+				c, ok := foldInstr(in)
+				if !ok {
+					continue
+				}
+				in.ReplaceAllUsesWith(c)
+				b.Remove(in)
+				n++
+			}
+		}
+		folded += n
+		if n == 0 {
+			return folded
+		}
+	}
+}
+
+// foldInstr computes the constant result of in if possible.
+func foldInstr(in *Instr) (*Const, bool) {
+	if !in.HasResult() || len(in.users) == 0 {
+		return nil, false
+	}
+	for _, op := range in.operands {
+		if _, ok := op.(*Const); !ok {
+			return nil, false
+		}
+	}
+	ci := func(i int) *Const { return in.operands[i].(*Const) }
+
+	switch in.op {
+	case OpAdd:
+		return ConstInt(in.typ, ci(0).Int+ci(1).Int), true
+	case OpSub:
+		return ConstInt(in.typ, ci(0).Int-ci(1).Int), true
+	case OpMul:
+		return ConstInt(in.typ, ci(0).Int*ci(1).Int), true
+	case OpSDiv:
+		d := ci(1).Int
+		if d == 0 {
+			return nil, false // must trap at run time
+		}
+		if d == -1 {
+			return ConstInt(in.typ, -ci(0).Int), true
+		}
+		return ConstInt(in.typ, ci(0).Int/d), true
+	case OpSRem:
+		d := ci(1).Int
+		if d == 0 {
+			return nil, false
+		}
+		if d == -1 {
+			return ConstInt(in.typ, 0), true
+		}
+		return ConstInt(in.typ, ci(0).Int%d), true
+	case OpFAdd:
+		return ConstFloat(ci(0).Float + ci(1).Float), true
+	case OpFSub:
+		return ConstFloat(ci(0).Float - ci(1).Float), true
+	case OpFMul:
+		return ConstFloat(ci(0).Float * ci(1).Float), true
+	case OpFDiv:
+		return ConstFloat(ci(0).Float / ci(1).Float), true
+	case OpAnd:
+		return ConstInt(in.typ, ci(0).Int&ci(1).Int), true
+	case OpOr:
+		return ConstInt(in.typ, ci(0).Int|ci(1).Int), true
+	case OpXor:
+		return ConstInt(in.typ, ci(0).Int^ci(1).Int), true
+	case OpShl:
+		return ConstInt(in.typ, ci(0).Int<<(uint64(ci(1).Int)&63)), true
+	case OpAShr:
+		return ConstInt(in.typ, ci(0).Int>>(uint64(ci(1).Int)&63)), true
+	case OpLShr:
+		w := uint64(in.typ.Bits())
+		mask := ^uint64(0)
+		if w < 64 {
+			mask = (1 << w) - 1
+		}
+		x := uint64(ci(0).Int) & mask
+		return ConstInt(in.typ, int64(x>>(uint64(ci(1).Int)&(w-1)))), true
+	case OpICmp:
+		return ConstBool(evalIPred(in.Pred, ci(0).Int, ci(1).Int)), true
+	case OpFCmp:
+		return ConstBool(evalFPred(in.Pred, ci(0).Float, ci(1).Float)), true
+	case OpTrunc, OpSExt:
+		return ConstInt(in.typ, ci(0).Int), true
+	case OpZExt:
+		w := uint64(in.operands[0].Type().Bits())
+		mask := ^uint64(0)
+		if w < 64 {
+			mask = (1 << w) - 1
+		}
+		return ConstInt(in.typ, int64(uint64(ci(0).Int)&mask)), true
+	case OpSIToFP:
+		return ConstFloat(float64(ci(0).Int)), true
+	case OpFPToSI:
+		v := ci(0).Float
+		switch {
+		case math.IsNaN(v):
+			return ConstInt(in.typ, 0), true
+		case v >= math.MaxInt64:
+			return ConstInt(in.typ, math.MaxInt64), true
+		case v <= math.MinInt64:
+			return ConstInt(in.typ, math.MinInt64), true
+		}
+		return ConstInt(in.typ, int64(v)), true
+	case OpBitcast:
+		if in.typ == I64 {
+			return ConstInt(I64, int64(math.Float64bits(ci(0).Float))), true
+		}
+		return ConstFloat(math.Float64frombits(uint64(ci(0).Int))), true
+	case OpSelect:
+		if ci(0).Int != 0 {
+			return ci(1), true
+		}
+		return ci(2), true
+	}
+	return nil, false
+}
+
+func evalIPred(p Pred, a, b int64) bool {
+	switch p {
+	case PredEQ:
+		return a == b
+	case PredNE:
+		return a != b
+	case PredLT:
+		return a < b
+	case PredLE:
+		return a <= b
+	case PredGT:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func evalFPred(p Pred, a, b float64) bool {
+	switch p {
+	case PredEQ:
+		return a == b
+	case PredNE:
+		return a != b
+	case PredLT:
+		return a < b
+	case PredLE:
+		return a <= b
+	case PredGT:
+		return a > b
+	default:
+		return a >= b
+	}
+}

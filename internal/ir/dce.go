@@ -1,0 +1,104 @@
+package ir
+
+// DCE removes trivially dead instructions: value-producing, side-effect
+// free instructions with no users. It iterates to a fixpoint and
+// returns the number of removed instructions.
+func DCE(f *Func) int {
+	removed := 0
+	for {
+		n := 0
+		for _, b := range f.blocks {
+			for _, in := range append([]*Instr(nil), b.instrs...) {
+				if len(in.users) != 0 || !isPure(in) {
+					continue
+				}
+				b.Remove(in)
+				n++
+			}
+		}
+		removed += n
+		if n == 0 {
+			return removed
+		}
+	}
+}
+
+// isPure reports whether removing the instruction cannot change program
+// behaviour (no side effects, no traps in our semantics other than
+// data-dependent ones we conservatively keep).
+func isPure(in *Instr) bool {
+	switch in.op {
+	case OpStore, OpCall, OpAtomicRMW, OpBr, OpCondBr, OpRet, OpTrap:
+		return false
+	case OpSDiv, OpSRem:
+		// May trap on divide-by-zero; keep.
+		return false
+	case OpLoad:
+		// May trap on a bad address; keep.
+		return false
+	case OpAlloca:
+		// Dead allocas are removable.
+		return true
+	default:
+		return true
+	}
+}
+
+// RemoveUnreachable deletes blocks not reachable from the entry,
+// fixing up PHI nodes in surviving blocks. Returns removed count.
+func RemoveUnreachable(f *Func) int {
+	dom := ComputeDom(f)
+	var dead []*Block
+	for _, b := range f.blocks {
+		if !dom.Reachable(b) {
+			dead = append(dead, b)
+		}
+	}
+	if len(dead) == 0 {
+		return 0
+	}
+	deadSet := map[*Block]bool{}
+	for _, b := range dead {
+		deadSet[b] = true
+	}
+	// Drop PHI incomings that arrive from dead blocks.
+	for _, b := range f.blocks {
+		if deadSet[b] {
+			continue
+		}
+		for _, phi := range b.Phis() {
+			for i := 0; i < len(phi.Incoming); {
+				if deadSet[phi.Incoming[i]] {
+					phi.removeIncoming(i)
+				} else {
+					i++
+				}
+			}
+		}
+	}
+	// Detach and remove dead blocks (their instructions may form cycles
+	// among themselves, so clear all operand lists first).
+	for _, b := range dead {
+		for _, in := range b.instrs {
+			in.users = nil
+		}
+	}
+	for _, b := range dead {
+		for _, in := range b.instrs {
+			in.clearOperands()
+			in.block = nil
+		}
+		b.instrs = nil
+		f.RemoveBlock(b)
+	}
+	return len(dead)
+}
+
+// removeIncoming drops the i-th (value, predecessor) pair of a phi.
+func (in *Instr) removeIncoming(i int) {
+	if d, ok := in.operands[i].(*Instr); ok {
+		d.removeUser(in)
+	}
+	in.operands = append(in.operands[:i], in.operands[i+1:]...)
+	in.Incoming = append(in.Incoming[:i], in.Incoming[i+1:]...)
+}

@@ -1,0 +1,33 @@
+package ir
+
+import "testing"
+
+func TestDocExampleParses(t *testing.T) {
+	src := `
+builtin @sqrt(f64) f64
+func @norm(i64 %n, f64* %v) f64 {
+entry:
+  br %loop
+loop:
+  %i = phi i64 [0, %entry], [%inc, %loop]
+  %acc = phi f64 [0.0, %entry], [%acc2, %loop]
+  %p = gep f64* %v, %i
+  %x = load f64* %p
+  %xx = fmul f64 %x, %x
+  %acc2 = fadd f64 %acc, %xx
+  %inc = add i64 %i, 1
+  %c = icmp lt i64 %inc, %n
+  condbr %c, %loop, %exit
+exit:
+  %r = call f64 @sqrt(f64 %acc2)
+  ret f64 %r
+}
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}

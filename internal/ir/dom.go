@@ -1,0 +1,179 @@
+package ir
+
+// DomTree is the dominator tree of a function, computed with the
+// Cooper–Harvey–Kennedy iterative algorithm.
+type DomTree struct {
+	fn    *Func
+	rpo   []*Block       // reverse postorder of reachable blocks
+	num   map[*Block]int // block -> RPO index
+	idom  map[*Block]*Block
+	kids  map[*Block][]*Block
+	depth map[*Block]int
+}
+
+// ComputeDom builds the dominator tree of fn. Unreachable blocks are
+// not part of the tree (Dominates and IDom treat them as undominated).
+func ComputeDom(fn *Func) *DomTree {
+	t := &DomTree{
+		fn:    fn,
+		num:   map[*Block]int{},
+		idom:  map[*Block]*Block{},
+		kids:  map[*Block][]*Block{},
+		depth: map[*Block]int{},
+	}
+	if len(fn.blocks) == 0 {
+		return t
+	}
+	// Reverse postorder DFS from entry.
+	seen := map[*Block]bool{}
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b] = true
+		for _, s := range b.Succs() {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	entry := fn.Entry()
+	dfs(entry)
+	t.rpo = make([]*Block, len(post))
+	for i, b := range post {
+		t.rpo[len(post)-1-i] = b
+	}
+	for i, b := range t.rpo {
+		t.num[b] = i
+	}
+
+	// Iterate to fixpoint (Cooper, Harvey, Kennedy 2001).
+	t.idom[entry] = entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range t.rpo[1:] {
+			var newIdom *Block
+			for _, p := range b.Preds() {
+				if _, ok := t.num[p]; !ok {
+					continue // unreachable predecessor
+				}
+				if t.idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = t.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && t.idom[b] != newIdom {
+				t.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	t.idom[entry] = nil // entry has no immediate dominator
+
+	for b, id := range t.idom {
+		if id != nil {
+			t.kids[id] = append(t.kids[id], b)
+		}
+	}
+	// Depths by walk from entry.
+	var setDepth func(b *Block, d int)
+	setDepth = func(b *Block, d int) {
+		t.depth[b] = d
+		for _, k := range t.kids[b] {
+			setDepth(k, d+1)
+		}
+	}
+	setDepth(entry, 0)
+	return t
+}
+
+func (t *DomTree) intersect(b1, b2 *Block) *Block {
+	f1, f2 := b1, b2
+	for f1 != f2 {
+		for t.num[f1] > t.num[f2] {
+			f1 = t.idom[f1]
+		}
+		for t.num[f2] > t.num[f1] {
+			f2 = t.idom[f2]
+		}
+	}
+	return f1
+}
+
+// IDom returns the immediate dominator of b (nil for entry and
+// unreachable blocks).
+func (t *DomTree) IDom(b *Block) *Block { return t.idom[b] }
+
+// Children returns the dominator-tree children of b.
+func (t *DomTree) Children(b *Block) []*Block { return t.kids[b] }
+
+// Reachable reports whether b is reachable from the entry block.
+func (t *DomTree) Reachable(b *Block) bool {
+	_, ok := t.num[b]
+	return ok
+}
+
+// RPO returns the reachable blocks in reverse postorder.
+func (t *DomTree) RPO() []*Block { return t.rpo }
+
+// Dominates reports whether a dominates b (reflexively).
+func (t *DomTree) Dominates(a, b *Block) bool {
+	if !t.Reachable(a) || !t.Reachable(b) {
+		return false
+	}
+	for b != nil {
+		if a == b {
+			return true
+		}
+		b = t.idom[b]
+	}
+	return false
+}
+
+// DominatesInstr reports whether the definition of value a is available
+// at instruction user (strict SSA dominance, with same-block ordering).
+func (t *DomTree) DominatesInstr(a, user *Instr) bool {
+	if a.block == user.block {
+		return a.block.Index(a) < user.block.Index(user)
+	}
+	return t.Dominates(a.block, user.block)
+}
+
+// Frontier computes the dominance frontier of every reachable block
+// (used for PHI placement in mem2reg).
+func (t *DomTree) Frontier() map[*Block][]*Block {
+	df := map[*Block][]*Block{}
+	for _, b := range t.rpo {
+		preds := b.Preds()
+		if len(preds) < 2 {
+			continue
+		}
+		for _, p := range preds {
+			if !t.Reachable(p) {
+				continue
+			}
+			runner := p
+			for runner != t.idom[b] && runner != nil {
+				if !containsBlock(df[runner], b) {
+					df[runner] = append(df[runner], b)
+				}
+				runner = t.idom[runner]
+			}
+		}
+	}
+	return df
+}
+
+func containsBlock(s []*Block, b *Block) bool {
+	for _, x := range s {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,206 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Func is a function: a signature plus a list of basic blocks. Builtin
+// functions (math intrinsics, runtime calls) have no blocks and are
+// executed natively by the interpreter.
+type Func struct {
+	name    string
+	params  []*Param
+	retType *Type
+	blocks  []*Block
+	mod     *Module
+
+	// Builtin marks functions implemented natively by the interpreter
+	// (sqrt, mpi_rank, out_f64, ...). Builtins have no body.
+	Builtin bool
+
+	nextName int // counter for automatic SSA names
+}
+
+// Name returns the function name without the leading '@'.
+func (f *Func) Name() string { return f.name }
+
+// Params returns the formal parameters.
+func (f *Func) Params() []*Param { return f.params }
+
+// RetType returns the declared return type.
+func (f *Func) RetType() *Type { return f.retType }
+
+// Module returns the module the function belongs to.
+func (f *Func) Module() *Module { return f.mod }
+
+// Blocks returns the function's basic blocks in layout order; the entry
+// block is first.
+func (f *Func) Blocks() []*Block { return f.blocks }
+
+// Entry returns the entry block, or nil for builtins.
+func (f *Func) Entry() *Block {
+	if len(f.blocks) == 0 {
+		return nil
+	}
+	return f.blocks[0]
+}
+
+// NumInstrs returns the total number of instructions in the function
+// (the paper's feature 21).
+func (f *Func) NumInstrs() int {
+	n := 0
+	for _, b := range f.blocks {
+		n += len(b.instrs)
+	}
+	return n
+}
+
+// NewBlock appends a new basic block with the given label. An empty
+// label gets an automatically generated one.
+func (f *Func) NewBlock(label string) *Block {
+	if label == "" {
+		label = "bb" + strconv.Itoa(len(f.blocks))
+	}
+	b := &Block{name: f.uniqueBlockName(label), fn: f}
+	f.blocks = append(f.blocks, b)
+	return b
+}
+
+func (f *Func) uniqueBlockName(label string) string {
+	if f.BlockByName(label) == nil {
+		return label
+	}
+	for i := 1; ; i++ {
+		cand := label + "." + strconv.Itoa(i)
+		if f.BlockByName(cand) == nil {
+			return cand
+		}
+	}
+}
+
+// BlockByName returns the block with the given label, or nil.
+func (f *Func) BlockByName(label string) *Block {
+	for _, b := range f.blocks {
+		if b.name == label {
+			return b
+		}
+	}
+	return nil
+}
+
+// RemoveBlock removes an (unreachable) block from the function.
+func (f *Func) RemoveBlock(b *Block) {
+	for i, x := range f.blocks {
+		if x == b {
+			f.blocks = append(f.blocks[:i], f.blocks[i+1:]...)
+			return
+		}
+	}
+}
+
+// genName produces a fresh SSA register name.
+func (f *Func) genName() string {
+	f.nextName++
+	return "t" + strconv.Itoa(f.nextName)
+}
+
+// Module is a translation unit: a set of functions. The function named
+// "main" is the program entry point.
+type Module struct {
+	funcs      []*Func
+	nextSiteID int
+}
+
+// NewModule returns an empty module.
+func NewModule() *Module { return &Module{} }
+
+// Funcs returns the module's functions in declaration order.
+func (m *Module) Funcs() []*Func { return m.funcs }
+
+// FuncByName returns the function with the given name, or nil.
+func (m *Module) FuncByName(name string) *Func {
+	for _, f := range m.funcs {
+		if f.name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// NewFunc declares a new function in the module.
+func (m *Module) NewFunc(name string, ret *Type, paramNames []string, paramTypes []*Type) *Func {
+	if m.FuncByName(name) != nil {
+		panic(fmt.Sprintf("ir: duplicate function %q", name))
+	}
+	if len(paramNames) != len(paramTypes) {
+		panic("ir: mismatched parameter names/types")
+	}
+	f := &Func{name: name, retType: ret, mod: m}
+	for i := range paramNames {
+		f.params = append(f.params, &Param{name: paramNames[i], typ: paramTypes[i], Index: i})
+	}
+	m.funcs = append(m.funcs, f)
+	return f
+}
+
+// NewBuiltin declares a native (interpreter-implemented) function.
+func (m *Module) NewBuiltin(name string, ret *Type, paramTypes ...*Type) *Func {
+	names := make([]string, len(paramTypes))
+	for i := range names {
+		names[i] = "a" + strconv.Itoa(i)
+	}
+	f := m.NewFunc(name, ret, names, paramTypes)
+	f.Builtin = true
+	return f
+}
+
+// AssignSiteIDs walks every instruction of every non-builtin function
+// and assigns module-unique SiteIDs to original (non-protection)
+// instructions in deterministic order. It returns the number of sites.
+// Protection instructions keep the SiteID of the instruction they
+// shadow (set by the duplication pass).
+func (m *Module) AssignSiteIDs() int {
+	id := 0
+	for _, f := range m.funcs {
+		for _, b := range f.blocks {
+			for _, in := range b.instrs {
+				if in.Prot == ProtNone {
+					in.SiteID = id
+					id++
+				}
+			}
+		}
+	}
+	m.nextSiteID = id
+	return id
+}
+
+// NumSites returns the number of SiteIDs assigned by AssignSiteIDs.
+func (m *Module) NumSites() int { return m.nextSiteID }
+
+// InstrBySite returns a site-indexed table of original instructions.
+// AssignSiteIDs must have been called.
+func (m *Module) InstrBySite() []*Instr {
+	table := make([]*Instr, m.nextSiteID)
+	for _, f := range m.funcs {
+		for _, b := range f.blocks {
+			for _, in := range b.instrs {
+				if in.Prot == ProtNone && in.SiteID >= 0 && in.SiteID < len(table) {
+					table[in.SiteID] = in
+				}
+			}
+		}
+	}
+	return table
+}
+
+// NumInstrs returns the total static instruction count of the module
+// (Table 3 of the paper).
+func (m *Module) NumInstrs() int {
+	n := 0
+	for _, f := range m.funcs {
+		n += f.NumInstrs()
+	}
+	return n
+}

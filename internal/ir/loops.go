@@ -1,0 +1,61 @@
+package ir
+
+// Loop is a natural loop: a header block plus the set of blocks that
+// can reach one of the header's back edges without passing through the
+// header.
+type Loop struct {
+	Header *Block
+	Blocks map[*Block]bool
+}
+
+// LoopInfo records, per function, which blocks are inside some natural
+// loop (the paper's feature 17) and the loops themselves.
+type LoopInfo struct {
+	Loops  []*Loop
+	inLoop map[*Block]bool
+}
+
+// ComputeLoops finds all natural loops of fn using back edges of the
+// dominator tree (an edge t→h where h dominates t).
+func ComputeLoops(fn *Func, dom *DomTree) *LoopInfo {
+	li := &LoopInfo{inLoop: map[*Block]bool{}}
+	loops := map[*Block]*Loop{} // by header: merge loops sharing a header
+	for _, b := range dom.RPO() {
+		for _, s := range b.Succs() {
+			if !dom.Dominates(s, b) {
+				continue
+			}
+			// b→s is a back edge with header s.
+			l := loops[s]
+			if l == nil {
+				l = &Loop{Header: s, Blocks: map[*Block]bool{s: true}}
+				loops[s] = l
+				li.Loops = append(li.Loops, l)
+			}
+			// Walk predecessors backwards from the latch.
+			stack := []*Block{b}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.Blocks[x] {
+					continue
+				}
+				l.Blocks[x] = true
+				for _, p := range x.Preds() {
+					if dom.Reachable(p) {
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+	for _, l := range li.Loops {
+		for b := range l.Blocks {
+			li.inLoop[b] = true
+		}
+	}
+	return li
+}
+
+// InLoop reports whether block b belongs to any natural loop.
+func (li *LoopInfo) InLoop(b *Block) bool { return li.inLoop[b] }

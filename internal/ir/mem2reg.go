@@ -1,0 +1,164 @@
+package ir
+
+// Mem2Reg promotes single-element stack allocations whose address never
+// escapes (used only as the pointer operand of loads and stores) into
+// SSA registers, inserting PHI nodes at iterated dominance frontiers.
+// It mirrors LLVM's mem2reg pass and gives the IR the PHI structure the
+// paper's feature 18 observes. Returns the number of promoted allocas.
+func Mem2Reg(f *Func) int {
+	if f.Builtin || len(f.blocks) == 0 {
+		return 0
+	}
+	dom := ComputeDom(f)
+	df := dom.Frontier()
+
+	var promoted int
+	for _, alloca := range promotableAllocas(f, dom) {
+		promoteAlloca(f, alloca, dom, df)
+		promoted++
+	}
+	return promoted
+}
+
+// promotableAllocas returns allocas that can be rewritten into SSA
+// form: one element, reachable block, and every use is a load from it
+// or a store to it (never storing the pointer itself).
+func promotableAllocas(f *Func, dom *DomTree) []*Instr {
+	var out []*Instr
+	for _, b := range f.blocks {
+		if !dom.Reachable(b) {
+			continue
+		}
+		for _, in := range b.instrs {
+			if in.op != OpAlloca || in.AllocElems != 1 {
+				continue
+			}
+			ok := true
+			for _, u := range in.users {
+				switch {
+				case u.op == OpLoad:
+				case u.op == OpStore && u.Operand(1) == in && u.Operand(0) != in:
+				default:
+					ok = false
+				}
+				if !ok {
+					break
+				}
+			}
+			if ok {
+				out = append(out, in)
+			}
+		}
+	}
+	return out
+}
+
+func promoteAlloca(f *Func, alloca *Instr, dom *DomTree, df map[*Block][]*Block) {
+	elem := alloca.typ.Elem()
+
+	// Blocks containing stores (definitions).
+	defBlocks := map[*Block]bool{}
+	for _, u := range alloca.users {
+		if u.op == OpStore {
+			defBlocks[u.block] = true
+		}
+	}
+
+	// Place PHIs at the iterated dominance frontier of the def blocks.
+	phiAt := map[*Block]*Instr{}
+	work := make([]*Block, 0, len(defBlocks))
+	for b := range defBlocks {
+		work = append(work, b)
+	}
+	// Deterministic order.
+	orderBlocks(f, work)
+	inWork := map[*Block]bool{}
+	for _, b := range work {
+		inWork[b] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		for _, fr := range df[b] {
+			if phiAt[fr] != nil {
+				continue
+			}
+			phi := &Instr{op: OpPhi, typ: elem, name: f.genName()}
+			// Insert at block head.
+			fr.instrs = append(fr.instrs, nil)
+			copy(fr.instrs[1:], fr.instrs)
+			fr.instrs[0] = phi
+			phi.block = fr
+			phiAt[fr] = phi
+			if !inWork[fr] {
+				inWork[fr] = true
+				work = append(work, fr)
+			}
+		}
+	}
+
+	// Rename along the dominator tree.
+	var rename func(b *Block, cur Value)
+	rename = func(b *Block, cur Value) {
+		if phi := phiAt[b]; phi != nil {
+			cur = phi
+		}
+		for _, in := range append([]*Instr(nil), b.instrs...) {
+			switch {
+			case in.op == OpLoad && in.Operand(0) == alloca:
+				v := cur
+				if v == nil {
+					v = zeroValue(elem) // load before any store: zero init
+				}
+				in.ReplaceAllUsesWith(v)
+				b.Remove(in)
+			case in.op == OpStore && in.NumOperands() == 2 && in.Operand(1) == alloca:
+				cur = in.Operand(0)
+				b.Remove(in)
+			}
+		}
+		for _, s := range b.Succs() {
+			if phi := phiAt[s]; phi != nil {
+				v := cur
+				if v == nil {
+					v = zeroValue(elem)
+				}
+				AddIncoming(phi, v, b)
+			}
+		}
+		for _, k := range dom.Children(b) {
+			rename(k, cur)
+		}
+	}
+	rename(f.Entry(), nil)
+
+	if len(alloca.users) == 0 {
+		alloca.block.Remove(alloca)
+	}
+}
+
+// zeroValue returns the zero constant of type t (our memory model zero
+// initializes stack slots, so this matches runtime semantics).
+func zeroValue(t *Type) Value {
+	switch {
+	case t.IsFloat():
+		return ConstFloat(0)
+	case t.IsPtr():
+		return NullPtr(t)
+	default:
+		return ConstInt(t, 0)
+	}
+}
+
+// orderBlocks sorts blocks by their layout position for determinism.
+func orderBlocks(f *Func, bs []*Block) {
+	pos := map[*Block]int{}
+	for i, b := range f.blocks {
+		pos[b] = i
+	}
+	for i := 1; i < len(bs); i++ {
+		for j := i; j > 0 && pos[bs[j]] < pos[bs[j-1]]; j-- {
+			bs[j], bs[j-1] = bs[j-1], bs[j]
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package ir
+
+import "testing"
+
+func TestConstFold(t *testing.T) {
+	m := MustParse(`
+func @main() i64 {
+entry:
+  %a = add i64 2, 3
+  %b = mul i64 %a, 4
+  %c = icmp lt i64 %b, 100
+  %d = select %c, i64 %b, 7
+  ret i64 %d
+}
+`)
+	fn := m.FuncByName("main")
+	folded := ConstFold(fn)
+	if folded != 4 {
+		t.Fatalf("folded %d, want 4", folded)
+	}
+	ret := fn.Entry().Terminator()
+	c, ok := ret.Operand(0).(*Const)
+	if !ok || c.Int != 20 {
+		t.Fatalf("ret operand = %v", ret.Operand(0).Ref())
+	}
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstFoldKeepsTrappingDiv(t *testing.T) {
+	m := MustParse(`
+func @main() i64 {
+entry:
+  %z = sub i64 1, 1
+  %d = sdiv i64 10, 0
+  ret i64 %d
+}
+`)
+	fn := m.FuncByName("main")
+	ConstFold(fn)
+	found := false
+	for _, in := range fn.Entry().Instrs() {
+		if in.Op() == OpSDiv {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("constant division by zero was folded away; it must trap at run time")
+	}
+}
+
+func TestSimplifyCFGConstBranch(t *testing.T) {
+	m := MustParse(`
+func @main() i64 {
+entry:
+  condbr 1, %yes, %no
+yes:
+  ret i64 1
+no:
+  %p = phi i64 [9, %entry]
+  ret i64 %p
+}
+`)
+	fn := m.FuncByName("main")
+	if n := SimplifyCFG(fn); n == 0 {
+		t.Fatal("nothing simplified")
+	}
+	if fn.BlockByName("no") != nil {
+		t.Fatal("dead branch target survived")
+	}
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	// After merging, the function should be a single block returning 1.
+	if len(fn.Blocks()) != 1 {
+		t.Fatalf("%d blocks after simplify, want 1", len(fn.Blocks()))
+	}
+}
+
+func TestSimplifyCFGMergesChain(t *testing.T) {
+	m := MustParse(`
+func @main() i64 {
+entry:
+  %a = add i64 1, 2
+  br %mid
+mid:
+  %b = add i64 %a, 3
+  br %end
+end:
+  %p = phi i64 [%b, %mid]
+  ret i64 %p
+}
+`)
+	fn := m.FuncByName("main")
+	SimplifyCFG(fn)
+	if len(fn.Blocks()) != 1 {
+		t.Fatalf("%d blocks, want 1", len(fn.Blocks()))
+	}
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	ret := fn.Entry().Terminator()
+	if ret.Op() != OpRet {
+		t.Fatal("merged block has no ret")
+	}
+}
+
+func TestSimplifyCFGIdenticalTargets(t *testing.T) {
+	m := MustParse(`
+func @main() i64 {
+entry:
+  %c = icmp lt i64 1, 2
+  condbr %c, %next, %next
+next:
+  ret i64 5
+}
+`)
+	fn := m.FuncByName("main")
+	SimplifyCFG(fn)
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range fn.Blocks() {
+		if tr := b.Terminator(); tr.Op() == OpCondBr {
+			t.Fatal("condbr with identical targets not folded")
+		}
+	}
+}

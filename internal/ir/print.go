@@ -1,0 +1,127 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the module in the textual IR syntax accepted by Parse.
+func Print(m *Module) string {
+	var sb strings.Builder
+	for i, f := range m.funcs {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		printFunc(&sb, f)
+	}
+	return sb.String()
+}
+
+func printFunc(sb *strings.Builder, f *Func) {
+	if f.Builtin {
+		sb.WriteString("builtin @")
+		sb.WriteString(f.name)
+		sb.WriteByte('(')
+		for i, p := range f.params {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(p.Type().String())
+		}
+		sb.WriteString(") ")
+		sb.WriteString(f.retType.String())
+		sb.WriteByte('\n')
+		return
+	}
+	sb.WriteString("func @")
+	sb.WriteString(f.name)
+	sb.WriteByte('(')
+	for i, p := range f.params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p.Type().String())
+		sb.WriteString(" %")
+		sb.WriteString(p.name)
+	}
+	sb.WriteString(") ")
+	sb.WriteString(f.retType.String())
+	sb.WriteString(" {\n")
+	for _, b := range f.blocks {
+		sb.WriteString(b.name)
+		sb.WriteString(":\n")
+		for _, in := range b.instrs {
+			sb.WriteString("  ")
+			sb.WriteString(printInstr(in))
+			sb.WriteByte('\n')
+		}
+	}
+	sb.WriteString("}\n")
+}
+
+// printInstr renders a single instruction.
+func printInstr(in *Instr) string {
+	var sb strings.Builder
+	if in.HasResult() {
+		sb.WriteByte('%')
+		sb.WriteString(in.name)
+		sb.WriteString(" = ")
+	}
+	switch in.op {
+	case OpICmp, OpFCmp:
+		fmt.Fprintf(&sb, "%s %s %s %s, %s", in.op, in.Pred,
+			in.Operand(0).Type(), in.Operand(0).Ref(), in.Operand(1).Ref())
+	case OpLoad:
+		fmt.Fprintf(&sb, "load %s %s", in.Operand(0).Type(), in.Operand(0).Ref())
+	case OpStore:
+		fmt.Fprintf(&sb, "store %s %s, %s", in.Operand(0).Type(), in.Operand(0).Ref(), in.Operand(1).Ref())
+	case OpAlloca:
+		fmt.Fprintf(&sb, "alloca %s, %d", in.typ.Elem(), in.AllocElems)
+	case OpGEP:
+		fmt.Fprintf(&sb, "gep %s %s, %s", in.Operand(0).Type(), in.Operand(0).Ref(), in.Operand(1).Ref())
+	case OpAtomicRMW:
+		fmt.Fprintf(&sb, "atomicrmw %s %s, %s", in.Operand(0).Type(), in.Operand(0).Ref(), in.Operand(1).Ref())
+	case OpTrunc, OpZExt, OpSExt, OpSIToFP, OpFPToSI, OpPtrToInt, OpIntToPtr, OpBitcast:
+		fmt.Fprintf(&sb, "%s %s %s to %s", in.op, in.Operand(0).Type(), in.Operand(0).Ref(), in.typ)
+	case OpPhi:
+		fmt.Fprintf(&sb, "phi %s ", in.typ)
+		for i := range in.operands {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "[%s, %%%s]", in.Operand(i).Ref(), in.Incoming[i].name)
+		}
+	case OpSelect:
+		fmt.Fprintf(&sb, "select %s, %s %s, %s", in.Operand(0).Ref(),
+			in.typ, in.Operand(1).Ref(), in.Operand(2).Ref())
+	case OpCall:
+		fmt.Fprintf(&sb, "call %s @%s(", in.typ, in.Callee.name)
+		for i, a := range in.operands {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%s %s", a.Type(), a.Ref())
+		}
+		sb.WriteByte(')')
+	case OpBr:
+		fmt.Fprintf(&sb, "br %%%s", in.Targets[0].name)
+	case OpCondBr:
+		fmt.Fprintf(&sb, "condbr %s, %%%s, %%%s", in.Operand(0).Ref(), in.Targets[0].name, in.Targets[1].name)
+	case OpRet:
+		if len(in.operands) == 0 {
+			sb.WriteString("ret void")
+		} else {
+			fmt.Fprintf(&sb, "ret %s %s", in.Operand(0).Type(), in.Operand(0).Ref())
+		}
+	case OpTrap:
+		fmt.Fprintf(&sb, "trap %s", in.Operand(0).Ref())
+	default: // binary and logical operations
+		fmt.Fprintf(&sb, "%s %s %s, %s", in.op, in.typ, in.Operand(0).Ref(), in.Operand(1).Ref())
+	}
+	if in.Prot == ProtDup {
+		sb.WriteString(" ;dup")
+	} else if in.Prot == ProtCheck {
+		sb.WriteString(" ;check")
+	}
+	return sb.String()
+}

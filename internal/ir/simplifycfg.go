@@ -1,0 +1,138 @@
+package ir
+
+// SimplifyCFG performs three classic clean-ups to a fixpoint:
+//
+//  1. condbr on a constant condition becomes an unconditional br;
+//  2. condbr with identical targets becomes a br;
+//  3. a block whose single predecessor ends in an unconditional br is
+//     merged into that predecessor (when it is the predecessor's only
+//     successor and starts with no PHI nodes).
+//
+// Unreachable blocks produced along the way are removed. Returns the
+// number of rewrites applied.
+func SimplifyCFG(f *Func) int {
+	total := 0
+	for {
+		n := 0
+		n += foldConstBranches(f)
+		n += mergeBlocks(f)
+		if n == 0 {
+			break
+		}
+		total += n
+		RemoveUnreachable(f)
+	}
+	return total
+}
+
+func foldConstBranches(f *Func) int {
+	n := 0
+	for _, b := range f.blocks {
+		t := b.Terminator()
+		if t == nil || t.op != OpCondBr {
+			continue
+		}
+		var target *Block
+		var dead *Block
+		if c, ok := t.Operand(0).(*Const); ok {
+			if c.Int != 0 {
+				target, dead = t.Targets[0], t.Targets[1]
+			} else {
+				target, dead = t.Targets[1], t.Targets[0]
+			}
+		} else if t.Targets[0] == t.Targets[1] {
+			target = t.Targets[0]
+		}
+		if target == nil {
+			continue
+		}
+		// Remove this block from the dead target's phis (if it no
+		// longer branches there).
+		if dead != nil && dead != target {
+			for _, phi := range dead.Phis() {
+				for i := 0; i < len(phi.Incoming); {
+					if phi.Incoming[i] == b {
+						phi.removeIncoming(i)
+					} else {
+						i++
+					}
+				}
+			}
+		}
+		br := NewInstr(OpBr, Void, nil)
+		br.Targets = []*Block{target}
+		br.Prot = t.Prot
+		br.SiteID = t.SiteID
+		b.InsertBefore(br, t)
+		t.ReplaceAllUsesWith(nil) // terminators have no users; defensive
+		b.Remove(t)
+		n++
+	}
+	return n
+}
+
+func mergeBlocks(f *Func) int {
+	n := 0
+	for _, b := range append([]*Block(nil), f.blocks...) {
+		t := b.Terminator()
+		if t == nil || t.op != OpBr {
+			continue
+		}
+		succ := t.Targets[0]
+		if succ == b || succ == f.Entry() {
+			continue
+		}
+		preds := succ.Preds()
+		if len(preds) != 1 || preds[0] != b {
+			continue
+		}
+		if len(succ.Phis()) > 0 {
+			// A phi with a single incoming is just a copy; resolve it.
+			for _, phi := range succ.Phis() {
+				phi.ReplaceAllUsesWith(phi.Operand(0))
+				succ.Remove(phi)
+			}
+		}
+		// Splice succ's instructions into b, dropping b's br.
+		b.Remove(t)
+		for _, in := range succ.instrs {
+			in.block = b
+			b.instrs = append(b.instrs, in)
+		}
+		// Successors' phis that referenced succ now come from b.
+		if nt := b.Terminator(); nt != nil {
+			for _, s := range nt.Targets {
+				for _, phi := range s.Phis() {
+					for i, inc := range phi.Incoming {
+						if inc == succ {
+							phi.Incoming[i] = b
+						}
+					}
+				}
+			}
+		}
+		succ.instrs = nil
+		f.RemoveBlock(succ)
+		n++
+	}
+	return n
+}
+
+// Optimize runs the full opt-in optimization pipeline on every function
+// of m: unreachable-code removal, mem2reg, constant folding, CFG
+// simplification, and dead-code elimination, iterated twice (folding
+// exposes branch simplifications which expose more folding).
+func Optimize(m *Module) {
+	for _, f := range m.Funcs() {
+		if f.Builtin {
+			continue
+		}
+		RemoveUnreachable(f)
+		Mem2Reg(f)
+		for i := 0; i < 2; i++ {
+			ConstFold(f)
+			SimplifyCFG(f)
+			DCE(f)
+		}
+	}
+}

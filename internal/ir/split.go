@@ -1,0 +1,35 @@
+package ir
+
+// SplitBlockBefore splits b at instruction pos: pos and everything after
+// it move into a new block, b is terminated with an unconditional
+// branch to the new block, and PHI nodes in b's former successors are
+// remapped to the new block. Returns the new block.
+func SplitBlockBefore(b *Block, pos *Instr) *Block {
+	f := b.fn
+	idx := b.indexOf(pos)
+	nb := f.NewBlock(b.name + ".split")
+
+	moved := b.instrs[idx:]
+	b.instrs = b.instrs[:idx:idx]
+	for _, in := range moved {
+		in.block = nb
+	}
+	nb.instrs = moved
+
+	// Remap PHIs in the successors of the moved terminator.
+	if t := nb.Terminator(); t != nil {
+		for _, s := range t.Targets {
+			for _, phi := range s.Phis() {
+				for i, inc := range phi.Incoming {
+					if inc == b {
+						phi.Incoming[i] = nb
+					}
+				}
+			}
+		}
+	}
+
+	bld := NewBuilder(b)
+	bld.Br(nb)
+	return nb
+}

@@ -1,0 +1,126 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Value is anything that can appear as an instruction operand: constants,
+// function parameters, and the results of instructions.
+type Value interface {
+	// Type returns the type of the value.
+	Type() *Type
+	// Ref renders the value as an operand reference ("%x", "42", "3.5").
+	Ref() string
+}
+
+// Const is a compile-time constant of integer, float, or pointer type.
+// Integer payloads (including i1 and pointers) live in Int; float
+// payloads live in Float.
+type Const struct {
+	typ   *Type
+	Int   int64
+	Float float64
+}
+
+// ConstInt returns an integer constant of the given type.
+func ConstInt(t *Type, v int64) *Const {
+	if !t.IsInt() && !t.IsPtr() {
+		panic("ir: ConstInt with non-integer type " + t.String())
+	}
+	return &Const{typ: t, Int: truncInt(t, v)}
+}
+
+// ConstFloat returns an f64 constant.
+func ConstFloat(v float64) *Const { return &Const{typ: F64, Float: v} }
+
+// ConstBool returns an i1 constant.
+func ConstBool(b bool) *Const {
+	if b {
+		return &Const{typ: I1, Int: 1}
+	}
+	return &Const{typ: I1}
+}
+
+// NullPtr returns the null pointer constant of the given pointer type.
+func NullPtr(t *Type) *Const {
+	if !t.IsPtr() {
+		panic("ir: NullPtr with non-pointer type")
+	}
+	return &Const{typ: t}
+}
+
+// truncInt wraps v into the representable range of integer type t,
+// matching two's-complement truncation semantics.
+func truncInt(t *Type, v int64) int64 {
+	switch t.Kind() {
+	case I1Kind:
+		return v & 1
+	case I8Kind:
+		return int64(int8(v))
+	case I32Kind:
+		return int64(int32(v))
+	default:
+		return v
+	}
+}
+
+// Type implements Value.
+func (c *Const) Type() *Type { return c.typ }
+
+// Ref implements Value.
+func (c *Const) Ref() string {
+	switch {
+	case c.typ.IsFloat():
+		return formatFloat(c.Float)
+	case c.typ.IsPtr():
+		if c.Int == 0 {
+			return "null"
+		}
+		return strconv.FormatInt(c.Int, 10)
+	default:
+		return strconv.FormatInt(c.Int, 10)
+	}
+}
+
+// formatFloat prints a float so that it round-trips exactly through the
+// IR parser (including NaN and infinities, which use bit syntax).
+func formatFloat(f float64) string {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return fmt.Sprintf("0xfp%016x", math.Float64bits(f))
+	}
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	// Ensure the token is recognizably a float.
+	if !hasFloatMarker(s) {
+		s += ".0"
+	}
+	return s
+}
+
+func hasFloatMarker(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '.', 'e', 'E', 'n', 'i': // ".", exponent, "nan", "inf"
+			return true
+		}
+	}
+	return false
+}
+
+// Param is a formal parameter of a function.
+type Param struct {
+	name string
+	typ  *Type
+	// Index is the position of the parameter in the function signature.
+	Index int
+}
+
+// Type implements Value.
+func (p *Param) Type() *Type { return p.typ }
+
+// Ref implements Value.
+func (p *Param) Ref() string { return "%" + p.name }
+
+// Name returns the parameter's name without the leading '%'.
+func (p *Param) Name() string { return p.name }

@@ -1,0 +1,310 @@
+package ir
+
+import "fmt"
+
+// Verify checks module well-formedness: every block ends in exactly one
+// terminator, operand types match opcode rules, PHI nodes agree with
+// their block's predecessors, def-use chains are consistent, and every
+// use is dominated by its definition (SSA property).
+func Verify(m *Module) error {
+	for _, f := range m.funcs {
+		if f.Builtin {
+			if len(f.blocks) != 0 {
+				return fmt.Errorf("ir: builtin @%s has a body", f.name)
+			}
+			continue
+		}
+		if err := verifyFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func verifyFunc(f *Func) error {
+	if len(f.blocks) == 0 {
+		return fmt.Errorf("ir: function @%s has no blocks", f.name)
+	}
+	errf := func(in *Instr, format string, args ...interface{}) error {
+		loc := fmt.Sprintf("@%s", f.name)
+		if in != nil {
+			loc += ": " + in.String()
+		}
+		return fmt.Errorf("ir: %s: %s", loc, fmt.Sprintf(format, args...))
+	}
+
+	for _, b := range f.blocks {
+		if len(b.instrs) == 0 {
+			return fmt.Errorf("ir: @%s: empty block %%%s", f.name, b.name)
+		}
+		for i, in := range b.instrs {
+			isLast := i == len(b.instrs)-1
+			if in.op.IsTerminator() != isLast {
+				if isLast {
+					return errf(in, "block %%%s does not end in a terminator", b.name)
+				}
+				return errf(in, "terminator in the middle of block %%%s", b.name)
+			}
+			if in.op == OpPhi && i > 0 && b.instrs[i-1].op != OpPhi {
+				return errf(in, "phi after non-phi instruction")
+			}
+			if err := verifyInstr(f, b, in, errf); err != nil {
+				return err
+			}
+			// def-use consistency: every instruction operand must list
+			// this instruction among its users.
+			for _, opnd := range in.operands {
+				d, ok := opnd.(*Instr)
+				if !ok {
+					continue
+				}
+				found := false
+				for _, u := range d.users {
+					if u == in {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return errf(in, "missing def-use edge from %%%s", d.name)
+				}
+				if d.block == nil || d.block.fn != f {
+					return errf(in, "operand %%%s belongs to another function", d.name)
+				}
+			}
+		}
+	}
+
+	// SSA dominance.
+	dom := ComputeDom(f)
+	for _, b := range f.blocks {
+		if !dom.Reachable(b) {
+			continue
+		}
+		for _, in := range b.instrs {
+			for oi, opnd := range in.operands {
+				d, ok := opnd.(*Instr)
+				if !ok {
+					continue
+				}
+				if in.op == OpPhi {
+					// The operand must dominate the end of the incoming block.
+					pred := in.Incoming[oi]
+					if d.block != pred && !dom.Dominates(d.block, pred) {
+						return errf(in, "phi operand %%%s does not dominate incoming block %%%s", d.name, pred.name)
+					}
+					continue
+				}
+				if !dom.DominatesInstr(d, in) {
+					return errf(in, "use of %%%s is not dominated by its definition", d.name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func verifyInstr(f *Func, b *Block, in *Instr, errf func(*Instr, string, ...interface{}) error) error {
+	wantOperands := func(n int) error {
+		if len(in.operands) != n {
+			return errf(in, "want %d operands, have %d", n, len(in.operands))
+		}
+		return nil
+	}
+	switch {
+	case in.op.IsBinary():
+		if err := wantOperands(2); err != nil {
+			return err
+		}
+		if in.Operand(0).Type() != in.typ || in.Operand(1).Type() != in.typ {
+			return errf(in, "binary operand type mismatch")
+		}
+		switch in.op {
+		case OpFAdd, OpFSub, OpFMul, OpFDiv:
+			if !in.typ.IsFloat() {
+				return errf(in, "float op on non-float type %s", in.typ)
+			}
+		default:
+			if !in.typ.IsInt() {
+				return errf(in, "integer op on non-integer type %s", in.typ)
+			}
+		}
+	case in.op == OpICmp:
+		if err := wantOperands(2); err != nil {
+			return err
+		}
+		t := in.Operand(0).Type()
+		if !t.IsInt() && !t.IsPtr() {
+			return errf(in, "icmp on non-integer type %s", t)
+		}
+		if in.Operand(1).Type() != t {
+			return errf(in, "icmp operand type mismatch")
+		}
+	case in.op == OpFCmp:
+		if err := wantOperands(2); err != nil {
+			return err
+		}
+		if in.Operand(0).Type() != F64 || in.Operand(1).Type() != F64 {
+			return errf(in, "fcmp on non-float operands")
+		}
+	case in.op == OpLoad:
+		if err := wantOperands(1); err != nil {
+			return err
+		}
+		pt := in.Operand(0).Type()
+		if !pt.IsPtr() || pt.Elem() != in.typ {
+			return errf(in, "load type mismatch")
+		}
+	case in.op == OpStore:
+		if err := wantOperands(2); err != nil {
+			return err
+		}
+		pt := in.Operand(1).Type()
+		if !pt.IsPtr() || pt.Elem() != in.Operand(0).Type() {
+			return errf(in, "store type mismatch")
+		}
+	case in.op == OpAlloca:
+		if err := wantOperands(0); err != nil {
+			return err
+		}
+		if !in.typ.IsPtr() || in.AllocElems <= 0 {
+			return errf(in, "malformed alloca")
+		}
+	case in.op == OpGEP:
+		if err := wantOperands(2); err != nil {
+			return err
+		}
+		if in.Operand(0).Type() != in.typ || !in.typ.IsPtr() {
+			return errf(in, "gep pointer type mismatch")
+		}
+		if in.Operand(1).Type() != I64 {
+			return errf(in, "gep index must be i64")
+		}
+	case in.op == OpAtomicRMW:
+		if err := wantOperands(2); err != nil {
+			return err
+		}
+		if in.Operand(0).Type() != PtrTo(I64) || in.Operand(1).Type() != I64 {
+			return errf(in, "atomicrmw type mismatch")
+		}
+	case in.op.IsCast():
+		if err := wantOperands(1); err != nil {
+			return err
+		}
+		if err := verifyCast(in); err != nil {
+			return errf(in, "%v", err)
+		}
+	case in.op == OpPhi:
+		preds := b.Preds()
+		if len(in.operands) != len(in.Incoming) {
+			return errf(in, "phi operands/incoming mismatch")
+		}
+		if len(in.operands) != len(preds) {
+			return errf(in, "phi has %d incoming, block has %d predecessors", len(in.operands), len(preds))
+		}
+		for i, inc := range in.Incoming {
+			if !containsBlock(preds, inc) {
+				return errf(in, "phi incoming %%%s is not a predecessor", inc.name)
+			}
+			if in.Operand(i).Type() != in.typ {
+				return errf(in, "phi operand %d type mismatch", i)
+			}
+		}
+	case in.op == OpSelect:
+		if err := wantOperands(3); err != nil {
+			return err
+		}
+		if in.Operand(0).Type() != I1 || in.Operand(1).Type() != in.typ || in.Operand(2).Type() != in.typ {
+			return errf(in, "select type mismatch")
+		}
+	case in.op == OpCall:
+		if in.Callee == nil {
+			return errf(in, "call without callee")
+		}
+		if in.Callee.mod != f.mod {
+			return errf(in, "cross-module call")
+		}
+		if len(in.operands) != len(in.Callee.params) {
+			return errf(in, "call arity mismatch")
+		}
+		for i, a := range in.operands {
+			if a.Type() != in.Callee.params[i].Type() {
+				return errf(in, "call arg %d type mismatch", i)
+			}
+		}
+		if in.typ != in.Callee.retType {
+			return errf(in, "call result type mismatch")
+		}
+	case in.op == OpBr:
+		if len(in.Targets) != 1 {
+			return errf(in, "br must have 1 target")
+		}
+	case in.op == OpCondBr:
+		if err := wantOperands(1); err != nil {
+			return err
+		}
+		if in.Operand(0).Type() != I1 || len(in.Targets) != 2 {
+			return errf(in, "malformed condbr")
+		}
+	case in.op == OpRet:
+		if f.retType == Void {
+			if len(in.operands) != 0 {
+				return errf(in, "ret with value in void function")
+			}
+		} else {
+			if len(in.operands) != 1 || in.Operand(0).Type() != f.retType {
+				return errf(in, "ret type mismatch (want %s)", f.retType)
+			}
+		}
+	case in.op == OpTrap:
+		if err := wantOperands(1); err != nil {
+			return err
+		}
+	default:
+		return errf(in, "unknown opcode")
+	}
+	// Targets must belong to this function.
+	for _, t := range in.Targets {
+		if t.fn != f {
+			return errf(in, "branch target in another function")
+		}
+	}
+	return nil
+}
+
+func verifyCast(in *Instr) error {
+	from := in.Operand(0).Type()
+	to := in.typ
+	switch in.op {
+	case OpTrunc:
+		if !from.IsInt() || !to.IsInt() || from.Size() <= to.Size() {
+			return fmt.Errorf("invalid trunc %s to %s", from, to)
+		}
+	case OpZExt, OpSExt:
+		if !from.IsInt() || !to.IsInt() || from.Size() >= to.Size() {
+			return fmt.Errorf("invalid ext %s to %s", from, to)
+		}
+	case OpSIToFP:
+		if !from.IsInt() || !to.IsFloat() {
+			return fmt.Errorf("invalid sitofp %s to %s", from, to)
+		}
+	case OpFPToSI:
+		if !from.IsFloat() || !to.IsInt() {
+			return fmt.Errorf("invalid fptosi %s to %s", from, to)
+		}
+	case OpPtrToInt:
+		if !from.IsPtr() || to != I64 {
+			return fmt.Errorf("invalid ptrtoint %s to %s", from, to)
+		}
+	case OpIntToPtr:
+		if from != I64 || !to.IsPtr() {
+			return fmt.Errorf("invalid inttoptr %s to %s", from, to)
+		}
+	case OpBitcast:
+		ok := (from == F64 && to == I64) || (from == I64 && to == F64)
+		if !ok {
+			return fmt.Errorf("invalid bitcast %s to %s", from, to)
+		}
+	}
+	return nil
+}

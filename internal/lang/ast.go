@@ -1,0 +1,177 @@
+package lang
+
+// The sci abstract syntax tree. Nodes carry the position of their
+// leading token for diagnostics.
+
+type pos struct{ line, col int }
+
+// File is a parsed source file.
+type File struct {
+	Funcs []*FuncDecl
+}
+
+// TypeExpr is a parsed type: base ("int", "float", "bool") with
+// optional pointer stars.
+type TypeExpr struct {
+	pos
+	Base  string
+	Stars int
+}
+
+// FuncDecl is a function declaration with its body.
+type FuncDecl struct {
+	pos
+	Name   string
+	Params []ParamDecl
+	Ret    *TypeExpr // nil for void
+	Body   *BlockStmt
+}
+
+// ParamDecl is one formal parameter.
+type ParamDecl struct {
+	pos
+	Name string
+	Type *TypeExpr
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtPos() pos }
+
+// BlockStmt is a brace-delimited statement list with its own scope.
+type BlockStmt struct {
+	pos
+	Stmts []Stmt
+}
+
+// VarDecl declares a local variable with an optional initializer.
+type VarDecl struct {
+	pos
+	Name string
+	Type *TypeExpr
+	Init Expr // may be nil (zero value)
+}
+
+// AssignStmt assigns to a variable or array element.
+type AssignStmt struct {
+	pos
+	LHS Expr // IdentExpr or IndexExpr
+	RHS Expr
+}
+
+// IfStmt is a conditional with an optional else branch.
+type IfStmt struct {
+	pos
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt, or nil
+}
+
+// WhileStmt is a pre-tested loop.
+type WhileStmt struct {
+	pos
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ForStmt is a C-style for loop. Init and Post may be nil.
+type ForStmt struct {
+	pos
+	Init Stmt // VarDecl or AssignStmt
+	Cond Expr // may be nil (infinite)
+	Post Stmt // AssignStmt
+	Body *BlockStmt
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	pos
+	Value Expr // nil in void functions
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ pos }
+
+// ContinueStmt jumps to the innermost loop's post/condition.
+type ContinueStmt struct{ pos }
+
+// ExprStmt evaluates an expression for its side effects (calls).
+type ExprStmt struct {
+	pos
+	X Expr
+}
+
+func (s *BlockStmt) stmtPos() pos    { return s.pos }
+func (s *VarDecl) stmtPos() pos      { return s.pos }
+func (s *AssignStmt) stmtPos() pos   { return s.pos }
+func (s *IfStmt) stmtPos() pos       { return s.pos }
+func (s *WhileStmt) stmtPos() pos    { return s.pos }
+func (s *ForStmt) stmtPos() pos      { return s.pos }
+func (s *ReturnStmt) stmtPos() pos   { return s.pos }
+func (s *BreakStmt) stmtPos() pos    { return s.pos }
+func (s *ContinueStmt) stmtPos() pos { return s.pos }
+func (s *ExprStmt) stmtPos() pos     { return s.pos }
+
+// Expr is implemented by all expression nodes.
+type Expr interface{ exprPos() pos }
+
+// IdentExpr references a variable.
+type IdentExpr struct {
+	pos
+	Name string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	pos
+	Value int64
+}
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	pos
+	Value float64
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	pos
+	Value bool
+}
+
+// BinaryExpr is a binary operation identified by its token kind.
+type BinaryExpr struct {
+	pos
+	Op   tokKind
+	L, R Expr
+}
+
+// UnaryExpr is unary minus or logical not.
+type UnaryExpr struct {
+	pos
+	Op tokKind
+	X  Expr
+}
+
+// CallExpr calls a user function, a runtime builtin, or a type cast
+// spelled like a call (int(x), float(x)).
+type CallExpr struct {
+	pos
+	Name string
+	Args []Expr
+}
+
+// IndexExpr reads (or, as an assignment target, writes) ptr[idx].
+type IndexExpr struct {
+	pos
+	Ptr Expr
+	Idx Expr
+}
+
+func (e *IdentExpr) exprPos() pos  { return e.pos }
+func (e *IntLit) exprPos() pos     { return e.pos }
+func (e *FloatLit) exprPos() pos   { return e.pos }
+func (e *BoolLit) exprPos() pos    { return e.pos }
+func (e *BinaryExpr) exprPos() pos { return e.pos }
+func (e *UnaryExpr) exprPos() pos  { return e.pos }
+func (e *CallExpr) exprPos() pos   { return e.pos }
+func (e *IndexExpr) exprPos() pos  { return e.pos }

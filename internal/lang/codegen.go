@@ -1,0 +1,485 @@
+package lang
+
+import (
+	"fmt"
+
+	"ipas/internal/ir"
+	"ipas/internal/rt"
+)
+
+// Compile translates sci source text into a verified IR module with
+// runtime builtins declared, mem2reg and DCE applied (so the IR carries
+// the SSA/PHI structure the feature extractor expects), and SiteIDs
+// assigned.
+func Compile(src string) (*ir.Module, error) {
+	return compile(src, true)
+}
+
+// CompileNoOpt compiles without the mem2reg/DCE cleanup pipeline,
+// leaving every local variable as an alloca with loads and stores. Used
+// by property tests that check the optimization passes preserve
+// semantics.
+func CompileNoOpt(src string) (*ir.Module, error) {
+	return compile(src, false)
+}
+
+func compile(src string, optimize bool) (*ir.Module, error) {
+	file, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	cg := &codegen{
+		mod:   ir.NewModule(),
+		funcs: map[string]*ir.Func{},
+		decls: map[string]*FuncDecl{},
+	}
+	cg.builtins = rt.Declare(cg.mod)
+
+	// Declare signatures first so calls can be forward references.
+	for _, fd := range file.Funcs {
+		if _, dup := cg.decls[fd.Name]; dup {
+			return nil, errf(fd.line, fd.col, "duplicate function %q", fd.Name)
+		}
+		if _, isBuiltin := cg.builtins[fd.Name]; isBuiltin {
+			return nil, errf(fd.line, fd.col, "function %q shadows a builtin", fd.Name)
+		}
+		var names []string
+		var types []*ir.Type
+		for _, prm := range fd.Params {
+			t, err := cg.irType(prm.Type)
+			if err != nil {
+				return nil, err
+			}
+			names = append(names, prm.Name)
+			types = append(types, t)
+		}
+		ret := ir.Void
+		if fd.Ret != nil {
+			r, err := cg.irType(fd.Ret)
+			if err != nil {
+				return nil, err
+			}
+			ret = r
+		}
+		cg.funcs[fd.Name] = cg.mod.NewFunc(fd.Name, ret, names, types)
+		cg.decls[fd.Name] = fd
+	}
+	if cg.funcs["main"] == nil {
+		return nil, errf(1, 1, "missing func main")
+	}
+	if len(cg.funcs["main"].Params()) != 0 || cg.funcs["main"].RetType() != ir.Void {
+		return nil, errf(1, 1, "func main must take no parameters and return nothing")
+	}
+
+	for _, fd := range file.Funcs {
+		if err := cg.genFunc(fd); err != nil {
+			return nil, err
+		}
+	}
+
+	// LLVM-like cleanup pipeline: drop unreachable blocks created by
+	// early returns/breaks, promote locals to SSA, sweep dead code.
+	for _, f := range cg.mod.Funcs() {
+		if f.Builtin {
+			continue
+		}
+		ir.RemoveUnreachable(f)
+		if optimize {
+			ir.Mem2Reg(f)
+			ir.DCE(f)
+		}
+	}
+	if err := ir.Verify(cg.mod); err != nil {
+		return nil, fmt.Errorf("sci: internal error: generated invalid IR: %w", err)
+	}
+	cg.mod.AssignSiteIDs()
+	return cg.mod, nil
+}
+
+// MustCompile is Compile that panics on error; for embedded workloads.
+func MustCompile(src string) *ir.Module {
+	m, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+type codegen struct {
+	mod      *ir.Module
+	builtins map[string]*ir.Func
+	funcs    map[string]*ir.Func
+	decls    map[string]*FuncDecl
+}
+
+func (cg *codegen) irType(te *TypeExpr) (*ir.Type, error) {
+	var base *ir.Type
+	switch te.Base {
+	case "int":
+		base = ir.I64
+	case "float":
+		base = ir.F64
+	case "bool":
+		base = ir.I1
+	default:
+		return nil, errf(te.line, te.col, "unknown type %q", te.Base)
+	}
+	for i := 0; i < te.Stars; i++ {
+		if base == ir.I1 {
+			return nil, errf(te.line, te.col, "pointers to bool are not supported")
+		}
+		base = ir.PtrTo(base)
+	}
+	return base, nil
+}
+
+// varInfo binds a name to its stack slot.
+type varInfo struct {
+	slot *ir.Instr // alloca
+	typ  *ir.Type
+}
+
+// fctx is per-function code generation state.
+type fctx struct {
+	cg     *codegen
+	fn     *ir.Func
+	fd     *FuncDecl
+	b      *ir.Builder
+	allocB *ir.Builder // positioned in the entry block, before its br
+	scopes []map[string]*varInfo
+	loops  []loopTargets
+	// terminated is true when the current block already has a
+	// terminator; further statements open a dead block.
+	terminated bool
+}
+
+type loopTargets struct {
+	brk, cont *ir.Block
+}
+
+func (cg *codegen) genFunc(fd *FuncDecl) error {
+	fn := cg.funcs[fd.Name]
+	entry := fn.NewBlock("entry")
+	body := fn.NewBlock("body")
+	eb := ir.NewBuilder(entry)
+	entryBr := eb.Br(body)
+	eb.SetInsertBefore(entryBr)
+
+	fc := &fctx{
+		cg:     cg,
+		fn:     fn,
+		fd:     fd,
+		b:      ir.NewBuilder(body),
+		allocB: eb,
+		scopes: []map[string]*varInfo{{}},
+	}
+	// Spill parameters into stack slots so they are assignable; mem2reg
+	// lifts them back.
+	for i, prm := range fd.Params {
+		t := fn.Params()[i].Type()
+		slot := fc.allocB.Alloca(t, 1)
+		fc.allocB.Store(fn.Params()[i], slot)
+		fc.scopes[0][prm.Name] = &varInfo{slot: slot, typ: t}
+	}
+	if err := fc.genBlock(fd.Body); err != nil {
+		return err
+	}
+	if !fc.terminated {
+		if fn.RetType() == ir.Void {
+			fc.b.Ret(nil)
+		} else {
+			// Falling off the end of a value-returning function is a
+			// runtime abort.
+			fc.b.Trap(2)
+		}
+	}
+	return nil
+}
+
+func (fc *fctx) pushScope() { fc.scopes = append(fc.scopes, map[string]*varInfo{}) }
+func (fc *fctx) popScope()  { fc.scopes = fc.scopes[:len(fc.scopes)-1] }
+
+func (fc *fctx) lookup(name string) *varInfo {
+	for i := len(fc.scopes) - 1; i >= 0; i-- {
+		if v, ok := fc.scopes[i][name]; ok {
+			return v
+		}
+	}
+	return nil
+}
+
+func (fc *fctx) declare(p pos, name string, t *ir.Type) (*varInfo, error) {
+	cur := fc.scopes[len(fc.scopes)-1]
+	if _, dup := cur[name]; dup {
+		return nil, errf(p.line, p.col, "redeclared variable %q", name)
+	}
+	v := &varInfo{slot: fc.allocB.Alloca(t, 1), typ: t}
+	cur[name] = v
+	return v, nil
+}
+
+// startBlock switches emission to a new block, resetting termination.
+func (fc *fctx) startBlock(b *ir.Block) {
+	fc.b.SetBlock(b)
+	fc.terminated = false
+}
+
+// ensureLive opens a dead block if the current one is terminated, so
+// unreachable trailing statements still generate (and are later swept).
+func (fc *fctx) ensureLive() {
+	if fc.terminated {
+		fc.startBlock(fc.fn.NewBlock("dead"))
+	}
+}
+
+func (fc *fctx) genBlock(b *BlockStmt) error {
+	fc.pushScope()
+	defer fc.popScope()
+	for _, s := range b.Stmts {
+		if err := fc.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (fc *fctx) genStmt(s Stmt) error {
+	fc.ensureLive()
+	switch s := s.(type) {
+	case *BlockStmt:
+		return fc.genBlock(s)
+	case *VarDecl:
+		t, err := fc.cg.irType(s.Type)
+		if err != nil {
+			return err
+		}
+		v, err := fc.declare(s.pos, s.Name, t)
+		if err != nil {
+			return err
+		}
+		var init ir.Value
+		if s.Init != nil {
+			iv, it, err := fc.genExpr(s.Init)
+			if err != nil {
+				return err
+			}
+			if it != t {
+				return errf(s.line, s.col, "cannot initialize %s with %s", t, it)
+			}
+			init = iv
+		} else {
+			init = zeroConst(t)
+		}
+		fc.b.Store(init, v.slot)
+		return nil
+	case *AssignStmt:
+		return fc.genAssign(s)
+	case *IfStmt:
+		return fc.genIf(s)
+	case *WhileStmt:
+		return fc.genWhile(s)
+	case *ForStmt:
+		return fc.genFor(s)
+	case *ReturnStmt:
+		return fc.genReturn(s)
+	case *BreakStmt:
+		if len(fc.loops) == 0 {
+			return errf(s.line, s.col, "break outside loop")
+		}
+		fc.b.Br(fc.loops[len(fc.loops)-1].brk)
+		fc.terminated = true
+		return nil
+	case *ContinueStmt:
+		if len(fc.loops) == 0 {
+			return errf(s.line, s.col, "continue outside loop")
+		}
+		fc.b.Br(fc.loops[len(fc.loops)-1].cont)
+		fc.terminated = true
+		return nil
+	case *ExprStmt:
+		_, _, err := fc.genExprAllowVoid(s.X)
+		return err
+	}
+	return fmt.Errorf("sci: unknown statement %T", s)
+}
+
+func zeroConst(t *ir.Type) ir.Value {
+	switch {
+	case t.IsFloat():
+		return ir.ConstFloat(0)
+	case t.IsPtr():
+		return ir.NullPtr(t)
+	default:
+		return ir.ConstInt(t, 0)
+	}
+}
+
+func (fc *fctx) genAssign(s *AssignStmt) error {
+	rv, rtype, err := fc.genExpr(s.RHS)
+	if err != nil {
+		return err
+	}
+	switch lhs := s.LHS.(type) {
+	case *IdentExpr:
+		v := fc.lookup(lhs.Name)
+		if v == nil {
+			return errf(lhs.line, lhs.col, "undefined variable %q", lhs.Name)
+		}
+		if rtype != v.typ {
+			return errf(s.line, s.col, "cannot assign %s to %s variable", rtype, v.typ)
+		}
+		fc.b.Store(rv, v.slot)
+		return nil
+	case *IndexExpr:
+		ptr, elem, err := fc.genIndexAddr(lhs)
+		if err != nil {
+			return err
+		}
+		if rtype != elem {
+			return errf(s.line, s.col, "cannot store %s into %s element", rtype, elem)
+		}
+		fc.b.Store(rv, ptr)
+		return nil
+	}
+	return errf(s.line, s.col, "invalid assignment target")
+}
+
+func (fc *fctx) genIf(s *IfStmt) error {
+	cond, ct, err := fc.genExpr(s.Cond)
+	if err != nil {
+		return err
+	}
+	if ct != ir.I1 {
+		return errf(s.line, s.col, "if condition must be bool, got %s", ct)
+	}
+	thenB := fc.fn.NewBlock("then")
+	mergeB := fc.fn.NewBlock("endif")
+	elseB := mergeB
+	if s.Else != nil {
+		elseB = fc.fn.NewBlock("else")
+	}
+	fc.b.CondBr(cond, thenB, elseB)
+
+	fc.startBlock(thenB)
+	if err := fc.genBlock(s.Then); err != nil {
+		return err
+	}
+	if !fc.terminated {
+		fc.b.Br(mergeB)
+	}
+	if s.Else != nil {
+		fc.startBlock(elseB)
+		if err := fc.genStmt(s.Else); err != nil {
+			return err
+		}
+		if !fc.terminated {
+			fc.b.Br(mergeB)
+		}
+	}
+	fc.startBlock(mergeB)
+	return nil
+}
+
+func (fc *fctx) genWhile(s *WhileStmt) error {
+	condB := fc.fn.NewBlock("while.cond")
+	bodyB := fc.fn.NewBlock("while.body")
+	exitB := fc.fn.NewBlock("while.end")
+	fc.b.Br(condB)
+
+	fc.startBlock(condB)
+	cond, ct, err := fc.genExpr(s.Cond)
+	if err != nil {
+		return err
+	}
+	if ct != ir.I1 {
+		return errf(s.line, s.col, "while condition must be bool, got %s", ct)
+	}
+	fc.b.CondBr(cond, bodyB, exitB)
+
+	fc.startBlock(bodyB)
+	fc.loops = append(fc.loops, loopTargets{brk: exitB, cont: condB})
+	err = fc.genBlock(s.Body)
+	fc.loops = fc.loops[:len(fc.loops)-1]
+	if err != nil {
+		return err
+	}
+	if !fc.terminated {
+		fc.b.Br(condB)
+	}
+	fc.startBlock(exitB)
+	return nil
+}
+
+func (fc *fctx) genFor(s *ForStmt) error {
+	fc.pushScope()
+	defer fc.popScope()
+	if s.Init != nil {
+		if err := fc.genStmt(s.Init); err != nil {
+			return err
+		}
+	}
+	condB := fc.fn.NewBlock("for.cond")
+	bodyB := fc.fn.NewBlock("for.body")
+	postB := fc.fn.NewBlock("for.post")
+	exitB := fc.fn.NewBlock("for.end")
+	fc.b.Br(condB)
+
+	fc.startBlock(condB)
+	if s.Cond != nil {
+		cond, ct, err := fc.genExpr(s.Cond)
+		if err != nil {
+			return err
+		}
+		if ct != ir.I1 {
+			return errf(s.line, s.col, "for condition must be bool, got %s", ct)
+		}
+		fc.b.CondBr(cond, bodyB, exitB)
+	} else {
+		fc.b.Br(bodyB)
+	}
+
+	fc.startBlock(bodyB)
+	fc.loops = append(fc.loops, loopTargets{brk: exitB, cont: postB})
+	err := fc.genBlock(s.Body)
+	fc.loops = fc.loops[:len(fc.loops)-1]
+	if err != nil {
+		return err
+	}
+	if !fc.terminated {
+		fc.b.Br(postB)
+	}
+
+	fc.startBlock(postB)
+	if s.Post != nil {
+		if err := fc.genStmt(s.Post); err != nil {
+			return err
+		}
+	}
+	if !fc.terminated {
+		fc.b.Br(condB)
+	}
+	fc.startBlock(exitB)
+	return nil
+}
+
+func (fc *fctx) genReturn(s *ReturnStmt) error {
+	want := fc.fn.RetType()
+	if s.Value == nil {
+		if want != ir.Void {
+			return errf(s.line, s.col, "missing return value (want %s)", want)
+		}
+		fc.b.Ret(nil)
+		fc.terminated = true
+		return nil
+	}
+	v, t, err := fc.genExpr(s.Value)
+	if err != nil {
+		return err
+	}
+	if t != want {
+		return errf(s.line, s.col, "return type mismatch: have %s, want %s", t, want)
+	}
+	fc.b.Ret(v)
+	fc.terminated = true
+	return nil
+}

@@ -1,0 +1,296 @@
+package lang
+
+import (
+	"ipas/internal/ir"
+)
+
+// genExpr generates code for an expression that must produce a value.
+func (fc *fctx) genExpr(e Expr) (ir.Value, *ir.Type, error) {
+	v, t, err := fc.genExprAllowVoid(e)
+	if err != nil {
+		return nil, nil, err
+	}
+	if t == ir.Void {
+		p := e.exprPos()
+		return nil, nil, errf(p.line, p.col, "void value used in expression")
+	}
+	return v, t, nil
+}
+
+// genExprAllowVoid also accepts calls to void functions (for statement
+// position).
+func (fc *fctx) genExprAllowVoid(e Expr) (ir.Value, *ir.Type, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		return ir.ConstInt(ir.I64, e.Value), ir.I64, nil
+	case *FloatLit:
+		return ir.ConstFloat(e.Value), ir.F64, nil
+	case *BoolLit:
+		return ir.ConstBool(e.Value), ir.I1, nil
+	case *IdentExpr:
+		v := fc.lookup(e.Name)
+		if v == nil {
+			return nil, nil, errf(e.line, e.col, "undefined variable %q", e.Name)
+		}
+		return fc.b.Load(v.slot), v.typ, nil
+	case *IndexExpr:
+		ptr, elem, err := fc.genIndexAddr(e)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fc.b.Load(ptr), elem, nil
+	case *UnaryExpr:
+		return fc.genUnary(e)
+	case *BinaryExpr:
+		return fc.genBinary(e)
+	case *CallExpr:
+		return fc.genCall(e)
+	}
+	p := e.exprPos()
+	return nil, nil, errf(p.line, p.col, "unsupported expression")
+}
+
+// genIndexAddr computes the element address of ptr[idx].
+func (fc *fctx) genIndexAddr(e *IndexExpr) (ir.Value, *ir.Type, error) {
+	pv, pt, err := fc.genExpr(e.Ptr)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !pt.IsPtr() {
+		return nil, nil, errf(e.line, e.col, "indexing non-pointer type %s", pt)
+	}
+	iv, it, err := fc.genExpr(e.Idx)
+	if err != nil {
+		return nil, nil, err
+	}
+	if it != ir.I64 {
+		return nil, nil, errf(e.line, e.col, "index must be int, got %s", it)
+	}
+	return fc.b.GEP(pv, iv), pt.Elem(), nil
+}
+
+func (fc *fctx) genUnary(e *UnaryExpr) (ir.Value, *ir.Type, error) {
+	v, t, err := fc.genExpr(e.X)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch e.Op {
+	case tokMinus:
+		switch {
+		case t == ir.I64:
+			return fc.b.Sub(ir.ConstInt(ir.I64, 0), v), ir.I64, nil
+		case t == ir.F64:
+			return fc.b.FSub(ir.ConstFloat(0), v), ir.F64, nil
+		}
+		return nil, nil, errf(e.line, e.col, "unary '-' on %s", t)
+	case tokNot:
+		if t != ir.I1 {
+			return nil, nil, errf(e.line, e.col, "'!' on non-bool %s", t)
+		}
+		return fc.b.Xor(v, ir.ConstBool(true)), ir.I1, nil
+	}
+	return nil, nil, errf(e.line, e.col, "unsupported unary operator")
+}
+
+func (fc *fctx) genBinary(e *BinaryExpr) (ir.Value, *ir.Type, error) {
+	// Short-circuit logical operators introduce control flow.
+	if e.Op == tokAndAnd || e.Op == tokOrOr {
+		return fc.genShortCircuit(e)
+	}
+	lv, lt, err := fc.genExpr(e.L)
+	if err != nil {
+		return nil, nil, err
+	}
+	rv, rtyp, err := fc.genExpr(e.R)
+	if err != nil {
+		return nil, nil, err
+	}
+	if lt != rtyp {
+		return nil, nil, errf(e.line, e.col, "operand type mismatch: %s vs %s", lt, rtyp)
+	}
+	bad := func() (ir.Value, *ir.Type, error) {
+		return nil, nil, errf(e.line, e.col, "invalid operand type %s", lt)
+	}
+	switch e.Op {
+	case tokPlus, tokMinus, tokStar, tokSlash, tokPercent:
+		switch lt {
+		case ir.I64:
+			switch e.Op {
+			case tokPlus:
+				return fc.b.Add(lv, rv), lt, nil
+			case tokMinus:
+				return fc.b.Sub(lv, rv), lt, nil
+			case tokStar:
+				return fc.b.Mul(lv, rv), lt, nil
+			case tokSlash:
+				return fc.b.SDiv(lv, rv), lt, nil
+			default:
+				return fc.b.SRem(lv, rv), lt, nil
+			}
+		case ir.F64:
+			switch e.Op {
+			case tokPlus:
+				return fc.b.FAdd(lv, rv), lt, nil
+			case tokMinus:
+				return fc.b.FSub(lv, rv), lt, nil
+			case tokStar:
+				return fc.b.FMul(lv, rv), lt, nil
+			case tokSlash:
+				return fc.b.FDiv(lv, rv), lt, nil
+			default:
+				return bad()
+			}
+		}
+		return bad()
+	case tokAmp, tokPipe, tokCaret, tokShl, tokShr:
+		if lt != ir.I64 {
+			return bad()
+		}
+		switch e.Op {
+		case tokAmp:
+			return fc.b.And(lv, rv), lt, nil
+		case tokPipe:
+			return fc.b.Or(lv, rv), lt, nil
+		case tokCaret:
+			return fc.b.Xor(lv, rv), lt, nil
+		case tokShl:
+			return fc.b.Shl(lv, rv), lt, nil
+		default:
+			return fc.b.AShr(lv, rv), lt, nil
+		}
+	case tokEq, tokNe, tokLt, tokLe, tokGt, tokGe:
+		pred := map[tokKind]ir.Pred{
+			tokEq: ir.PredEQ, tokNe: ir.PredNE, tokLt: ir.PredLT,
+			tokLe: ir.PredLE, tokGt: ir.PredGT, tokGe: ir.PredGE,
+		}[e.Op]
+		switch {
+		case lt == ir.F64:
+			return fc.b.FCmp(pred, lv, rv), ir.I1, nil
+		case lt.IsInt() || lt.IsPtr():
+			if lt == ir.I1 && pred != ir.PredEQ && pred != ir.PredNE {
+				return bad()
+			}
+			return fc.b.ICmp(pred, lv, rv), ir.I1, nil
+		}
+		return bad()
+	}
+	return nil, nil, errf(e.line, e.col, "unsupported binary operator")
+}
+
+// genShortCircuit lowers && and || into control flow with a PHI merge.
+func (fc *fctx) genShortCircuit(e *BinaryExpr) (ir.Value, *ir.Type, error) {
+	lv, lt, err := fc.genExpr(e.L)
+	if err != nil {
+		return nil, nil, err
+	}
+	if lt != ir.I1 {
+		return nil, nil, errf(e.line, e.col, "logical operator on non-bool %s", lt)
+	}
+	rhsB := fc.fn.NewBlock("sc.rhs")
+	mergeB := fc.fn.NewBlock("sc.end")
+	lhsEnd := fc.b.Block()
+	if e.Op == tokAndAnd {
+		fc.b.CondBr(lv, rhsB, mergeB)
+	} else {
+		fc.b.CondBr(lv, mergeB, rhsB)
+	}
+
+	fc.startBlock(rhsB)
+	rv, rtyp, err := fc.genExpr(e.R)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rtyp != ir.I1 {
+		return nil, nil, errf(e.line, e.col, "logical operator on non-bool %s", rtyp)
+	}
+	rhsEnd := fc.b.Block()
+	fc.b.Br(mergeB)
+
+	fc.startBlock(mergeB)
+	phi := fc.b.Phi(ir.I1)
+	ir.AddIncoming(phi, ir.ConstBool(e.Op == tokOrOr), lhsEnd)
+	ir.AddIncoming(phi, rv, rhsEnd)
+	return phi, ir.I1, nil
+}
+
+func (fc *fctx) genCall(e *CallExpr) (ir.Value, *ir.Type, error) {
+	// Type casts spelled as calls.
+	if e.Name == "int" || e.Name == "float" {
+		return fc.genCast(e)
+	}
+	// offset(p, i) is pointer arithmetic, lowered directly to GEP.
+	if e.Name == "offset" {
+		if len(e.Args) != 2 {
+			return nil, nil, errf(e.line, e.col, "offset() takes (pointer, int)")
+		}
+		pv, pt, err := fc.genExpr(e.Args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		if !pt.IsPtr() {
+			return nil, nil, errf(e.line, e.col, "offset() first argument must be a pointer, got %s", pt)
+		}
+		iv, it, err := fc.genExpr(e.Args[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		if it != ir.I64 {
+			return nil, nil, errf(e.line, e.col, "offset() second argument must be int, got %s", it)
+		}
+		return fc.b.GEP(pv, iv), pt, nil
+	}
+	callee := fc.cg.funcs[e.Name]
+	if callee == nil {
+		callee = fc.cg.builtins[e.Name]
+	}
+	if callee == nil {
+		return nil, nil, errf(e.line, e.col, "undefined function %q", e.Name)
+	}
+	if len(e.Args) != len(callee.Params()) {
+		return nil, nil, errf(e.line, e.col, "%s takes %d arguments, got %d",
+			e.Name, len(callee.Params()), len(e.Args))
+	}
+	args := make([]ir.Value, len(e.Args))
+	for i, a := range e.Args {
+		av, at, err := fc.genExpr(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		want := callee.Params()[i].Type()
+		if at != want {
+			return nil, nil, errf(e.line, e.col, "%s argument %d: have %s, want %s",
+				e.Name, i+1, at, want)
+		}
+		args[i] = av
+	}
+	call := fc.b.Call(callee, args...)
+	return call, callee.RetType(), nil
+}
+
+func (fc *fctx) genCast(e *CallExpr) (ir.Value, *ir.Type, error) {
+	if len(e.Args) != 1 {
+		return nil, nil, errf(e.line, e.col, "%s() takes exactly one argument", e.Name)
+	}
+	v, t, err := fc.genExpr(e.Args[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	if e.Name == "int" {
+		switch t {
+		case ir.I64:
+			return v, ir.I64, nil
+		case ir.F64:
+			return fc.b.FPToSI(v, ir.I64), ir.I64, nil
+		case ir.I1:
+			return fc.b.ZExt(v, ir.I64), ir.I64, nil
+		}
+		return nil, nil, errf(e.line, e.col, "cannot convert %s to int", t)
+	}
+	switch t {
+	case ir.F64:
+		return v, ir.F64, nil
+	case ir.I64:
+		return fc.b.SIToFP(v), ir.F64, nil
+	}
+	return nil, nil, errf(e.line, e.col, "cannot convert %s to float", t)
+}

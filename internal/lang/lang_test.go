@@ -1,0 +1,231 @@
+package lang
+
+import (
+	"testing"
+
+	"ipas/internal/interp"
+	"ipas/internal/ir"
+)
+
+// runMain compiles and executes src, returning the result.
+func runMain(t *testing.T, src string) *interp.Result {
+	t.Helper()
+	m, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	p, err := interp.Compile(m, nil)
+	if err != nil {
+		t.Fatalf("interp compile: %v", err)
+	}
+	res := interp.Run(p, interp.Config{})
+	return res
+}
+
+func TestHelloSum(t *testing.T) {
+	res := runMain(t, `
+func main() {
+	var s int = 0;
+	for (var i int = 0; i < 10; i = i + 1) {
+		s = s + i * i;
+	}
+	out_i64(0, s);
+}
+`)
+	if res.Trap != interp.TrapNone {
+		t.Fatalf("trap: %v %s", res.Trap, res.TrapMsg)
+	}
+	if res.OutputI[0] != 285 {
+		t.Fatalf("sum = %d, want 285", res.OutputI[0])
+	}
+}
+
+func TestFunctionsAndFloats(t *testing.T) {
+	res := runMain(t, `
+func hypot(a float, b float) float {
+	return sqrt(a*a + b*b);
+}
+func main() {
+	out_f64(0, hypot(3.0, 4.0));
+}
+`)
+	if res.Trap != interp.TrapNone {
+		t.Fatalf("trap: %v %s", res.Trap, res.TrapMsg)
+	}
+	if res.OutputF[0] != 5.0 {
+		t.Fatalf("hypot = %v, want 5", res.OutputF[0])
+	}
+}
+
+func TestArraysAndWhile(t *testing.T) {
+	res := runMain(t, `
+func main() {
+	var n int = 100;
+	var a *float = malloc_f64(n);
+	var i int = 0;
+	while (i < n) {
+		a[i] = float(i) * 0.5;
+		i = i + 1;
+	}
+	var s float = 0.0;
+	for (var j int = 0; j < n; j = j + 1) {
+		s = s + a[j];
+	}
+	out_f64(0, s);
+}
+`)
+	if res.Trap != interp.TrapNone {
+		t.Fatalf("trap: %v %s", res.Trap, res.TrapMsg)
+	}
+	if want := 0.5 * 99 * 100 / 2; res.OutputF[0] != want {
+		t.Fatalf("sum = %v, want %v", res.OutputF[0], want)
+	}
+}
+
+func TestShortCircuitAndRecursion(t *testing.T) {
+	res := runMain(t, `
+func fib(n int) int {
+	if (n < 2) {
+		return n;
+	}
+	return fib(n-1) + fib(n-2);
+}
+func main() {
+	var x int = 7;
+	if (x > 3 && fib(x) == 13) {
+		out_i64(0, 1);
+	} else {
+		out_i64(0, 0);
+	}
+	// || must not evaluate the RHS when the LHS is true.
+	var guard int = 0;
+	if (x > 0 || 1/guard == 0) {
+		out_i64(1, 42);
+	}
+}
+`)
+	if res.Trap != interp.TrapNone {
+		t.Fatalf("trap: %v %s", res.Trap, res.TrapMsg)
+	}
+	if res.OutputI[0] != 1 || res.OutputI[1] != 42 {
+		t.Fatalf("outputs = %v", res.OutputI)
+	}
+}
+
+func TestBreakContinueElseIf(t *testing.T) {
+	res := runMain(t, `
+func main() {
+	var s int = 0;
+	for (var i int = 0; i < 100; i = i + 1) {
+		if (i % 2 == 0) {
+			continue;
+		} else if (i > 10) {
+			break;
+		}
+		s = s + i;
+	}
+	out_i64(0, s); // 1+3+5+7+9 = 25
+}
+`)
+	if res.Trap != interp.TrapNone || res.OutputI[0] != 25 {
+		t.Fatalf("trap=%v out=%v, want 25", res.Trap, res.OutputI)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"type mismatch", `func main() { var x int = 1.5; }`},
+		{"undefined var", `func main() { y = 1; }`},
+		{"undefined func", `func main() { frob(); }`},
+		{"missing main", `func helper() {}`},
+		{"bad arity", `func main() { out_i64(1); }`},
+		{"void in expr", `func main() { var x int = int(out_i64(0,0)); }`},
+		{"break outside loop", `func main() { break; }`},
+		{"dup function", `func main() {} func main() {}`},
+		{"shadow builtin", `func sqrt(x float) float { return x; } func main() {}`},
+		{"non-bool cond", `func main() { if (1) {} }`},
+		{"float mod", `func main() { var x float = 1.0 % 2.0; }`},
+	}
+	for _, c := range cases {
+		if _, err := Compile(c.src); err == nil {
+			t.Errorf("%s: compile succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestMem2RegProducesPhis(t *testing.T) {
+	m, err := Compile(`
+func main() {
+	var s int = 0;
+	for (var i int = 0; i < 10; i = i + 1) {
+		s = s + i;
+	}
+	out_i64(0, s);
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phis, allocas := 0, 0
+	for _, f := range m.Funcs() {
+		for _, b := range f.Blocks() {
+			for _, in := range b.Instrs() {
+				switch in.Op() {
+				case ir.OpPhi:
+					phis++
+				case ir.OpAlloca:
+					allocas++
+				}
+			}
+		}
+	}
+	if phis == 0 {
+		t.Error("expected PHI nodes after mem2reg")
+	}
+	if allocas != 0 {
+		t.Errorf("expected all allocas promoted, found %d", allocas)
+	}
+}
+
+func TestIRRoundtripAfterCompile(t *testing.T) {
+	m, err := Compile(`
+func axpy(n int, a float, x *float, y *float) {
+	for (var i int = 0; i < n; i = i + 1) {
+		y[i] = a * x[i] + y[i];
+	}
+}
+func main() {
+	var n int = 8;
+	var x *float = malloc_f64(n);
+	var y *float = malloc_f64(n);
+	for (var i int = 0; i < n; i = i + 1) {
+		x[i] = 1.0;
+		y[i] = 2.0;
+	}
+	axpy(n, 3.0, x, y);
+	out_f64(0, y[7]);
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := ir.Print(m)
+	m2, err := ir.Parse(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if err := ir.Verify(m2); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	m2.AssignSiteIDs()
+	p, err := interp.Compile(m2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := interp.Run(p, interp.Config{})
+	if res.Trap != interp.TrapNone || res.OutputF[0] != 5.0 {
+		t.Fatalf("trap=%v out=%v, want 5", res.Trap, res.OutputF)
+	}
+}

@@ -1,0 +1,203 @@
+package lang
+
+// lexer converts sci source text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+	toks []token
+}
+
+// lex tokenizes the whole source.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	for {
+		tk, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tk)
+		if tk.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			line, col := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos+1 < len(l.src) {
+				if l.peekByte() == '*' && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return errf(line, col, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	c := l.advance()
+
+	mk := func(k tokKind, text string) (token, error) {
+		return token{kind: k, text: text, line: line, col: col}, nil
+	}
+
+	switch {
+	case isAlpha(c):
+		start := l.pos - 1
+		for l.pos < len(l.src) && isAlnum(l.peekByte()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		if k, ok := keywords[text]; ok {
+			return mk(k, text)
+		}
+		return mk(tokIdent, text)
+	case isDigit(c):
+		start := l.pos - 1
+		isFloat := false
+		for l.pos < len(l.src) && isDigit(l.peekByte()) {
+			l.advance()
+		}
+		if l.peekByte() == '.' {
+			isFloat = true
+			l.advance()
+			for l.pos < len(l.src) && isDigit(l.peekByte()) {
+				l.advance()
+			}
+		}
+		if l.peekByte() == 'e' || l.peekByte() == 'E' {
+			isFloat = true
+			l.advance()
+			if l.peekByte() == '+' || l.peekByte() == '-' {
+				l.advance()
+			}
+			if !isDigit(l.peekByte()) {
+				return token{}, errf(l.line, l.col, "malformed exponent")
+			}
+			for l.pos < len(l.src) && isDigit(l.peekByte()) {
+				l.advance()
+			}
+		}
+		text := l.src[start:l.pos]
+		if isFloat {
+			return mk(tokFloatLit, text)
+		}
+		return mk(tokIntLit, text)
+	}
+
+	two := func(next byte, withKind, withoutKind tokKind) (token, error) {
+		if l.peekByte() == next {
+			l.advance()
+			return mk(withKind, string(c)+string(next))
+		}
+		return mk(withoutKind, string(c))
+	}
+
+	switch c {
+	case '(':
+		return mk(tokLParen, "(")
+	case ')':
+		return mk(tokRParen, ")")
+	case '{':
+		return mk(tokLBrace, "{")
+	case '}':
+		return mk(tokRBrace, "}")
+	case '[':
+		return mk(tokLBracket, "[")
+	case ']':
+		return mk(tokRBracket, "]")
+	case ',':
+		return mk(tokComma, ",")
+	case ';':
+		return mk(tokSemi, ";")
+	case '+':
+		return mk(tokPlus, "+")
+	case '-':
+		return mk(tokMinus, "-")
+	case '*':
+		return mk(tokStar, "*")
+	case '/':
+		return mk(tokSlash, "/")
+	case '%':
+		return mk(tokPercent, "%")
+	case '^':
+		return mk(tokCaret, "^")
+	case '=':
+		return two('=', tokEq, tokAssign)
+	case '!':
+		return two('=', tokNe, tokNot)
+	case '<':
+		if l.peekByte() == '<' {
+			l.advance()
+			return mk(tokShl, "<<")
+		}
+		return two('=', tokLe, tokLt)
+	case '>':
+		if l.peekByte() == '>' {
+			l.advance()
+			return mk(tokShr, ">>")
+		}
+		return two('=', tokGe, tokGt)
+	case '&':
+		return two('&', tokAndAnd, tokAmp)
+	case '|':
+		return two('|', tokOrOr, tokPipe)
+	}
+	return token{}, errf(line, col, "unexpected character %q", string(c))
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlnum(c byte) bool { return isAlpha(c) || isDigit(c) }

@@ -1,0 +1,475 @@
+package lang
+
+import "strconv"
+
+// parser is a recursive-descent parser with precedence climbing for
+// expressions.
+type parser struct {
+	toks []token
+	i    int
+}
+
+// parse builds the AST for a source file.
+func parse(src string) (*File, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for p.peek().kind != tokEOF {
+		fd, err := p.funcDecl()
+		if err != nil {
+			return nil, err
+		}
+		f.Funcs = append(f.Funcs, fd)
+	}
+	return f, nil
+}
+
+func (p *parser) peek() token       { return p.toks[p.i] }
+func (p *parser) next() token       { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) at(k tokKind) bool { return p.peek().kind == k }
+
+func (p *parser) accept(k tokKind) bool {
+	if p.at(k) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.peek()
+	if t.kind != k {
+		return t, errf(t.line, t.col, "expected %s, got %s", what, t)
+	}
+	p.i++
+	return t, nil
+}
+
+func tokenPos(t token) pos { return pos{t.line, t.col} }
+
+// typeExpr parses "*...*base".
+func (p *parser) typeExpr() (*TypeExpr, error) {
+	t := p.peek()
+	te := &TypeExpr{pos: tokenPos(t)}
+	for p.accept(tokStar) {
+		te.Stars++
+	}
+	switch p.peek().kind {
+	case tokInt:
+		te.Base = "int"
+	case tokFloat:
+		te.Base = "float"
+	case tokBool:
+		te.Base = "bool"
+	default:
+		t := p.peek()
+		return nil, errf(t.line, t.col, "expected type, got %s", t)
+	}
+	p.i++
+	return te, nil
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	kw, err := p.expect(tokFunc, "'func'")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "function name")
+	if err != nil {
+		return nil, err
+	}
+	fd := &FuncDecl{pos: tokenPos(kw), Name: name.text}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	for !p.at(tokRParen) {
+		if len(fd.Params) > 0 {
+			if _, err := p.expect(tokComma, "','"); err != nil {
+				return nil, err
+			}
+		}
+		pn, err := p.expect(tokIdent, "parameter name")
+		if err != nil {
+			return nil, err
+		}
+		pt, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		fd.Params = append(fd.Params, ParamDecl{pos: tokenPos(pn), Name: pn.text, Type: pt})
+	}
+	p.i++ // ')'
+	if !p.at(tokLBrace) {
+		ret, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		fd.Ret = ret
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return fd, nil
+}
+
+func (p *parser) block() (*BlockStmt, error) {
+	lb, err := p.expect(tokLBrace, "'{'")
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{pos: tokenPos(lb)}
+	for !p.at(tokRBrace) {
+		if p.at(tokEOF) {
+			return nil, errf(lb.line, lb.col, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.i++ // '}'
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokLBrace:
+		return p.block()
+	case tokVar:
+		s, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case tokIf:
+		return p.ifStmt()
+	case tokWhile:
+		p.i++
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{pos: tokenPos(t), Cond: cond, Body: body}, nil
+	case tokFor:
+		return p.forStmt()
+	case tokReturn:
+		p.i++
+		rs := &ReturnStmt{pos: tokenPos(t)}
+		if !p.at(tokSemi) {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			rs.Value = v
+		}
+		if _, err := p.expect(tokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return rs, nil
+	case tokBreak:
+		p.i++
+		if _, err := p.expect(tokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{pos: tokenPos(t)}, nil
+	case tokContinue:
+		p.i++
+		if _, err := p.expect(tokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{pos: tokenPos(t)}, nil
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// varDecl parses "var name type [= expr]" (no trailing ';').
+func (p *parser) varDecl() (Stmt, error) {
+	kw := p.next() // 'var'
+	name, err := p.expect(tokIdent, "variable name")
+	if err != nil {
+		return nil, err
+	}
+	ty, err := p.typeExpr()
+	if err != nil {
+		return nil, err
+	}
+	vd := &VarDecl{pos: tokenPos(kw), Name: name.text, Type: ty}
+	if p.accept(tokAssign) {
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		vd.Init = init
+	}
+	return vd, nil
+}
+
+// simpleStmt parses an assignment or an expression statement (no ';').
+func (p *parser) simpleStmt() (Stmt, error) {
+	t := p.peek()
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokAssign) {
+		switch x.(type) {
+		case *IdentExpr, *IndexExpr:
+		default:
+			return nil, errf(t.line, t.col, "invalid assignment target")
+		}
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{pos: tokenPos(t), LHS: x, RHS: rhs}, nil
+	}
+	if _, ok := x.(*CallExpr); !ok {
+		return nil, errf(t.line, t.col, "expression statement must be a call")
+	}
+	return &ExprStmt{pos: tokenPos(t), X: x}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	t := p.next() // 'if'
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	is := &IfStmt{pos: tokenPos(t), Cond: cond, Then: then}
+	if p.accept(tokElse) {
+		if p.at(tokIf) {
+			es, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			is.Else = es
+		} else {
+			eb, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			is.Else = eb
+		}
+	}
+	return is, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	t := p.next() // 'for'
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	fs := &ForStmt{pos: tokenPos(t)}
+	if !p.at(tokSemi) {
+		var err error
+		if p.at(tokVar) {
+			fs.Init, err = p.varDecl()
+		} else {
+			fs.Init, err = p.simpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokSemi) {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		fs.Cond = cond
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokRParen) {
+		post, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		fs.Post = post
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fs.Body = body
+	return fs, nil
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[tokKind]int{
+	tokOrOr:   1,
+	tokAndAnd: 2,
+	tokPipe:   3,
+	tokCaret:  4,
+	tokAmp:    5,
+	tokEq:     6, tokNe: 6,
+	tokLt: 7, tokLe: 7, tokGt: 7, tokGe: 7,
+	tokShl: 8, tokShr: 8,
+	tokPlus: 9, tokMinus: 9,
+	tokStar: 10, tokSlash: 10, tokPercent: 10,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binExpr(1) }
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		prec, ok := binPrec[t.kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.i++
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{pos: tokenPos(t), Op: t.kind, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokMinus, tokNot:
+		p.i++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{pos: tokenPos(t), Op: t.kind, X: x}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokLBracket) {
+		lb := p.next()
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBracket, "']'"); err != nil {
+			return nil, err
+		}
+		x = &IndexExpr{pos: tokenPos(lb), Ptr: x, Idx: idx}
+	}
+	return x, nil
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIntLit:
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, errf(t.line, t.col, "bad integer literal %q", t.text)
+		}
+		return &IntLit{pos: tokenPos(t), Value: v}, nil
+	case tokFloatLit:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, errf(t.line, t.col, "bad float literal %q", t.text)
+		}
+		return &FloatLit{pos: tokenPos(t), Value: v}, nil
+	case tokTrue:
+		return &BoolLit{pos: tokenPos(t), Value: true}, nil
+	case tokFalse:
+		return &BoolLit{pos: tokenPos(t), Value: false}, nil
+	case tokLParen:
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case tokInt, tokFloat: // cast spelled as call: int(x), float(x)
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		arg, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return &CallExpr{pos: tokenPos(t), Name: t.text, Args: []Expr{arg}}, nil
+	case tokIdent:
+		if p.at(tokLParen) {
+			p.i++
+			call := &CallExpr{pos: tokenPos(t), Name: t.text}
+			for !p.at(tokRParen) {
+				if len(call.Args) > 0 {
+					if _, err := p.expect(tokComma, "','"); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			p.i++ // ')'
+			return call, nil
+		}
+		return &IdentExpr{pos: tokenPos(t), Name: t.text}, nil
+	}
+	return nil, errf(t.line, t.col, "unexpected token %s", t)
+}

@@ -1,0 +1,223 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ipas/internal/interp"
+)
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := lex(`func main() { var x int = 42; // comment
+	/* block
+	   comment */ x = x << 2; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	want := []tokKind{tokFunc, tokIdent, tokLParen, tokRParen, tokLBrace,
+		tokVar, tokIdent, tokInt, tokAssign, tokIntLit, tokSemi,
+		tokIdent, tokAssign, tokIdent, tokShl, tokIntLit, tokSemi, tokRBrace, tokEOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(kinds), len(want))
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	cases := []string{
+		"func main() { $ }",
+		"/* unterminated",
+		"func main() { var x float = 1e; }",
+	}
+	for _, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	_, err := Compile("func main() {\n\tvar x int = yy;\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	e, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if e.Line != 2 {
+		t.Errorf("error line = %d, want 2", e.Line)
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"missing semi", "func main() { var x int = 1 }"},
+		{"missing paren", "func main() { if (true { } }"},
+		{"bad assignment target", "func main() { 1 = 2; }"},
+		{"expr stmt not call", "func main() { 1 + 2; }"},
+		{"unterminated block", "func main() { if (true) {"},
+		{"missing type", "func main() { var x = 1; }"},
+		{"top level junk", "int x;"},
+		{"param missing type", "func f(a) { } func main() { }"},
+		{"pointer to bool", "func main() { var p *bool; }"},
+	}
+	for _, c := range cases {
+		if _, err := Compile(c.src); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	res := runMain(t, `
+func main() {
+	out_i64(0, 2 + 3 * 4);          // 14
+	out_i64(1, (2 + 3) * 4);        // 20
+	out_i64(2, 10 - 4 - 3);         // 3 (left assoc)
+	out_i64(3, 1 << 3 + 1);         // C precedence: 1 << (3+1) = 16
+	out_i64(4, 7 & 3 | 4);          // (7&3)|4 = 7
+	out_i64(5, -3 * 2);             // -6
+	var b bool = 1 < 2 == true;     // (1<2) == true
+	if (b) {
+		out_i64(6, 1);
+	}
+}
+`)
+	want := []int64{14, 20, 3, 16, 7, -6, 1}
+	for i, w := range want {
+		if res.OutputI[i] != w {
+			t.Errorf("output[%d] = %d, want %d", i, res.OutputI[i], w)
+		}
+	}
+}
+
+func TestNestedPointers(t *testing.T) {
+	// **float works end to end via offset() and indexing.
+	res := runMain(t, `
+func main() {
+	var a *float = malloc_f64(4);
+	a[0] = 2.5;
+	var p *float = offset(a, 0);
+	out_f64(0, p[0]);
+	var q *float = offset(a, 3);
+	q[0] = 7.0;
+	out_f64(1, a[3]);
+}
+`)
+	if res.Trap != interp.TrapNone {
+		t.Fatalf("trap %v", res.Trap)
+	}
+	if res.OutputF[0] != 2.5 || res.OutputF[1] != 7.0 {
+		t.Fatalf("outputs %v", res.OutputF)
+	}
+}
+
+func TestVoidFunctionAndEarlyReturn(t *testing.T) {
+	res := runMain(t, `
+func emit(v int) {
+	if (v < 0) {
+		return;
+	}
+	out_i64(0, v);
+}
+func main() {
+	emit(-5);
+	emit(9);
+}
+`)
+	if res.OutputI[0] != 9 {
+		t.Fatalf("outputs %v", res.OutputI)
+	}
+}
+
+func TestMissingReturnTraps(t *testing.T) {
+	// Falling off the end of a value-returning function aborts at
+	// runtime (matching a C sanitizer rather than a compile error).
+	res := runMain(t, `
+func bad(x int) int {
+	if (x > 0) {
+		return 1;
+	}
+}
+func main() {
+	out_i64(0, bad(-1));
+}
+`)
+	if res.Trap != interp.TrapAbort {
+		t.Fatalf("trap = %v, want abort", res.Trap)
+	}
+}
+
+func TestShadowingInNestedScopes(t *testing.T) {
+	res := runMain(t, `
+func main() {
+	var x int = 1;
+	{
+		var x int = 2;
+		out_i64(0, x);
+	}
+	out_i64(1, x);
+	for (var x int = 10; x < 11; x = x + 1) {
+		out_i64(2, x);
+	}
+	out_i64(3, x);
+}
+`)
+	want := []int64{2, 1, 10, 1}
+	for i, w := range want {
+		if res.OutputI[i] != w {
+			t.Fatalf("outputs %v, want %v", res.OutputI, want)
+		}
+	}
+}
+
+func TestGeneratedSourceIsReadable(t *testing.T) {
+	src := RandomProgram(1)
+	if !strings.Contains(src, "func main()") {
+		t.Fatal("no main in generated program")
+	}
+	if len(strings.Split(src, "\n")) < 20 {
+		t.Fatal("suspiciously small generated program")
+	}
+}
+
+// TestCompileNeverPanics: arbitrary byte soup must produce an error,
+// never a panic (testing/quick drives random strings through the full
+// front end).
+func TestCompileNeverPanics(t *testing.T) {
+	check := func(src string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on input %q: %v", src, r)
+				ok = false
+			}
+		}()
+		_, _ = Compile(src)
+		return true
+	}
+	f := func(src string) bool { return check(src) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+	// Adversarial fragments around every token class.
+	for _, src := range []string{
+		"func", "func main(", "func main() {", "func main() { var",
+		"func main() { x[", "func main() { f(", "/*", "//", "1.e",
+		"func main() { var x int = ((((((1)))))); }",
+		"func main() { return; }",
+		"func main() { if (true) { } else }",
+		"\x00\x01\x02", "func main() { out_i64(0, -9223372036854775808); }",
+	} {
+		check(src)
+	}
+}

@@ -1,0 +1,368 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RandomProgram deterministically generates a random, well-formed,
+// terminating sci program from a seed. Generated programs never trap on
+// a fault-free run: loops have static bounds, there is no recursion,
+// integer divisions and remainders have non-zero denominators, and
+// array indices are reduced into bounds. They exercise arithmetic,
+// logic, comparisons, short-circuit operators, arrays, calls, casts,
+// and nested control flow — the input distribution for the semantic-
+// preservation property tests of mem2reg and the duplication pass.
+func RandomProgram(seed int64) string {
+	g := &progGen{rng: uint64(seed)*2862933555777941757 + 3037000493}
+	return g.program()
+}
+
+type progGen struct {
+	rng    uint64
+	sb     strings.Builder
+	indent int
+
+	intVars   []string
+	floatVars []string
+	arrVars   []string
+	// roInts are readable but never assigned (loop induction
+	// variables — assigning them could make loops diverge).
+	roInts []string
+	funcs  []randFn // previously defined, callable functions
+
+	nameSeq int
+	depth   int
+}
+
+type randFn struct {
+	name   string
+	params int // int params followed by one float param
+	retInt bool
+}
+
+const randArrLen = 16
+
+func (g *progGen) next() uint64 {
+	g.rng = g.rng*6364136223846793005 + 1442695040888963407
+	return g.rng >> 11
+}
+
+func (g *progGen) intn(n int) int { return int(g.next() % uint64(n)) }
+
+func (g *progGen) line(format string, args ...interface{}) {
+	g.sb.WriteString(strings.Repeat("\t", g.indent))
+	fmt.Fprintf(&g.sb, format, args...)
+	g.sb.WriteByte('\n')
+}
+
+func (g *progGen) fresh(prefix string) string {
+	g.nameSeq++
+	return fmt.Sprintf("%s%d", prefix, g.nameSeq)
+}
+
+func (g *progGen) program() string {
+	// A few helper functions, then main.
+	nFuncs := 1 + g.intn(3)
+	for i := 0; i < nFuncs; i++ {
+		g.genFunc()
+	}
+	g.genMain()
+	return g.sb.String()
+}
+
+func (g *progGen) genFunc() {
+	name := g.fresh("fn")
+	retInt := g.intn(2) == 0
+	nInt := 1 + g.intn(2)
+	var params []string
+	saveI, saveF, saveA := g.intVars, g.floatVars, g.arrVars
+	g.intVars, g.floatVars, g.arrVars = nil, nil, nil
+	for i := 0; i < nInt; i++ {
+		p := g.fresh("a")
+		params = append(params, p+" int")
+		g.intVars = append(g.intVars, p)
+	}
+	fp := g.fresh("a")
+	params = append(params, fp+" float")
+	g.floatVars = append(g.floatVars, fp)
+
+	ret := "float"
+	if retInt {
+		ret = "int"
+	}
+	g.line("func %s(%s) %s {", name, strings.Join(params, ", "), ret)
+	g.indent++
+	// Helper functions are called from within loops, so keep them
+	// shallow (at most one loop level) and leaf-like (no calls to
+	// other helpers, which would compound loop nests exponentially).
+	g.depth = 2
+	saveFns := g.funcs
+	g.funcs = nil
+	g.genBody(2 + g.intn(4))
+	if retInt {
+		g.line("return %s;", g.intExpr(0))
+	} else {
+		g.line("return %s;", g.floatExpr(0))
+	}
+	g.indent--
+	g.line("}")
+	g.depth = 0
+	g.intVars, g.floatVars, g.arrVars = saveI, saveF, saveA
+	g.funcs = append(saveFns, randFn{name: name, params: nInt, retInt: retInt})
+}
+
+func (g *progGen) genMain() {
+	g.line("func main() {")
+	g.indent++
+	// Seed variables so expressions always have material.
+	for i := 0; i < 2; i++ {
+		v := g.fresh("x")
+		g.line("var %s int = %d;", v, g.intn(100))
+		g.intVars = append(g.intVars, v)
+	}
+	for i := 0; i < 2; i++ {
+		v := g.fresh("f")
+		g.line("var %s float = %d.%d;", v, g.intn(10), g.intn(100))
+		g.floatVars = append(g.floatVars, v)
+	}
+	a := g.fresh("arr")
+	g.line("var %s *float = malloc_f64(%d);", a, randArrLen)
+	g.arrVars = append(g.arrVars, a)
+	g.line("for (var i0 int = 0; i0 < %d; i0 = i0 + 1) {", randArrLen)
+	g.line("\t%s[i0] = float(i0) * 1.5;", a)
+	g.line("}")
+
+	g.genBody(6 + g.intn(8))
+
+	// Deterministic observation points.
+	for i, v := range g.intVars {
+		g.line("out_i64(%d, %s);", i, v)
+	}
+	for i, v := range g.floatVars {
+		g.line("out_f64(%d, %s);", i, v)
+	}
+	for i, arr := range g.arrVars {
+		g.line("for (var k%d int = 0; k%d < %d; k%d = k%d + 1) {", i, i, randArrLen, i, i)
+		g.line("\tout_f64(%d + k%d, %s[k%d]);", 100+i*randArrLen, i, arr, i)
+		g.line("}")
+	}
+	g.indent--
+	g.line("}")
+}
+
+// genBody emits n statements at the current scope.
+func (g *progGen) genBody(n int) {
+	for i := 0; i < n; i++ {
+		g.genStmt()
+	}
+}
+
+func (g *progGen) genStmt() {
+	if g.depth > 3 {
+		g.genAssign()
+		return
+	}
+	switch g.intn(10) {
+	case 0, 1, 2, 3:
+		g.genAssign()
+	case 4:
+		g.genVarDecl()
+	case 5, 6:
+		g.genIf()
+	case 7, 8:
+		if g.depth < 2 {
+			g.genLoop() // cap loop nesting at two levels
+		} else {
+			g.genAssign()
+		}
+	default:
+		g.genArrayStore()
+	}
+}
+
+func (g *progGen) genVarDecl() {
+	if g.intn(2) == 0 {
+		v := g.fresh("x")
+		g.line("var %s int = %s;", v, g.intExpr(0))
+		g.intVars = append(g.intVars, v)
+	} else {
+		v := g.fresh("f")
+		g.line("var %s float = %s;", v, g.floatExpr(0))
+		g.floatVars = append(g.floatVars, v)
+	}
+}
+
+func (g *progGen) genAssign() {
+	if g.intn(2) == 0 && len(g.intVars) > 0 {
+		v := g.intVars[g.intn(len(g.intVars))]
+		g.line("%s = %s;", v, g.intExpr(0))
+	} else if len(g.floatVars) > 0 {
+		v := g.floatVars[g.intn(len(g.floatVars))]
+		g.line("%s = %s;", v, g.floatExpr(0))
+	}
+}
+
+func (g *progGen) genArrayStore() {
+	if len(g.arrVars) == 0 {
+		g.genAssign()
+		return
+	}
+	a := g.arrVars[g.intn(len(g.arrVars))]
+	g.line("%s[%s] = %s;", a, g.indexExpr(), g.floatExpr(0))
+}
+
+// scoped runs body with the variable environment snapshotted, so
+// declarations inside a block do not leak into the enclosing scope
+// (matching sci's scoping rules).
+func (g *progGen) scoped(body func()) {
+	nI, nF, nA, nR := len(g.intVars), len(g.floatVars), len(g.arrVars), len(g.roInts)
+	body()
+	g.intVars = g.intVars[:nI]
+	g.floatVars = g.floatVars[:nF]
+	g.arrVars = g.arrVars[:nA]
+	g.roInts = g.roInts[:nR]
+}
+
+func (g *progGen) genIf() {
+	g.depth++
+	g.line("if (%s) {", g.boolExpr(0))
+	g.indent++
+	g.scoped(func() { g.genBody(1 + g.intn(3)) })
+	g.indent--
+	if g.intn(2) == 0 {
+		g.line("} else {")
+		g.indent++
+		g.scoped(func() { g.genBody(1 + g.intn(3)) })
+		g.indent--
+	}
+	g.line("}")
+	g.depth--
+}
+
+func (g *progGen) genLoop() {
+	g.depth++
+	iv := g.fresh("i")
+	bound := 2 + g.intn(7)
+	g.line("for (var %s int = 0; %s < %d; %s = %s + 1) {", iv, iv, bound, iv, iv)
+	g.indent++
+	g.scoped(func() {
+		g.roInts = append(g.roInts, iv)
+		g.genBody(1 + g.intn(3))
+	})
+	g.indent--
+	g.line("}")
+	g.depth--
+}
+
+// indexExpr yields an always-in-bounds array index.
+func (g *progGen) indexExpr() string {
+	return fmt.Sprintf("((%s) %% %d + %d) %% %d", g.intExpr(2), randArrLen, randArrLen, randArrLen)
+}
+
+func (g *progGen) intExpr(depth int) string {
+	if depth > 2 {
+		return g.intLeaf()
+	}
+	switch g.intn(8) {
+	case 0, 1:
+		return g.intLeaf()
+	case 2:
+		return fmt.Sprintf("(%s + %s)", g.intExpr(depth+1), g.intExpr(depth+1))
+	case 3:
+		return fmt.Sprintf("(%s - %s)", g.intExpr(depth+1), g.intExpr(depth+1))
+	case 4:
+		return fmt.Sprintf("(%s * %s)", g.intExpr(depth+1), g.intExpr(depth+1))
+	case 5:
+		// Guarded division: denominator in [1, 8].
+		return fmt.Sprintf("(%s / ((%s & 7) + 1))", g.intExpr(depth+1), g.intExpr(depth+1))
+	case 6:
+		op := []string{"&", "|", "^"}[g.intn(3)]
+		return fmt.Sprintf("(%s %s %s)", g.intExpr(depth+1), op, g.intExpr(depth+1))
+	default:
+		return fmt.Sprintf("int(%s)", g.floatExpr(depth+1))
+	}
+}
+
+func (g *progGen) intLeaf() string {
+	readable := len(g.intVars) + len(g.roInts)
+	if readable > 0 && g.intn(3) != 0 {
+		k := g.intn(readable)
+		if k < len(g.intVars) {
+			return g.intVars[k]
+		}
+		return g.roInts[k-len(g.intVars)]
+	}
+	return fmt.Sprint(g.intn(64))
+}
+
+func (g *progGen) floatExpr(depth int) string {
+	if depth > 2 {
+		return g.floatLeaf()
+	}
+	switch g.intn(9) {
+	case 0, 1:
+		return g.floatLeaf()
+	case 2:
+		return fmt.Sprintf("(%s + %s)", g.floatExpr(depth+1), g.floatExpr(depth+1))
+	case 3:
+		return fmt.Sprintf("(%s - %s)", g.floatExpr(depth+1), g.floatExpr(depth+1))
+	case 4:
+		return fmt.Sprintf("(%s * %s)", g.floatExpr(depth+1), g.floatExpr(depth+1))
+	case 5:
+		// Division with a denominator bounded away from zero.
+		return fmt.Sprintf("(%s / (fabs(%s) + 1.0))", g.floatExpr(depth+1), g.floatExpr(depth+1))
+	case 6:
+		fn := []string{"sqrt", "fabs"}[g.intn(2)]
+		return fmt.Sprintf("%s(fabs(%s))", fn, g.floatExpr(depth+1))
+	case 7:
+		if len(g.arrVars) > 0 {
+			a := g.arrVars[g.intn(len(g.arrVars))]
+			return fmt.Sprintf("%s[%s]", a, g.indexExpr())
+		}
+		return g.floatLeaf()
+	default:
+		if len(g.funcs) > 0 {
+			f := g.funcs[g.intn(len(g.funcs))]
+			args := make([]string, 0, f.params+1)
+			for i := 0; i < f.params; i++ {
+				args = append(args, g.intExpr(depth+1))
+			}
+			args = append(args, g.floatExpr(depth+1))
+			call := fmt.Sprintf("%s(%s)", f.name, strings.Join(args, ", "))
+			if f.retInt {
+				return fmt.Sprintf("float(%s)", call)
+			}
+			return call
+		}
+		return fmt.Sprintf("float(%s)", g.intExpr(depth+1))
+	}
+}
+
+func (g *progGen) floatLeaf() string {
+	if len(g.floatVars) > 0 && g.intn(3) != 0 {
+		return g.floatVars[g.intn(len(g.floatVars))]
+	}
+	return fmt.Sprintf("%d.%02d", g.intn(8), g.intn(100))
+}
+
+func (g *progGen) boolExpr(depth int) string {
+	cmp := []string{"<", "<=", ">", ">=", "==", "!="}[g.intn(6)]
+	var base string
+	if g.intn(2) == 0 {
+		base = fmt.Sprintf("(%s %s %s)", g.intExpr(1), cmp, g.intExpr(1))
+	} else {
+		base = fmt.Sprintf("(%s %s %s)", g.floatExpr(1), cmp, g.floatExpr(1))
+	}
+	if depth == 0 {
+		switch g.intn(4) {
+		case 0:
+			return fmt.Sprintf("(%s && %s)", base, g.boolExpr(1))
+		case 1:
+			return fmt.Sprintf("(%s || %s)", base, g.boolExpr(1))
+		case 2:
+			return "!" + base
+		}
+	}
+	return base
+}

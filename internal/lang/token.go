@@ -1,0 +1,103 @@
+// Package lang implements "sci", a small C-like language for writing
+// the paper's scientific workloads. A sci source file is compiled to
+// the IPAS IR through a conventional pipeline: lexer, recursive-descent
+// parser, type checking, and IR code generation, followed by mem2reg
+// and dead-code elimination so the IR has the SSA/PHI structure that
+// LLVM would give the paper's C codes.
+package lang
+
+import "fmt"
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokIntLit
+	tokFloatLit
+
+	// Keywords.
+	tokFunc
+	tokVar
+	tokIf
+	tokElse
+	tokWhile
+	tokFor
+	tokReturn
+	tokBreak
+	tokContinue
+	tokTrue
+	tokFalse
+	tokInt
+	tokFloat
+	tokBool
+
+	// Punctuation.
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokSemi
+	tokAssign
+	tokStar
+	tokPlus
+	tokMinus
+	tokSlash
+	tokPercent
+	tokEq
+	tokNe
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+	tokAndAnd
+	tokOrOr
+	tokNot
+	tokShl
+	tokShr
+	tokAmp
+	tokPipe
+	tokCaret
+)
+
+var keywords = map[string]tokKind{
+	"func": tokFunc, "var": tokVar, "if": tokIf, "else": tokElse,
+	"while": tokWhile, "for": tokFor, "return": tokReturn,
+	"break": tokBreak, "continue": tokContinue,
+	"true": tokTrue, "false": tokFalse,
+	"int": tokInt, "float": tokFloat, "bool": tokBool,
+}
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// Error is a front-end diagnostic with a source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("sci:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...interface{}) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,73 @@
+// Package rt declares the runtime builtin functions shared by the sci
+// front end (which emits calls to them) and the interpreter (which
+// implements them natively). The set mirrors what the paper's
+// workloads need from libm, libc, and MPI.
+package rt
+
+import "ipas/internal/ir"
+
+// Builtin describes one runtime function signature.
+type Builtin struct {
+	Name   string
+	Params []*ir.Type
+	Ret    *ir.Type
+}
+
+var (
+	f64   = ir.F64
+	i64   = ir.I64
+	i1    = ir.I1
+	pf64  = ir.PtrTo(ir.F64)
+	pi64  = ir.PtrTo(ir.I64)
+	void_ = ir.Void
+)
+
+// Builtins is the full runtime surface, in stable order.
+var Builtins = []Builtin{
+	// libm.
+	{"sqrt", []*ir.Type{f64}, f64},
+	{"sin", []*ir.Type{f64}, f64},
+	{"cos", []*ir.Type{f64}, f64},
+	{"exp", []*ir.Type{f64}, f64},
+	{"log", []*ir.Type{f64}, f64},
+	{"pow", []*ir.Type{f64, f64}, f64},
+	{"fabs", []*ir.Type{f64}, f64},
+	{"floor", []*ir.Type{f64}, f64},
+	{"fmin", []*ir.Type{f64, f64}, f64},
+	{"fmax", []*ir.Type{f64, f64}, f64},
+	// Heap.
+	{"malloc_f64", []*ir.Type{i64}, pf64},
+	{"malloc_i64", []*ir.Type{i64}, pi64},
+	// Output buffer (read by verification routines).
+	{"out_f64", []*ir.Type{i64, f64}, void_},
+	{"out_i64", []*ir.Type{i64, i64}, void_},
+	// Diagnostics.
+	{"assert_true", []*ir.Type{i1}, void_},
+	{"print_f64", []*ir.Type{f64}, void_},
+	{"print_i64", []*ir.Type{i64}, void_},
+	// MPI.
+	{"mpi_rank", nil, i64},
+	{"mpi_size", nil, i64},
+	{"mpi_barrier", nil, void_},
+	{"mpi_allreduce_f64", []*ir.Type{f64, i64}, f64}, // op: 0 sum, 1 min, 2 max
+	{"mpi_allreduce_i64", []*ir.Type{i64, i64}, i64},
+	{"mpi_bcast_f64", []*ir.Type{f64, i64}, f64}, // (value, root)
+	{"mpi_bcast_i64", []*ir.Type{i64, i64}, i64},
+	{"mpi_send_f64", []*ir.Type{i64, i64, f64}, void_}, // (dest, tag, v)
+	{"mpi_recv_f64", []*ir.Type{i64, i64}, f64},        // (src, tag)
+	{"mpi_send_i64", []*ir.Type{i64, i64, i64}, void_},
+	{"mpi_recv_i64", []*ir.Type{i64, i64}, i64},
+	{"mpi_send_f64s", []*ir.Type{i64, i64, pf64, i64}, void_}, // (dest, tag, buf, n)
+	{"mpi_recv_f64s", []*ir.Type{i64, i64, pf64, i64}, void_},
+	{"mpi_send_i64s", []*ir.Type{i64, i64, pi64, i64}, void_},
+	{"mpi_recv_i64s", []*ir.Type{i64, i64, pi64, i64}, void_},
+}
+
+// Declare adds every builtin to m and returns them by name.
+func Declare(m *ir.Module) map[string]*ir.Func {
+	out := make(map[string]*ir.Func, len(Builtins))
+	for _, b := range Builtins {
+		out[b.Name] = m.NewBuiltin(b.Name, b.Ret, b.Params...)
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package rt
+
+import (
+	"testing"
+
+	"ipas/internal/interp"
+	"ipas/internal/ir"
+)
+
+func TestDeclareRegistersAll(t *testing.T) {
+	m := ir.NewModule()
+	fns := Declare(m)
+	if len(fns) != len(Builtins) {
+		t.Fatalf("declared %d of %d builtins", len(fns), len(Builtins))
+	}
+	for _, b := range Builtins {
+		f := fns[b.Name]
+		if f == nil || !f.Builtin {
+			t.Fatalf("builtin %q not declared", b.Name)
+		}
+		if f.RetType() != b.Ret || len(f.Params()) != len(b.Params) {
+			t.Fatalf("builtin %q signature mismatch", b.Name)
+		}
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEveryBuiltinHasInterpreterImplementation: a module calling every
+// declared builtin must compile in the interpreter (an unknown builtin
+// would fail interp.Compile).
+func TestEveryBuiltinHasInterpreterImplementation(t *testing.T) {
+	m := ir.NewModule()
+	Declare(m)
+	main := m.NewFunc("main", ir.Void, nil, nil)
+	b := ir.NewBuilder(main.NewBlock("entry"))
+	b.Ret(nil)
+	if _, err := interp.Compile(m, nil); err != nil {
+		t.Fatalf("interpreter rejects declared builtins: %v", err)
+	}
+}
+
+func TestDuplicateDeclarePanics(t *testing.T) {
+	m := ir.NewModule()
+	Declare(m)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Declare must panic on duplicate functions")
+		}
+	}()
+	Declare(m)
+}

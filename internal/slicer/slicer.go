@@ -1,0 +1,234 @@
+// Package slicer computes forward program slices over the IPAS IR.
+// A forward slice of instruction x is the set of instructions that x
+// influences (Weiser's slicing, used by the paper to characterize error
+// propagation — features 25–31 of Table 1). The slice follows def-use
+// chains and, for memory, a base-object analysis: when a tainted value
+// is stored through a pointer, every load whose pointer shares the
+// store's base object joins the slice.
+package slicer
+
+import "ipas/internal/ir"
+
+// Slice is the forward slice of one instruction.
+type Slice struct {
+	// Root is the instruction the slice starts from; Root itself is a
+	// member of the slice.
+	Root *ir.Instr
+	// Instrs is the slice membership set.
+	Instrs map[*ir.Instr]bool
+}
+
+// Counts summarizes a slice for the feature extractor.
+type Counts struct {
+	Total   int // feature 25
+	Loads   int // feature 26
+	Stores  int // feature 27
+	Calls   int // feature 28
+	Binary  int // feature 29
+	Allocas int // feature 30
+	GEPs    int // feature 31
+}
+
+// Counts computes the slice's opcode histogram.
+func (s *Slice) Counts() Counts {
+	var c Counts
+	for in := range s.Instrs {
+		c.Total++
+		switch {
+		case in.Op() == ir.OpLoad:
+			c.Loads++
+		case in.Op() == ir.OpStore:
+			c.Stores++
+		case in.Op() == ir.OpCall:
+			c.Calls++
+		case in.Op().IsBinary():
+			c.Binary++
+		case in.Op() == ir.OpAlloca:
+			c.Allocas++
+		case in.Op() == ir.OpGEP:
+			c.GEPs++
+		}
+	}
+	return c
+}
+
+// Options configures slice computation.
+type Options struct {
+	// Interprocedural follows influence across call boundaries the way
+	// Weiser's algorithm does: a tainted call argument taints the
+	// callee parameter's users, and a tainted value reaching a return
+	// taints the call's result in every caller. The paper's feature
+	// extractor uses intraprocedural slices by default (the measured
+	// numbers are calibrated to that); the interprocedural mode exists
+	// for the fidelity ablation.
+	Interprocedural bool
+}
+
+// Computer caches per-function analysis so slicing every instruction of
+// a module stays cheap.
+type Computer struct {
+	opts Options
+	// baseOf maps every pointer-typed value to its base object
+	// (alloca, malloc-like call, or parameter), or nil when unknown.
+	baseOf map[ir.Value]ir.Value
+	// loadsByBase indexes loads per function by their pointer base.
+	loadsByBase map[*ir.Func]map[ir.Value][]*ir.Instr
+	// paramUsers indexes, per function, the instructions that use each
+	// parameter (for interprocedural propagation into callees).
+	paramUsers map[*ir.Param][]*ir.Instr
+	// callsOf lists the call sites of each function (for propagation
+	// back to callers through returns).
+	callsOf map[*ir.Func][]*ir.Instr
+	// returnsOf lists the return instructions of each function.
+	returnsOf map[*ir.Func][]*ir.Instr
+}
+
+// NewComputer prepares intraprocedural slicing for a module.
+func NewComputer(m *ir.Module) *Computer {
+	return NewComputerOpts(m, Options{})
+}
+
+// NewComputerOpts prepares slicing with explicit options.
+func NewComputerOpts(m *ir.Module, opts Options) *Computer {
+	c := &Computer{
+		opts:        opts,
+		baseOf:      map[ir.Value]ir.Value{},
+		loadsByBase: map[*ir.Func]map[ir.Value][]*ir.Instr{},
+		paramUsers:  map[*ir.Param][]*ir.Instr{},
+		callsOf:     map[*ir.Func][]*ir.Instr{},
+		returnsOf:   map[*ir.Func][]*ir.Instr{},
+	}
+	for _, f := range m.Funcs() {
+		if f.Builtin {
+			continue
+		}
+		idx := map[ir.Value][]*ir.Instr{}
+		for _, b := range f.Blocks() {
+			for _, in := range b.Instrs() {
+				if in.Op() == ir.OpLoad {
+					base := c.base(in.Operand(0))
+					idx[base] = append(idx[base], in)
+				}
+				if opts.Interprocedural {
+					switch in.Op() {
+					case ir.OpCall:
+						c.callsOf[in.Callee] = append(c.callsOf[in.Callee], in)
+					case ir.OpRet:
+						c.returnsOf[f] = append(c.returnsOf[f], in)
+					}
+					for _, op := range in.Operands() {
+						if p, ok := op.(*ir.Param); ok {
+							c.paramUsers[p] = append(c.paramUsers[p], in)
+						}
+					}
+				}
+			}
+		}
+		c.loadsByBase[f] = idx
+	}
+	return c
+}
+
+// base resolves the allocation a pointer value points into, following
+// GEPs, casts and PHI/select chains (taking the first incoming; ties
+// only widen the slice, never shrink correctness-relevant membership,
+// because unknown bases collapse into the shared nil bucket).
+func (c *Computer) base(v ir.Value) ir.Value {
+	if b, ok := c.baseOf[v]; ok {
+		return b
+	}
+	c.baseOf[v] = nil // cycle guard
+	var out ir.Value
+	switch x := v.(type) {
+	case *ir.Param:
+		out = x
+	case *ir.Instr:
+		switch x.Op() {
+		case ir.OpAlloca, ir.OpCall, ir.OpLoad:
+			out = x
+		case ir.OpGEP, ir.OpIntToPtr, ir.OpPtrToInt:
+			out = c.base(x.Operand(0))
+		case ir.OpPhi, ir.OpSelect:
+			start := 0
+			if x.Op() == ir.OpSelect {
+				start = 1
+			}
+			for i := start; i < x.NumOperands(); i++ {
+				if b := c.base(x.Operand(i)); b != nil {
+					out = b
+					break
+				}
+			}
+		}
+	}
+	c.baseOf[v] = out
+	return out
+}
+
+// Forward computes the forward slice of root. With the default options
+// the slice stays within root's function; with Options.Interprocedural
+// it crosses call boundaries through arguments and returns.
+func (c *Computer) Forward(root *ir.Instr) *Slice {
+	s := &Slice{Root: root, Instrs: map[*ir.Instr]bool{}}
+	work := []*ir.Instr{root}
+	for len(work) > 0 {
+		in := work[len(work)-1]
+		work = work[:len(work)-1]
+		if s.Instrs[in] {
+			continue
+		}
+		s.Instrs[in] = true
+		fn := in.Block().Func()
+		// Data flow: direct users.
+		for _, u := range in.Users() {
+			if !s.Instrs[u] {
+				work = append(work, u)
+			}
+			if !c.opts.Interprocedural {
+				continue
+			}
+			// Into callees: a tainted argument taints the users of the
+			// corresponding parameter.
+			if u.Op() == ir.OpCall && u.Callee != nil && !u.Callee.Builtin {
+				params := u.Callee.Params()
+				for i := 0; i < u.NumOperands() && i < len(params); i++ {
+					if u.Operand(i) != in {
+						continue
+					}
+					for _, pu := range c.paramUsers[params[i]] {
+						if !s.Instrs[pu] {
+							work = append(work, pu)
+						}
+					}
+				}
+			}
+			// Back to callers: a tainted return value taints every
+			// call site's result.
+			if u.Op() == ir.OpRet {
+				for _, cs := range c.callsOf[fn] {
+					if !s.Instrs[cs] {
+						work = append(work, cs)
+					}
+				}
+			}
+		}
+		// Memory flow: a tainted store taints loads sharing its base.
+		if in.Op() == ir.OpStore {
+			base := c.base(in.Operand(1))
+			for _, ld := range c.loadsByBase[fn][base] {
+				if !s.Instrs[ld] {
+					work = append(work, ld)
+				}
+			}
+			if base != nil {
+				// Unknown-base loads may alias anything.
+				for _, ld := range c.loadsByBase[fn][nil] {
+					if !s.Instrs[ld] {
+						work = append(work, ld)
+					}
+				}
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,217 @@
+package slicer
+
+import (
+	"testing"
+
+	"ipas/internal/ir"
+	"ipas/internal/lang"
+)
+
+// buildSliceModule gives a function with known data flow:
+//
+//	%a = add        (flows into %b, %c and the store)
+//	%b = mul %a
+//	%c = gep .. %a ; store %b -> %c ; %d = load %c ; %e = fadd %d
+//	%z = add 5, 6  (independent)
+func buildSliceModule(t *testing.T) (*ir.Module, map[string]*ir.Instr) {
+	t.Helper()
+	src := `
+func @main() void {
+entry:
+  %buf = alloca i64, 8
+  %a = add i64 1, 2
+  %b = mul i64 %a, 3
+  %c = gep i64* %buf, %a
+  store i64 %b, %c
+  %d = load i64* %c
+  %e = add i64 %d, 1
+  %z = add i64 5, 6
+  ret void
+}
+`
+	m := ir.MustParse(src)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*ir.Instr{}
+	for _, b := range m.FuncByName("main").Blocks() {
+		for _, in := range b.Instrs() {
+			if in.HasResult() {
+				byName[in.Name()] = in
+			} else if in.Op() == ir.OpStore {
+				byName["store"] = in
+			}
+		}
+	}
+	return m, byName
+}
+
+func TestForwardSliceDataFlow(t *testing.T) {
+	m, ins := buildSliceModule(t)
+	c := NewComputer(m)
+
+	s := c.Forward(ins["a"])
+	for _, name := range []string{"a", "b", "c", "store", "d", "e"} {
+		if !s.Instrs[ins[name]] {
+			t.Errorf("forward slice of %%a misses %%%s", name)
+		}
+	}
+	if s.Instrs[ins["z"]] {
+		t.Error("independent %z must not be in the slice of %a")
+	}
+
+	// %z influences nothing.
+	sz := c.Forward(ins["z"])
+	if len(sz.Instrs) != 1 {
+		t.Errorf("slice of %%z has %d members, want 1 (itself)", len(sz.Instrs))
+	}
+}
+
+func TestForwardSliceThroughMemory(t *testing.T) {
+	m, ins := buildSliceModule(t)
+	c := NewComputer(m)
+	// %b only reaches %d via the store/load through %buf.
+	s := c.Forward(ins["b"])
+	if !s.Instrs[ins["d"]] || !s.Instrs[ins["e"]] {
+		t.Error("memory flow store->load not followed")
+	}
+	if s.Instrs[ins["a"]] {
+		t.Error("forward slice must not include the producer of an operand")
+	}
+}
+
+func TestSliceCounts(t *testing.T) {
+	m, ins := buildSliceModule(t)
+	c := NewComputer(m)
+	counts := c.Forward(ins["a"]).Counts()
+	if counts.Total != 6 {
+		t.Errorf("total = %d, want 6", counts.Total)
+	}
+	if counts.Loads != 1 || counts.Stores != 1 || counts.GEPs != 1 {
+		t.Errorf("loads/stores/geps = %d/%d/%d, want 1/1/1", counts.Loads, counts.Stores, counts.GEPs)
+	}
+	if counts.Binary != 3 { // a, b, e
+		t.Errorf("binary = %d, want 3", counts.Binary)
+	}
+	if counts.Calls != 0 || counts.Allocas != 0 {
+		t.Errorf("calls/allocas = %d/%d, want 0/0", counts.Calls, counts.Allocas)
+	}
+}
+
+// TestSliceMonotoneOnRandomPrograms: a slice always contains its root,
+// and the slice of any member is a subset of the root's slice
+// (transitivity of influence).
+func TestSliceMonotoneOnRandomPrograms(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		m, err := lang.Compile(lang.RandomProgram(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewComputer(m)
+		for _, f := range m.Funcs() {
+			for _, b := range f.Blocks() {
+				for i, in := range b.Instrs() {
+					if i%7 != 0 { // sample to keep the test quick
+						continue
+					}
+					s := c.Forward(in)
+					if !s.Instrs[in] {
+						t.Fatalf("seed %d: slice misses its root", seed)
+					}
+					// Pick one member and check subset-ness.
+					for member := range s.Instrs {
+						sm := c.Forward(member)
+						for x := range sm.Instrs {
+							if !s.Instrs[x] {
+								t.Fatalf("seed %d: slice not transitively closed", seed)
+							}
+						}
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestInterproceduralSlice(t *testing.T) {
+	src := `
+func @double(i64 %v) i64 {
+entry:
+  %d = mul i64 %v, 2
+  ret i64 %d
+}
+func @main() void {
+entry:
+  %a = add i64 1, 2
+  %r = call i64 @double(i64 %a)
+  %z = add i64 %r, 1
+  ret void
+}
+`
+	m := ir.MustParse(src)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*ir.Instr{}
+	for _, f := range m.Funcs() {
+		for _, b := range f.Blocks() {
+			for _, in := range b.Instrs() {
+				if in.HasResult() {
+					byName[in.Name()] = in
+				}
+			}
+		}
+	}
+
+	intra := NewComputer(m).Forward(byName["a"])
+	if intra.Instrs[byName["d"]] {
+		t.Error("intraprocedural slice crossed into the callee")
+	}
+	if !intra.Instrs[byName["r"]] || !intra.Instrs[byName["z"]] {
+		t.Error("intraprocedural slice misses call result flow")
+	}
+
+	inter := NewComputerOpts(m, Options{Interprocedural: true}).Forward(byName["a"])
+	// %a -> arg of @double -> %d (param user) -> ret -> %r -> %z.
+	for _, name := range []string{"d", "r", "z"} {
+		if !inter.Instrs[byName[name]] {
+			t.Errorf("interprocedural slice misses %%%s", name)
+		}
+	}
+	// And it must be a superset of the intraprocedural slice.
+	for in := range intra.Instrs {
+		if !inter.Instrs[in] {
+			t.Error("interprocedural slice not a superset")
+		}
+	}
+}
+
+// TestInterproceduralSupersetOnRandomPrograms: the interprocedural
+// slice of any instruction contains the intraprocedural one.
+func TestInterproceduralSupersetOnRandomPrograms(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		m, err := lang.Compile(lang.RandomProgram(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ci := NewComputer(m)
+		cx := NewComputerOpts(m, Options{Interprocedural: true})
+		for _, f := range m.Funcs() {
+			for _, b := range f.Blocks() {
+				for i, in := range b.Instrs() {
+					if i%11 != 0 {
+						continue
+					}
+					intra := ci.Forward(in)
+					inter := cx.Forward(in)
+					for x := range intra.Instrs {
+						if !inter.Instrs[x] {
+							t.Fatalf("seed %d: interprocedural slice lost a member", seed)
+						}
+					}
+				}
+			}
+		}
+	}
+}

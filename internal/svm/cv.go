@@ -1,0 +1,101 @@
+package svm
+
+// FScore computes the paper's Eq. 1 from the two per-class accuracies:
+// 2·A1·A2/(A1+A2), where A1 is the fraction of class-1 (SOC-generating)
+// examples classified correctly and A2 the fraction of class-2.
+func FScore(acc1, acc2 float64) float64 {
+	if acc1+acc2 == 0 {
+		return 0
+	}
+	return 2 * acc1 * acc2 / (acc1 + acc2)
+}
+
+// StratifiedFolds deterministically partitions sample indices into k
+// folds preserving the class ratio: samples of each class are dealt
+// round-robin across folds in index order.
+func StratifiedFolds(y []int, k int) [][]int {
+	if k < 2 {
+		k = 2
+	}
+	folds := make([][]int, k)
+	cnt := map[int]int{}
+	for i, yi := range y {
+		f := cnt[yi] % k
+		folds[f] = append(folds[f], i)
+		cnt[yi]++
+	}
+	return folds
+}
+
+// CVResult aggregates cross-validation outcomes for one configuration.
+type CVResult struct {
+	Acc1   float64 // recall on class +1 (SOC-generating)
+	Acc2   float64 // recall on class -1
+	FScore float64
+	// PredictedPos is the fraction of all held-out samples predicted
+	// positive, an overhead proxy used in reporting.
+	PredictedPos float64
+}
+
+// CrossValidate evaluates params with k-fold stratified CV. dist must
+// be the squared-distance matrix of p.X (see SqDistMatrix); it is
+// shared across folds and configurations.
+func CrossValidate(p *Problem, params Params, dist [][]float64, k int) (CVResult, error) {
+	folds := StratifiedFolds(p.Y, k)
+	var ok1, n1, ok2, n2, predPos, total int
+	for fi := range folds {
+		test := folds[fi]
+		inTest := map[int]bool{}
+		for _, i := range test {
+			inTest[i] = true
+		}
+		var trainIdx []int
+		for i := range p.X {
+			if !inTest[i] {
+				trainIdx = append(trainIdx, i)
+			}
+		}
+		sub := &Problem{}
+		for _, i := range trainIdx {
+			sub.X = append(sub.X, p.X[i])
+			sub.Y = append(sub.Y, p.Y[i])
+		}
+		if pos, neg := sub.Count(); pos == 0 || neg == 0 {
+			continue // degenerate fold
+		}
+		model, err := TrainWithDist(sub, params, dist, trainIdx)
+		if err != nil {
+			return CVResult{}, err
+		}
+		for _, i := range test {
+			pred := model.Predict(p.X[i])
+			total++
+			if pred == 1 {
+				predPos++
+			}
+			if p.Y[i] == 1 {
+				n1++
+				if pred == 1 {
+					ok1++
+				}
+			} else {
+				n2++
+				if pred == -1 {
+					ok2++
+				}
+			}
+		}
+	}
+	res := CVResult{}
+	if n1 > 0 {
+		res.Acc1 = float64(ok1) / float64(n1)
+	}
+	if n2 > 0 {
+		res.Acc2 = float64(ok2) / float64(n2)
+	}
+	if total > 0 {
+		res.PredictedPos = float64(predPos) / float64(total)
+	}
+	res.FScore = FScore(res.Acc1, res.Acc2)
+	return res, nil
+}

@@ -1,0 +1,109 @@
+package svm
+
+import (
+	"math"
+	"sort"
+)
+
+// GridSpec describes the (C, γ) hyper-parameter grid. The paper varies
+// C between 1 and 100,000 and γ between 0.00001 and 1 with 500
+// combinations; LogGrid reproduces that on logarithmic axes.
+type GridSpec struct {
+	Cs     []float64
+	Gammas []float64
+	// Folds is the cross-validation fold count (default 5).
+	Folds int
+	// WeightByClassFreq enables inverse-frequency class weights, the
+	// imbalance countermeasure §4.3.1 motivates.
+	WeightByClassFreq bool
+}
+
+// LogGrid builds nc log-spaced C values in [cLo, cHi] and ng log-spaced
+// gamma values in [gLo, gHi].
+func LogGrid(cLo, cHi float64, nc int, gLo, gHi float64, ng int) GridSpec {
+	return GridSpec{Cs: logSpace(cLo, cHi, nc), Gammas: logSpace(gLo, gHi, ng), Folds: 5}
+}
+
+// PaperGrid is the paper's search space: 25 × 20 = 500 configurations,
+// C ∈ [1, 1e5], γ ∈ [1e-5, 1].
+func PaperGrid() GridSpec { return LogGrid(1, 1e5, 25, 1e-5, 1, 20) }
+
+// QuickGrid is a reduced 48-point grid for laptop-scale runs.
+func QuickGrid() GridSpec { return LogGrid(1, 1e5, 8, 1e-5, 1, 6) }
+
+func logSpace(lo, hi float64, n int) []float64 {
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	llo, lhi := math.Log(lo), math.Log(hi)
+	for i := 0; i < n; i++ {
+		out[i] = math.Exp(llo + (lhi-llo)*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// Config is one evaluated grid point.
+type Config struct {
+	Params Params
+	CV     CVResult
+}
+
+// GridSearch cross-validates every (C, γ) combination and returns the
+// configurations sorted by descending F-score (ties broken towards
+// smaller predicted-positive fraction, i.e. less protection overhead,
+// then by C and γ for determinism).
+func GridSearch(p *Problem, spec GridSpec) ([]Config, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	folds := spec.Folds
+	if folds <= 0 {
+		folds = 5
+	}
+	var wPos, wNeg float64
+	if spec.WeightByClassFreq {
+		pos, neg := p.Count()
+		if pos > 0 && neg > 0 {
+			n := float64(pos + neg)
+			// Inverse class frequency, normalized so weights average 1.
+			wPos = n / (2 * float64(pos))
+			wNeg = n / (2 * float64(neg))
+		}
+	}
+	dist := SqDistMatrix(p.X)
+	var out []Config
+	for _, c := range spec.Cs {
+		for _, g := range spec.Gammas {
+			params := Params{C: c, Gamma: g, WeightPos: wPos, WeightNeg: wNeg}
+			cv, err := CrossValidate(p, params, dist, folds)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Config{Params: params, CV: cv})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.CV.FScore != b.CV.FScore {
+			return a.CV.FScore > b.CV.FScore
+		}
+		if a.CV.PredictedPos != b.CV.PredictedPos {
+			return a.CV.PredictedPos < b.CV.PredictedPos
+		}
+		if a.Params.C != b.Params.C {
+			return a.Params.C < b.Params.C
+		}
+		return a.Params.Gamma < b.Params.Gamma
+	})
+	return out, nil
+}
+
+// TopN returns the best n configurations (fewer if the grid is small),
+// the paper's "top-5 configurations" selection (§6.1).
+func TopN(cfgs []Config, n int) []Config {
+	if n > len(cfgs) {
+		n = len(cfgs)
+	}
+	return cfgs[:n]
+}

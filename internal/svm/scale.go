@@ -1,0 +1,58 @@
+package svm
+
+// Scaler linearly maps each feature dimension into [0, 1] using the
+// ranges observed on the training set (the standard LIBSVM
+// preprocessing the paper's workflow relies on).
+type Scaler struct {
+	Min []float64
+	Max []float64
+}
+
+// FitScaler learns per-dimension ranges from X.
+func FitScaler(X [][]float64) *Scaler {
+	if len(X) == 0 {
+		return &Scaler{}
+	}
+	dim := len(X[0])
+	s := &Scaler{Min: make([]float64, dim), Max: make([]float64, dim)}
+	copy(s.Min, X[0])
+	copy(s.Max, X[0])
+	for _, x := range X[1:] {
+		for d, v := range x {
+			if v < s.Min[d] {
+				s.Min[d] = v
+			}
+			if v > s.Max[d] {
+				s.Max[d] = v
+			}
+		}
+	}
+	return s
+}
+
+// Apply returns a scaled copy of x. Dimensions that were constant on
+// the training set map to 0. Values outside the training range clamp
+// to [0, 1] so outliers at prediction time cannot blow up the kernel.
+func (s *Scaler) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for d, v := range x {
+		if d >= len(s.Min) {
+			break
+		}
+		span := s.Max[d] - s.Min[d]
+		if span <= 0 {
+			continue
+		}
+		out[d] = clamp((v-s.Min[d])/span, 0, 1)
+	}
+	return out
+}
+
+// ApplyAll scales every row.
+func (s *Scaler) ApplyAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, x := range X {
+		out[i] = s.Apply(x)
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package svm
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// modelJSON is the on-disk form of a trained model. Floats are stored
+// as IEEE-754 bit patterns so models round-trip exactly.
+type modelJSON struct {
+	Gamma uint64     `json:"gamma_bits"`
+	B     uint64     `json:"b_bits"`
+	Coef  []uint64   `json:"coef_bits"`
+	SV    [][]uint64 `json:"sv_bits"`
+}
+
+// MarshalJSON implements json.Marshaler with bit-exact floats.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	out := modelJSON{
+		Gamma: math.Float64bits(m.Gamma),
+		B:     math.Float64bits(m.B),
+	}
+	for _, c := range m.Coef {
+		out.Coef = append(out.Coef, math.Float64bits(c))
+	}
+	for _, sv := range m.SV {
+		row := make([]uint64, len(sv))
+		for i, v := range sv {
+			row[i] = math.Float64bits(v)
+		}
+		out.SV = append(out.SV, row)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var in modelJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if len(in.Coef) != len(in.SV) {
+		return fmt.Errorf("svm: model has %d coefficients for %d support vectors", len(in.Coef), len(in.SV))
+	}
+	m.Gamma = math.Float64frombits(in.Gamma)
+	m.B = math.Float64frombits(in.B)
+	m.Coef = nil
+	m.SV = nil
+	for _, c := range in.Coef {
+		m.Coef = append(m.Coef, math.Float64frombits(c))
+	}
+	dim := -1
+	for _, row := range in.SV {
+		if dim < 0 {
+			dim = len(row)
+		} else if len(row) != dim {
+			return fmt.Errorf("svm: ragged support vectors")
+		}
+		sv := make([]float64, len(row))
+		for i, v := range row {
+			sv[i] = math.Float64frombits(v)
+		}
+		m.SV = append(m.SV, sv)
+	}
+	return nil
+}
+
+// scalerJSON is the on-disk form of a Scaler.
+type scalerJSON struct {
+	Min []uint64 `json:"min_bits"`
+	Max []uint64 `json:"max_bits"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *Scaler) MarshalJSON() ([]byte, error) {
+	out := scalerJSON{}
+	for _, v := range s.Min {
+		out.Min = append(out.Min, math.Float64bits(v))
+	}
+	for _, v := range s.Max {
+		out.Max = append(out.Max, math.Float64bits(v))
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Scaler) UnmarshalJSON(data []byte) error {
+	var in scalerJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if len(in.Min) != len(in.Max) {
+		return fmt.Errorf("svm: scaler min/max length mismatch")
+	}
+	s.Min, s.Max = nil, nil
+	for _, v := range in.Min {
+		s.Min = append(s.Min, math.Float64frombits(v))
+	}
+	for _, v := range in.Max {
+		s.Max = append(s.Max, math.Float64frombits(v))
+	}
+	return nil
+}

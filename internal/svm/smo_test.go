@@ -1,0 +1,144 @@
+package svm
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSMOKKTConditions verifies the solver's optimality certificate on
+// a small problem: for every training point, the KKT conditions of the
+// C-SVC dual must hold within the solver tolerance:
+//
+//	alpha_i = 0    =>  y_i f(x_i) >= 1 - eps
+//	alpha_i = C_i  =>  y_i f(x_i) <= 1 + eps
+//	0 < a_i < C_i  =>  |y_i f(x_i) - 1| <= eps
+func TestSMOKKTConditions(t *testing.T) {
+	p := blobs(100, 1.2)
+	params := Params{C: 5, Gamma: 0.7, Eps: 1e-4}
+	m, err := Train(p, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recover alphas: coef_i = alpha_i * y_i for support vectors; non-SV
+	// points have alpha 0. Rebuild per-sample alpha by matching rows.
+	alpha := make([]float64, len(p.X))
+	svIdx := 0
+	for i := range p.X {
+		if svIdx < len(m.SV) && sameVec(p.X[i], m.SV[svIdx]) {
+			alpha[i] = math.Abs(m.Coef[svIdx])
+			svIdx++
+		}
+	}
+	if svIdx != len(m.SV) {
+		t.Fatalf("could not align %d support vectors (got %d)", len(m.SV), svIdx)
+	}
+	const slack = 1e-2 // solver eps plus numerical headroom
+	violations := 0
+	for i := range p.X {
+		yf := float64(p.Y[i]) * m.Decision(p.X[i])
+		switch {
+		case alpha[i] <= 1e-12:
+			if yf < 1-slack {
+				violations++
+			}
+		case alpha[i] >= params.C-1e-9:
+			if yf > 1+slack {
+				violations++
+			}
+		default:
+			if math.Abs(yf-1) > slack {
+				violations++
+			}
+		}
+	}
+	if violations > len(p.X)/50 {
+		t.Fatalf("%d/%d KKT violations", violations, len(p.X))
+	}
+	// Dual feasibility: sum alpha_i y_i = 0.
+	var s float64
+	for _, c := range m.Coef {
+		s += c
+	}
+	if math.Abs(s) > 1e-6 {
+		t.Fatalf("sum(alpha*y) = %v, want 0", s)
+	}
+}
+
+func sameVec(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	p := blobs(80, 1.0)
+	m1, err := Train(p, Params{C: 10, Gamma: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(p, Params{C: 10, Gamma: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.B != m2.B || len(m1.SV) != len(m2.SV) || m1.Iters != m2.Iters {
+		t.Fatal("training is not deterministic")
+	}
+	for i := range m1.Coef {
+		if m1.Coef[i] != m2.Coef[i] {
+			t.Fatal("coefficients differ between runs")
+		}
+	}
+}
+
+func TestTrainBoundedIterations(t *testing.T) {
+	p := blobs(60, 0.05) // heavily overlapping: hard problem
+	m, err := Train(p, Params{C: 1e5, Gamma: 10, MaxIter: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Iters > 500 {
+		t.Fatalf("solver ran %d iterations past its budget", m.Iters)
+	}
+}
+
+func TestTrainRejectsBadProblems(t *testing.T) {
+	if _, err := Train(&Problem{}, Params{C: 1, Gamma: 1}); err == nil {
+		t.Fatal("empty problem accepted")
+	}
+	if _, err := Train(&Problem{X: [][]float64{{1}}, Y: []int{2}}, Params{C: 1, Gamma: 1}); err == nil {
+		t.Fatal("bad label accepted")
+	}
+	if _, err := Train(&Problem{X: [][]float64{{1}, {1, 2}}, Y: []int{1, -1}}, Params{C: 1, Gamma: 1}); err == nil {
+		t.Fatal("ragged features accepted")
+	}
+}
+
+func TestModelJSONRoundtrip(t *testing.T) {
+	p := blobs(60, 1.5)
+	m, err := Train(p, Params{C: 10, Gamma: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m2 Model
+	if err := m2.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.X {
+		if m.Decision(p.X[i]) != m2.Decision(p.X[i]) {
+			t.Fatal("decision changed after JSON roundtrip")
+		}
+	}
+	if err := m2.UnmarshalJSON([]byte(`{"coef_bits":[1],"sv_bits":[]}`)); err == nil {
+		t.Fatal("inconsistent model accepted")
+	}
+}

@@ -1,0 +1,259 @@
+package svm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// lcg is a tiny deterministic RNG for test data.
+type lcg uint64
+
+func (r *lcg) next() float64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return float64(*r>>11) / float64(1<<53)
+}
+
+func blobs(n int, sep float64) *Problem {
+	r := lcg(42)
+	p := &Problem{}
+	for i := 0; i < n; i++ {
+		y := 1
+		cx, cy := sep, sep
+		if i%2 == 0 {
+			y = -1
+			cx, cy = -sep, -sep
+		}
+		p.X = append(p.X, []float64{cx + r.next() - 0.5, cy + r.next() - 0.5})
+		p.Y = append(p.Y, y)
+	}
+	return p
+}
+
+func TestTrainSeparable(t *testing.T) {
+	p := blobs(120, 2.0)
+	m, err := Train(p, Params{C: 10, Gamma: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i := range p.X {
+		if m.Predict(p.X[i]) != p.Y[i] {
+			errs++
+		}
+	}
+	if errs != 0 {
+		t.Fatalf("separable data: %d training errors", errs)
+	}
+	if len(m.SV) == 0 || len(m.SV) == len(p.X) {
+		t.Fatalf("suspicious SV count %d of %d", len(m.SV), len(p.X))
+	}
+}
+
+func TestTrainXOR(t *testing.T) {
+	// XOR is not linearly separable; RBF must handle it.
+	p := &Problem{}
+	r := lcg(7)
+	for i := 0; i < 200; i++ {
+		x := []float64{r.next()*2 - 1, r.next()*2 - 1}
+		y := -1
+		if (x[0] > 0) != (x[1] > 0) {
+			y = 1
+		}
+		// Margin: drop points too close to the axes.
+		if math.Abs(x[0]) < 0.1 || math.Abs(x[1]) < 0.1 {
+			continue
+		}
+		p.X = append(p.X, x)
+		p.Y = append(p.Y, y)
+	}
+	m, err := Train(p, Params{C: 100, Gamma: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i := range p.X {
+		if m.Predict(p.X[i]) != p.Y[i] {
+			errs++
+		}
+	}
+	if frac := float64(errs) / float64(len(p.X)); frac > 0.05 {
+		t.Fatalf("XOR training error rate %.2f > 0.05", frac)
+	}
+}
+
+func TestClassWeightsHelpImbalance(t *testing.T) {
+	// 5% positives inside a wide negative cloud; with inverse-frequency
+	// weights the positive recall must improve.
+	r := lcg(99)
+	p := &Problem{}
+	for i := 0; i < 400; i++ {
+		if i%20 == 0 {
+			p.X = append(p.X, []float64{1.5 + 0.3*(r.next()-0.5), 1.5 + 0.3*(r.next()-0.5)})
+			p.Y = append(p.Y, 1)
+		} else {
+			p.X = append(p.X, []float64{3 * (r.next() - 0.5), 3 * (r.next() - 0.5)})
+			p.Y = append(p.Y, -1)
+		}
+	}
+	recall := func(wp, wn float64) float64 {
+		m, err := Train(p, Params{C: 1, Gamma: 0.5, WeightPos: wp, WeightNeg: wn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, n := 0, 0
+		for i := range p.X {
+			if p.Y[i] == 1 {
+				n++
+				if m.Predict(p.X[i]) == 1 {
+					ok++
+				}
+			}
+		}
+		return float64(ok) / float64(n)
+	}
+	unweighted := recall(1, 1)
+	weighted := recall(10, 0.526)
+	if weighted < unweighted {
+		t.Fatalf("weighted recall %.2f < unweighted %.2f", weighted, unweighted)
+	}
+	if weighted < 0.9 {
+		t.Fatalf("weighted recall %.2f < 0.9", weighted)
+	}
+}
+
+func TestFScore(t *testing.T) {
+	if FScore(0, 0) != 0 {
+		t.Error("FScore(0,0) != 0")
+	}
+	if FScore(1, 1) != 1 {
+		t.Error("FScore(1,1) != 1")
+	}
+	if got := FScore(0.5, 1); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("FScore(0.5,1) = %v", got)
+	}
+	// Property: symmetric and bounded by min*2/(sum) <= 1.
+	f := func(a, b uint8) bool {
+		x, y := float64(a)/255, float64(b)/255
+		s1, s2 := FScore(x, y), FScore(y, x)
+		return s1 == s2 && s1 >= 0 && s1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStratifiedFolds(t *testing.T) {
+	y := make([]int, 100)
+	for i := range y {
+		if i < 10 {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	folds := StratifiedFolds(y, 5)
+	seen := map[int]bool{}
+	for _, f := range folds {
+		pos := 0
+		for _, i := range f {
+			if seen[i] {
+				t.Fatal("index in two folds")
+			}
+			seen[i] = true
+			if y[i] == 1 {
+				pos++
+			}
+		}
+		if pos != 2 {
+			t.Fatalf("fold has %d positives, want 2", pos)
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatalf("folds cover %d of 100", len(seen))
+	}
+}
+
+func TestScaler(t *testing.T) {
+	X := [][]float64{{0, 10, 5}, {4, 20, 5}, {2, 15, 5}}
+	s := FitScaler(X)
+	for _, x := range s.ApplyAll(X) {
+		for d, v := range x {
+			if v < 0 || v > 1 {
+				t.Fatalf("scaled value %v out of range (dim %d)", v, d)
+			}
+		}
+	}
+	// Constant dimension maps to zero; out-of-range clamps.
+	out := s.Apply([]float64{100, -5, 7})
+	if out[0] != 1 || out[1] != 0 || out[2] != 0 {
+		t.Fatalf("scaled outlier = %v", out)
+	}
+	// Property: output always within [0,1] regardless of input.
+	f := func(a, b, c int16) bool {
+		v := s.Apply([]float64{float64(a), float64(b), float64(c)})
+		for _, x := range v {
+			if x < 0 || x > 1 || math.IsNaN(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridSearchRanksByFScore(t *testing.T) {
+	p := blobs(80, 1.5)
+	cfgs, err := GridSearch(p, GridSpec{Cs: []float64{1, 100}, Gammas: []float64{0.01, 1}, Folds: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 4 {
+		t.Fatalf("got %d configs, want 4", len(cfgs))
+	}
+	for i := 1; i < len(cfgs); i++ {
+		if cfgs[i].CV.FScore > cfgs[i-1].CV.FScore {
+			t.Fatal("configs not sorted by F-score")
+		}
+	}
+	if cfgs[0].CV.FScore < 0.9 {
+		t.Fatalf("best F-score %.2f < 0.9 on easy data", cfgs[0].CV.FScore)
+	}
+	top := TopN(cfgs, 3)
+	if len(top) != 3 {
+		t.Fatal("TopN failed")
+	}
+}
+
+func TestPaperGridShape(t *testing.T) {
+	g := PaperGrid()
+	if len(g.Cs)*len(g.Gammas) != 500 {
+		t.Fatalf("paper grid has %d points, want 500", len(g.Cs)*len(g.Gammas))
+	}
+	if g.Cs[0] != 1 || math.Abs(g.Cs[len(g.Cs)-1]-1e5)/1e5 > 1e-9 {
+		t.Fatalf("C range %v..%v", g.Cs[0], g.Cs[len(g.Cs)-1])
+	}
+	if math.Abs(g.Gammas[0]-1e-5)/1e-5 > 1e-9 || math.Abs(g.Gammas[len(g.Gammas)-1]-1)/1 > 1e-9 {
+		t.Fatalf("gamma range %v..%v", g.Gammas[0], g.Gammas[len(g.Gammas)-1])
+	}
+}
+
+func TestDecisionConsistency(t *testing.T) {
+	p := blobs(60, 2)
+	m, err := Train(p, Params{C: 10, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Property: Predict agrees with the sign of Decision.
+	f := func(a, b int8) bool {
+		x := []float64{float64(a) / 32, float64(b) / 32}
+		d := m.Decision(x)
+		pr := m.Predict(x)
+		return (d >= 0 && pr == 1) || (d < 0 && pr == -1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,281 @@
+package workloads
+
+import (
+	"fmt"
+
+	"ipas/internal/interp"
+)
+
+// amgSizes gives the finest-level interior grid size (2^k - 1) per
+// input level; the hierarchy always has 4 levels (paper §5.2).
+var amgSizes = [4]int{31, 63, 127, 255}
+
+const (
+	amgLevels    = 4
+	amgMaxCycles = 12
+	amgTol       = "0.000001" // 1e-6, the paper's solver tolerance
+)
+
+// amgSource is a geometric multigrid solver for the 2D Poisson problem
+// (5-point stencil, homogeneous Dirichlet boundary): weighted-Jacobi
+// smoothing, full-weighting restriction, bilinear prolongation, and a
+// smoother-solved coarsest level, iterated as V-cycles until the
+// residual drops below tol * ||f||. Rows are block-partitioned per
+// level across MPI ranks with replicated arrays.
+//
+// Outputs: [0] converged flag, [1] relative residual norm, [2] cycles,
+// [3] right-hand-side checksum at start, [4] the same checksum at end
+// (the paper's input-corruption check).
+const amgSource = sciMPILib + `
+// gridval reads u[i,j] treating out-of-range indices as the zero
+// Dirichlet boundary.
+func gridval(u *float, n int, i int, j int) float {
+	if (i < 0 || i >= n || j < 0 || j >= n) {
+		return 0.0;
+	}
+	return u[i * n + j];
+}
+
+// smooth performs weighted-Jacobi sweeps on the n x n interior grid.
+func smooth(u *float, f *float, tmp *float, n int, h2 float, sweeps int,
+            rank int, np int) {
+	var w float = 0.8;
+	for (var s int = 0; s < sweeps; s = s + 1) {
+		var ilo int = block_lo(n, rank, np);
+		var ihi int = block_lo(n, rank + 1, np);
+		for (var i int = ilo; i < ihi; i = i + 1) {
+			for (var j int = 0; j < n; j = j + 1) {
+				var nb float = gridval(u, n, i-1, j) + gridval(u, n, i+1, j)
+				             + gridval(u, n, i, j-1) + gridval(u, n, i, j+1);
+				var r int = i * n + j;
+				tmp[r] = u[r] + (w / 4.0) * (h2 * f[r] - 4.0 * u[r] + nb);
+			}
+		}
+		for (var i int = ilo; i < ihi; i = i + 1) {
+			for (var j int = 0; j < n; j = j + 1) {
+				u[i * n + j] = tmp[i * n + j];
+			}
+		}
+		allgather_rows(u, n, n, rank, np, 30);
+	}
+}
+
+// residual computes res = f - A u and returns this rank's partial
+// squared norm.
+func residual(u *float, f *float, res *float, n int, h2 float,
+              rank int, np int) float {
+	var ilo int = block_lo(n, rank, np);
+	var ihi int = block_lo(n, rank + 1, np);
+	var sum float = 0.0;
+	for (var i int = ilo; i < ihi; i = i + 1) {
+		for (var j int = 0; j < n; j = j + 1) {
+			var nb float = gridval(u, n, i-1, j) + gridval(u, n, i+1, j)
+			             + gridval(u, n, i, j-1) + gridval(u, n, i, j+1);
+			var r int = i * n + j;
+			var rv float = f[r] - (4.0 * u[r] - nb) / h2;
+			res[r] = rv;
+			sum = sum + rv * rv;
+		}
+	}
+	return sum;
+}
+
+// restrict_fw full-weighting-restricts the fine residual (nf x nf) to
+// the coarse right-hand side (nc x nc), nc = (nf - 1) / 2.
+func restrict_fw(fine *float, coarse *float, nf int, nc int, rank int, np int) {
+	var ilo int = block_lo(nc, rank, np);
+	var ihi int = block_lo(nc, rank + 1, np);
+	for (var ci int = ilo; ci < ihi; ci = ci + 1) {
+		for (var cj int = 0; cj < nc; cj = cj + 1) {
+			var fi int = 2 * ci + 1;
+			var fj int = 2 * cj + 1;
+			var center float = gridval(fine, nf, fi, fj);
+			var edges float = gridval(fine, nf, fi-1, fj) + gridval(fine, nf, fi+1, fj)
+			                + gridval(fine, nf, fi, fj-1) + gridval(fine, nf, fi, fj+1);
+			var corners float = gridval(fine, nf, fi-1, fj-1) + gridval(fine, nf, fi-1, fj+1)
+			                  + gridval(fine, nf, fi+1, fj-1) + gridval(fine, nf, fi+1, fj+1);
+			coarse[ci * nc + cj] = (4.0 * center + 2.0 * edges + corners) / 16.0;
+		}
+	}
+	allgather_rows(coarse, nc, nc, rank, np, 31);
+}
+
+// prolong_add bilinearly interpolates the coarse correction and adds it
+// to the fine solution.
+func prolong_add(coarse *float, fine *float, nc int, nf int, rank int, np int) {
+	var ilo int = block_lo(nf, rank, np);
+	var ihi int = block_lo(nf, rank + 1, np);
+	for (var fi int = ilo; fi < ihi; fi = fi + 1) {
+		for (var fj int = 0; fj < nf; fj = fj + 1) {
+			// Coarse coordinates around the fine point: fine (fi, fj)
+			// lies between coarse (ci, cj) and (ci+1, cj+1) where the
+			// coarse grid sits at fine odd coordinates.
+			var corr float = 0.0;
+			if (fi % 2 == 1 && fj % 2 == 1) {
+				corr = gridval(coarse, nc, (fi-1)/2, (fj-1)/2);
+			}
+			if (fi % 2 == 0 && fj % 2 == 1) {
+				corr = 0.5 * (gridval(coarse, nc, fi/2 - 1, (fj-1)/2)
+				            + gridval(coarse, nc, fi/2, (fj-1)/2));
+			}
+			if (fi % 2 == 1 && fj % 2 == 0) {
+				corr = 0.5 * (gridval(coarse, nc, (fi-1)/2, fj/2 - 1)
+				            + gridval(coarse, nc, (fi-1)/2, fj/2));
+			}
+			if (fi % 2 == 0 && fj % 2 == 0) {
+				corr = 0.25 * (gridval(coarse, nc, fi/2 - 1, fj/2 - 1)
+				             + gridval(coarse, nc, fi/2 - 1, fj/2)
+				             + gridval(coarse, nc, fi/2, fj/2 - 1)
+				             + gridval(coarse, nc, fi/2, fj/2));
+			}
+			var r int = fi * nf + fj;
+			fine[r] = fine[r] + corr;
+		}
+	}
+	allgather_rows(fine, nf, nf, rank, np, 32);
+}
+
+// vcycle runs one V-cycle from level l downwards. U, F, RES and TMP are
+// the per-level grids packed into flat buffers at offsets off[l]; sizes
+// and squared mesh widths are in ns[] and h2s[].
+func vcycle(l int, nlev int, U *float, F *float, RES *float, TMP *float,
+            off *int, ns *int, h2s *float, rank int, np int) {
+	var n int = ns[l];
+	var u *float = offset(U, off[l]);
+	var f *float = offset(F, off[l]);
+	var res *float = offset(RES, off[l]);
+	var tmp *float = offset(TMP, off[l]);
+	if (l == nlev - 1) {
+		// Coarsest level: smooth hard instead of a direct solve.
+		smooth(u, f, tmp, n, h2s[l], 40, rank, np);
+		return;
+	}
+	smooth(u, f, tmp, n, h2s[l], 2, rank, np);
+	residual(u, f, res, n, h2s[l], rank, np);
+	allgather_rows(res, n, n, rank, np, 33);
+	var nc int = ns[l + 1];
+	restrict_fw(res, offset(F, off[l + 1]), n, nc, rank, np);
+	// Zero the coarse initial guess.
+	var uc *float = offset(U, off[l + 1]);
+	for (var i int = 0; i < nc * nc; i = i + 1) {
+		uc[i] = 0.0;
+	}
+	vcycle(l + 1, nlev, U, F, RES, TMP, off, ns, h2s, rank, np);
+	prolong_add(uc, u, nc, n, rank, np);
+	smooth(u, f, tmp, n, h2s[l], 2, rank, np);
+}
+
+func main() {
+	var n0 int = @N@;
+	var nlev int = @LEVELS@;
+	var rank int = mpi_rank();
+	var np int = mpi_size();
+
+	// Level geometry and packed offsets.
+	var ns *int = malloc_i64(nlev);
+	var off *int = malloc_i64(nlev + 1);
+	var h2s *float = malloc_f64(nlev);
+	var total int = 0;
+	var n int = n0;
+	for (var l int = 0; l < nlev; l = l + 1) {
+		ns[l] = n;
+		off[l] = total;
+		total = total + n * n;
+		var h float = 1.0 / float(n + 1);
+		h2s[l] = h * h;
+		n = (n - 1) / 2;
+	}
+	off[nlev] = total;
+
+	var U *float = malloc_f64(total);
+	var F *float = malloc_f64(total);
+	var RES *float = malloc_f64(total);
+	var TMP *float = malloc_f64(total);
+
+	// Finest right-hand side: a smooth forcing term; replicated
+	// identically on every rank.
+	var pi float = 3.141592653589793;
+	var checksum float = 0.0;
+	for (var i int = 0; i < n0; i = i + 1) {
+		for (var j int = 0; j < n0; j = j + 1) {
+			var xx float = float(i + 1) / float(n0 + 1);
+			var yy float = float(j + 1) / float(n0 + 1);
+			var v float = 2.0 * pi * pi * sin(pi * xx) * sin(pi * yy);
+			F[i * n0 + j] = v;
+			U[i * n0 + j] = 0.0;
+			checksum = checksum + v * float(1 + (i * 31 + j) % 7);
+		}
+	}
+	if (rank == 0) {
+		out_f64(3, checksum);
+	}
+
+	// ||f||^2 for the relative tolerance.
+	var f2 float = 0.0;
+	for (var i int = 0; i < n0 * n0; i = i + 1) {
+		f2 = f2 + F[i] * F[i];
+	}
+
+	var tol float = @TOL@;
+	var maxcycles int = @MAXCYC@;
+	var cycles int = 0;
+	var converged int = 0;
+	var relres float = 1.0;
+	for (var c int = 0; c < maxcycles; c = c + 1) {
+		cycles = c + 1;
+		vcycle(0, nlev, U, F, RES, TMP, off, ns, h2s, rank, np);
+		var r2 float = residual(U, F, RES, n0, h2s[0], rank, np);
+		r2 = mpi_allreduce_f64(r2, 0);
+		relres = sqrt(r2 / f2);
+		if (relres < tol) {
+			converged = 1;
+			break;
+		}
+	}
+
+	// Re-checksum the right-hand side: it must be untouched.
+	var checksum2 float = 0.0;
+	for (var i int = 0; i < n0; i = i + 1) {
+		for (var j int = 0; j < n0; j = j + 1) {
+			checksum2 = checksum2 + F[i * n0 + j] * float(1 + (i * 31 + j) % 7);
+		}
+	}
+	if (rank == 0) {
+		out_f64(0, float(converged));
+		out_f64(1, relres);
+		out_f64(2, float(cycles));
+		out_f64(4, checksum2);
+	}
+}
+`
+
+func amgSpec(input int) *Spec {
+	n := amgSizes[input-1]
+	src := subst(amgSource, map[string]string{
+		"N":      fmt.Sprint(n),
+		"LEVELS": fmt.Sprint(amgLevels),
+		"TOL":    amgTol,
+		"MAXCYC": fmt.Sprint(amgMaxCycles),
+	})
+	return &Spec{
+		Name:      "AMG",
+		Input:     input,
+		InputDesc: fmt.Sprintf("%dx%d fine grid, %d-level hierarchy", n, n, amgLevels),
+		Source:    src,
+		Verify:    amgVerify,
+		Heap:      32 << 20,
+	}
+}
+
+// amgVerify is the paper's AMG check (Table 2): the inputs must be
+// uncorrupted (checksum comparison against the error-free run) and the
+// solver must reach the tolerance within the allotted cycles.
+func amgVerify(golden, faulty *interp.Result) bool {
+	if !sameLenF(golden, faulty) {
+		return false
+	}
+	if outF(faulty, 0) != 1 || !finite(outF(faulty, 1)) {
+		return false
+	}
+	return outF(faulty, 3) == outF(golden, 3) && outF(faulty, 4) == outF(golden, 4)
+}

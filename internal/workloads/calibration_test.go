@@ -1,0 +1,44 @@
+package workloads
+
+import (
+	"testing"
+
+	"ipas/internal/fault"
+)
+
+// TestCalibrationOutcomeMixes records the full outcome mix of every
+// workload under the paper's fault model; the assertions encode the
+// paper's §6.2 ordering: iterative codes (CoMD, HPCCG, AMG) mask more
+// and suffer less SOC than the hard kernels (FFT, IS).
+func TestCalibrationOutcomeMixes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("five full campaigns")
+	}
+	socByName := map[string]float64{}
+	for _, name := range Names {
+		spec := MustGet(name, 1)
+		m, _ := spec.Compile()
+		p, err := fault.Compile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := &fault.Campaign{Prog: p, Verify: spec.Verify, Config: spec.BaseConfig(1), Seed: 7}
+		res, err := c.Run(150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-6s symptom=%.1f%% masked=%.1f%% soc=%.1f%%", name,
+			100*res.Proportion(fault.OutcomeSymptom),
+			100*res.Proportion(fault.OutcomeMasked),
+			100*res.Proportion(fault.OutcomeSOC))
+		socByName[name] = res.Proportion(fault.OutcomeSOC)
+	}
+	for _, iterative := range []string{"CoMD", "HPCCG", "AMG"} {
+		for _, hard := range []string{"FFT", "IS"} {
+			if socByName[iterative] >= socByName[hard] {
+				t.Errorf("SOC ordering violated: %s (%.1f%%) >= %s (%.1f%%)",
+					iterative, 100*socByName[iterative], hard, 100*socByName[hard])
+			}
+		}
+	}
+}

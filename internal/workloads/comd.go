@@ -1,0 +1,268 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"ipas/internal/interp"
+)
+
+// comdSteps is the number of velocity-Verlet timesteps.
+const comdSteps = 6
+
+// comdSides gives the cubic lattice side per input level (Table 5
+// analogue: the training input is the smallest).
+var comdSides = [4]int{4, 5, 6, 7}
+
+// comdSource is a CoMD-like molecular dynamics mini-app: a cluster of
+// Lennard-Jones atoms on a jittered cubic lattice integrated with
+// velocity Verlet. Atoms are block-partitioned across MPI ranks; every
+// rank holds replicated position arrays that are re-gathered after
+// each position update, and energies are summed with allreduce.
+//
+// Outputs: [0] final total energy, [1] kinetic, [2] potential,
+// [3..3+steps) total energy after each step.
+const comdSource = sciMPILib + `
+// cell_index clamps a coordinate into its link cell along one axis.
+func cell_index(coord float, cellsize float, nc int) int {
+	var c int = int(coord / cellsize);
+	if (c < 0) {
+		c = 0;
+	}
+	if (c >= nc) {
+		c = nc - 1;
+	}
+	return c;
+}
+
+// build_cells files every atom into its link cell: head[c] is the first
+// atom of cell c and next[i] chains the rest (CoMD's neighbor-search
+// structure for short-range potentials).
+func build_cells(n int, x *float, y *float, z *float,
+                 head *int, next *int, nc int, cellsize float) {
+	var ncells int = nc * nc * nc;
+	for (var c int = 0; c < ncells; c = c + 1) {
+		head[c] = -1;
+	}
+	for (var i int = 0; i < n; i = i + 1) {
+		var cx int = cell_index(x[i], cellsize, nc);
+		var cy int = cell_index(y[i], cellsize, nc);
+		var cz int = cell_index(z[i], cellsize, nc);
+		var c int = (cx * nc + cy) * nc + cz;
+		next[i] = head[c];
+		head[c] = i;
+	}
+}
+
+// pair_force accumulates the Lennard-Jones interaction of atom i with
+// every atom in cell c (skipping i itself) and returns the potential
+// energy contribution (half per pair: both ends visit it).
+func pair_force(i int, c int, x *float, y *float, z *float,
+                fx *float, fy *float, fz *float,
+                head *int, next *int, rc2 float) float {
+	var pe float = 0.0;
+	var j int = head[c];
+	while (j >= 0) {
+		if (j != i) {
+			var dx float = x[i] - x[j];
+			var dy float = y[i] - y[j];
+			var dz float = z[i] - z[j];
+			var r2 float = dx*dx + dy*dy + dz*dz;
+			if (r2 < rc2) {
+				var inv2 float = 1.0 / r2;
+				var inv6 float = inv2 * inv2 * inv2;
+				var fmag float = 24.0 * inv2 * inv6 * (2.0 * inv6 - 1.0);
+				fx[i] = fx[i] + fmag * dx;
+				fy[i] = fy[i] + fmag * dy;
+				fz[i] = fz[i] + fmag * dz;
+				pe = pe + 2.0 * inv6 * (inv6 - 1.0);
+			}
+		}
+		j = next[j];
+	}
+	return pe;
+}
+
+// forces accumulates Lennard-Jones forces on atoms [lo, hi) using the
+// link cells and returns this rank's share of the potential energy.
+func forces(n int, lo int, hi int, x *float, y *float, z *float,
+            fx *float, fy *float, fz *float,
+            head *int, next *int, nc int, cellsize float, rc2 float) float {
+	var pe float = 0.0;
+	for (var i int = lo; i < hi; i = i + 1) {
+		fx[i] = 0.0;
+		fy[i] = 0.0;
+		fz[i] = 0.0;
+	}
+	build_cells(n, x, y, z, head, next, nc, cellsize);
+	for (var i int = lo; i < hi; i = i + 1) {
+		var cx int = cell_index(x[i], cellsize, nc);
+		var cy int = cell_index(y[i], cellsize, nc);
+		var cz int = cell_index(z[i], cellsize, nc);
+		for (var ox int = cx - 1; ox <= cx + 1; ox = ox + 1) {
+			if (ox >= 0 && ox < nc) {
+				for (var oy int = cy - 1; oy <= cy + 1; oy = oy + 1) {
+					if (oy >= 0 && oy < nc) {
+						for (var oz int = cz - 1; oz <= cz + 1; oz = oz + 1) {
+							if (oz >= 0 && oz < nc) {
+								var c int = (ox * nc + oy) * nc + oz;
+								pe = pe + pair_force(i, c, x, y, z, fx, fy, fz, head, next, rc2);
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return pe;
+}
+
+// kinetic returns this rank's share of the kinetic energy.
+func kinetic(lo int, hi int, vx *float, vy *float, vz *float) float {
+	var ke float = 0.0;
+	for (var i int = lo; i < hi; i = i + 1) {
+		ke = ke + 0.5 * (vx[i]*vx[i] + vy[i]*vy[i] + vz[i]*vz[i]);
+	}
+	return ke;
+}
+
+func main() {
+	var side int = @SIDE@;
+	var steps int = @STEPS@;
+	var n int = side * side * side;
+	var rank int = mpi_rank();
+	var np int = mpi_size();
+
+	var x *float = malloc_f64(n);
+	var y *float = malloc_f64(n);
+	var z *float = malloc_f64(n);
+	var vx *float = malloc_f64(n);
+	var vy *float = malloc_f64(n);
+	var vz *float = malloc_f64(n);
+	var fx *float = malloc_f64(n);
+	var fy *float = malloc_f64(n);
+	var fz *float = malloc_f64(n);
+
+	// Jittered cubic lattice; every rank generates the identical
+	// replicated initial state from the same seed.
+	var seed *int = malloc_i64(1);
+	seed[0] = 20160312;
+	var a float = 1.12;   // lattice spacing near the LJ minimum
+	var idx int = 0;
+	for (var i int = 0; i < side; i = i + 1) {
+		for (var j int = 0; j < side; j = j + 1) {
+			for (var k int = 0; k < side; k = k + 1) {
+				x[idx] = a * float(i) + 0.03 * (frand(seed) - 0.5);
+				y[idx] = a * float(j) + 0.03 * (frand(seed) - 0.5);
+				z[idx] = a * float(k) + 0.03 * (frand(seed) - 0.5);
+				vx[idx] = 0.08 * (frand(seed) - 0.5);
+				vy[idx] = 0.08 * (frand(seed) - 0.5);
+				vz[idx] = 0.08 * (frand(seed) - 0.5);
+				idx = idx + 1;
+			}
+		}
+	}
+
+	var lo int = block_lo(n, rank, np);
+	var hi int = block_lo(n, rank + 1, np);
+	var dt float = 0.002;
+	var rc float = 1.75;  // short-range cutoff (in sigma)
+	var rc2 float = rc * rc;
+
+	// Link-cell geometry: cells at least one cutoff wide.
+	var box float = a * float(side);
+	var nc int = int(box / rc);
+	if (nc < 1) {
+		nc = 1;
+	}
+	var cellsize float = box / float(nc) + 0.0001;
+	var head *int = malloc_i64(nc * nc * nc);
+	var next *int = malloc_i64(n);
+
+	var pe float = forces(n, lo, hi, x, y, z, fx, fy, fz, head, next, nc, cellsize, rc2);
+	pe = mpi_allreduce_f64(pe, 0);
+	var ke float = mpi_allreduce_f64(kinetic(lo, hi, vx, vy, vz), 0);
+
+	for (var s int = 0; s < steps; s = s + 1) {
+		// Velocity Verlet: half kick, drift, force, half kick.
+		for (var i int = lo; i < hi; i = i + 1) {
+			vx[i] = vx[i] + 0.5 * dt * fx[i];
+			vy[i] = vy[i] + 0.5 * dt * fy[i];
+			vz[i] = vz[i] + 0.5 * dt * fz[i];
+			x[i] = x[i] + dt * vx[i];
+			y[i] = y[i] + dt * vy[i];
+			z[i] = z[i] + dt * vz[i];
+		}
+		allgather_f64(x, n, rank, np, 10);
+		allgather_f64(y, n, rank, np, 11);
+		allgather_f64(z, n, rank, np, 12);
+		pe = forces(n, lo, hi, x, y, z, fx, fy, fz, head, next, nc, cellsize, rc2);
+		pe = mpi_allreduce_f64(pe, 0);
+		for (var i int = lo; i < hi; i = i + 1) {
+			vx[i] = vx[i] + 0.5 * dt * fx[i];
+			vy[i] = vy[i] + 0.5 * dt * fy[i];
+			vz[i] = vz[i] + 0.5 * dt * fz[i];
+		}
+		ke = mpi_allreduce_f64(kinetic(lo, hi, vx, vy, vz), 0);
+		if (rank == 0) {
+			out_f64(3 + s, ke + pe);
+		}
+	}
+	if (rank == 0) {
+		out_f64(0, ke + pe);
+		out_f64(1, ke);
+		out_f64(2, pe);
+	}
+}
+`
+
+func comdSpec(input int) *Spec {
+	side := comdSides[input-1]
+	src := subst(comdSource, map[string]string{
+		"SIDE":  fmt.Sprint(side),
+		"STEPS": fmt.Sprint(comdSteps),
+	})
+	return &Spec{
+		Name:      "CoMD",
+		Input:     input,
+		InputDesc: fmt.Sprintf("natoms=%d (side %d), %d steps", side*side*side, side, comdSteps),
+		Source:    src,
+		Verify:    comdVerify,
+		Heap:      8 << 20,
+	}
+}
+
+// comdVerify is the paper's CoMD check (Table 2): total energy must be
+// conserved — every per-step energy of the faulty run must lie within
+// 3 standard deviations of the golden run's energy trajectory (with a
+// tiny relative floor so a perfectly flat golden trajectory does not
+// reject numerically identical runs).
+func comdVerify(golden, faulty *interp.Result) bool {
+	if !sameLenF(golden, faulty) {
+		return false
+	}
+	n := comdSteps
+	var mean float64
+	for s := 0; s < n; s++ {
+		mean += outF(golden, 3+s)
+	}
+	mean /= float64(n)
+	var variance float64
+	for s := 0; s < n; s++ {
+		d := outF(golden, 3+s) - mean
+		variance += d * d
+	}
+	sigma := math.Sqrt(variance / float64(n))
+	// The relative floor stands in for the thermal energy fluctuations
+	// a production-length MD trajectory would exhibit; our short
+	// trajectories are integrator-quiet, which would make a bare 3-sigma
+	// band reject physically irrelevant perturbations.
+	tol := 3*sigma + math.Abs(mean)*1e-6 + 1e-12
+	for s := 0; s < n; s++ {
+		e := outF(faulty, 3+s)
+		if !finite(e) || math.Abs(e-mean) > tol {
+			return false
+		}
+	}
+	return finite(outF(faulty, 0))
+}

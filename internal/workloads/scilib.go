@@ -1,0 +1,104 @@
+package workloads
+
+import "strings"
+
+// subst replaces @KEY@ placeholders in sci source templates. Templates
+// use placeholders instead of fmt verbs so the sci modulo operator '%'
+// needs no escaping.
+func subst(src string, kv map[string]string) string {
+	pairs := make([]string, 0, 2*len(kv))
+	for k, v := range kv {
+		pairs = append(pairs, "@"+k+"@", v)
+	}
+	return strings.NewReplacer(pairs...).Replace(src)
+}
+
+// sciMPILib is a small SPMD support library shared by the workloads:
+// deterministic LCG random numbers, block partitioning, and vector
+// collectives built from the runtime's point-to-point primitives.
+const sciMPILib = `
+// lcg advances a 31-bit linear congruential generator stored at s[0].
+func lcg(s *int) int {
+	s[0] = (s[0] * 1103515245 + 12345) % 2147483648;
+	if (s[0] < 0) {
+		s[0] = -s[0];
+	}
+	return s[0];
+}
+
+// frand returns a uniform value in [0, 1).
+func frand(s *int) float {
+	return float(lcg(s)) / 2147483648.0;
+}
+
+// block_lo returns the start of rank p's block of n items over np ranks.
+func block_lo(n int, p int, np int) int {
+	return p * n / np;
+}
+
+// allgather_f64 exchanges the blocks of a replicated vector: rank p
+// owns [block_lo(n,p,np), block_lo(n,p+1,np)); afterwards every rank
+// holds the full vector.
+func allgather_f64(buf *float, n int, rank int, np int, tag int) {
+	if (np > 1) {
+		for (var owner int = 0; owner < np; owner = owner + 1) {
+			var lo int = block_lo(n, owner, np);
+			var cnt int = block_lo(n, owner + 1, np) - lo;
+			if (cnt > 0) {
+				if (rank == owner) {
+					for (var q int = 0; q < np; q = q + 1) {
+						if (q != rank) {
+							mpi_send_f64s(q, tag, offset(buf, lo), cnt);
+						}
+					}
+				} else {
+					mpi_recv_f64s(owner, tag, offset(buf, lo), cnt);
+				}
+			}
+		}
+	}
+}
+
+// allgather_rows exchanges row blocks of a cols-column matrix whose
+// rows are block-partitioned across ranks.
+func allgather_rows(buf *float, rows int, cols int, rank int, np int, tag int) {
+	if (np > 1) {
+		for (var owner int = 0; owner < np; owner = owner + 1) {
+			var rlo int = block_lo(rows, owner, np);
+			var cnt int = (block_lo(rows, owner + 1, np) - rlo) * cols;
+			if (cnt > 0) {
+				if (rank == owner) {
+					for (var q int = 0; q < np; q = q + 1) {
+						if (q != rank) {
+							mpi_send_f64s(q, tag, offset(buf, rlo * cols), cnt);
+						}
+					}
+				} else {
+					mpi_recv_f64s(owner, tag, offset(buf, rlo * cols), cnt);
+				}
+			}
+		}
+	}
+}
+
+// allreduce_sum_i64s sums a replicated integer vector across ranks in
+// place (every rank ends with the global sums).
+func allreduce_sum_i64s(buf *int, tmp *int, n int, rank int, np int, tag int) {
+	if (np > 1) {
+		if (rank == 0) {
+			for (var q int = 1; q < np; q = q + 1) {
+				mpi_recv_i64s(q, tag, tmp, n);
+				for (var i int = 0; i < n; i = i + 1) {
+					buf[i] = buf[i] + tmp[i];
+				}
+			}
+			for (var q int = 1; q < np; q = q + 1) {
+				mpi_send_i64s(q, tag + 1, buf, n);
+			}
+		} else {
+			mpi_send_i64s(0, tag, buf, n);
+			mpi_recv_i64s(0, tag + 1, buf, n);
+		}
+	}
+}
+`

@@ -1,0 +1,151 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"ipas/internal/interp"
+)
+
+// goldenOf runs a spec fault-free.
+func goldenOf(t *testing.T, spec *Spec) *interp.Result {
+	t.Helper()
+	m, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := interp.Compile(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := interp.Run(p, spec.BaseConfig(1))
+	if res.Trap != interp.TrapNone {
+		t.Fatalf("golden trap: %v", res.Trap)
+	}
+	return res
+}
+
+// perturbF returns a copy of res with OutputF[idx] changed by delta.
+func perturbF(res *interp.Result, idx int, delta float64) *interp.Result {
+	out := *res
+	out.OutputF = append([]float64(nil), res.OutputF...)
+	out.OutputF[idx] += delta
+	return &out
+}
+
+func TestCoMDVerifier(t *testing.T) {
+	spec := MustGet("CoMD", 1)
+	g := goldenOf(t, spec)
+	if !spec.Verify(g, g) {
+		t.Fatal("golden rejected")
+	}
+	// A large energy excursion at any step is SOC.
+	bad := perturbF(g, 4, math.Abs(g.OutputF[4])*0.1)
+	if spec.Verify(g, bad) {
+		t.Fatal("10% energy jump accepted")
+	}
+	// NaN energy is SOC.
+	nan := perturbF(g, 3, math.NaN())
+	if spec.Verify(g, nan) {
+		t.Fatal("NaN energy accepted")
+	}
+	// A tiny excursion within the tolerance band is masked.
+	tiny := perturbF(g, 4, math.Abs(g.OutputF[4])*1e-9)
+	if !spec.Verify(g, tiny) {
+		t.Fatal("negligible energy wiggle rejected")
+	}
+	// Truncated output (crash-shaped) is not acceptable.
+	short := *g
+	short.OutputF = g.OutputF[:2]
+	if spec.Verify(g, &short) {
+		t.Fatal("truncated output accepted")
+	}
+}
+
+func TestHPCCGVerifier(t *testing.T) {
+	spec := MustGet("HPCCG", 1)
+	g := goldenOf(t, spec)
+	if !spec.Verify(g, g) {
+		t.Fatal("golden rejected")
+	}
+	// Solution error above the 1e-6 tolerance is SOC.
+	if spec.Verify(g, perturbF(g, 0, 1e-3)) {
+		t.Fatal("large solution error accepted")
+	}
+	// Non-converged flag is SOC.
+	notConv := perturbF(g, 3, 0)
+	notConv.OutputF[3] = 0
+	if spec.Verify(g, notConv) {
+		t.Fatal("non-converged run accepted")
+	}
+	if spec.Verify(g, perturbF(g, 0, math.Inf(1))) {
+		t.Fatal("infinite error accepted")
+	}
+}
+
+func TestAMGVerifier(t *testing.T) {
+	spec := MustGet("AMG", 1)
+	g := goldenOf(t, spec)
+	if !spec.Verify(g, g) {
+		t.Fatal("golden rejected")
+	}
+	// Input-checksum mismatch (either end) is SOC.
+	if spec.Verify(g, perturbF(g, 3, 1e-9)) {
+		t.Fatal("start-checksum corruption accepted")
+	}
+	if spec.Verify(g, perturbF(g, 4, 1e-9)) {
+		t.Fatal("end-checksum corruption accepted")
+	}
+	// Solver failure is SOC.
+	fail := perturbF(g, 0, 0)
+	fail.OutputF[0] = 0
+	if spec.Verify(g, fail) {
+		t.Fatal("non-converged solve accepted")
+	}
+}
+
+func TestFFTVerifier(t *testing.T) {
+	spec := MustGet("FFT", 1)
+	g := goldenOf(t, spec)
+	if !spec.Verify(g, g) {
+		t.Fatal("golden rejected")
+	}
+	// One matrix entry off by more than the L2 tolerance is SOC.
+	if spec.Verify(g, perturbF(g, 10, 1e-3)) {
+		t.Fatal("corrupted matrix entry accepted")
+	}
+	// Below-tolerance perturbation is masked (paper: difference under
+	// 1e-6 is a valid result).
+	if !spec.Verify(g, perturbF(g, 10, 1e-9)) {
+		t.Fatal("sub-tolerance perturbation rejected")
+	}
+}
+
+func TestISVerifier(t *testing.T) {
+	spec := MustGet("IS", 1)
+	g := goldenOf(t, spec)
+	if !spec.Verify(g, g) {
+		t.Fatal("golden rejected")
+	}
+	// Out-of-order keys are SOC.
+	unsorted := *g
+	unsorted.OutputI = append([]int64(nil), g.OutputI...)
+	unsorted.OutputI[100], unsorted.OutputI[101] = unsorted.OutputI[101]+5, unsorted.OutputI[100]
+	if spec.Verify(g, &unsorted) {
+		t.Fatal("unsorted keys accepted")
+	}
+	// Sorted but with a changed multiset (sum) is SOC; bump the last
+	// key so sortedness is preserved.
+	wrongSum := *g
+	wrongSum.OutputI = append([]int64(nil), g.OutputI...)
+	wrongSum.OutputI[len(wrongSum.OutputI)-1] += 3
+	if spec.Verify(g, &wrongSum) {
+		t.Fatal("multiset change accepted")
+	}
+	// Length change is SOC.
+	short := *g
+	short.OutputI = g.OutputI[:10]
+	if spec.Verify(g, &short) {
+		t.Fatal("truncated keys accepted")
+	}
+}

@@ -1,0 +1,115 @@
+// Package workloads provides the five scientific codes the paper
+// evaluates — CoMD, HPCCG, AMG, FFT, and NPB IS — rewritten in the sci
+// language with the same algorithmic structure, plus each code's output
+// verification routine (Table 2) and input ladder (Table 5).
+//
+// All codes are SPMD MPI programs: run with one rank they execute the
+// serial algorithm (the paper's coverage experiments use a single MPI
+// process); with more ranks they partition work and exchange data
+// through the simulated MPI runtime (the paper's scalability
+// experiments).
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"ipas/internal/fault"
+	"ipas/internal/interp"
+	"ipas/internal/ir"
+	"ipas/internal/lang"
+)
+
+// Names lists the workloads in the paper's order.
+var Names = []string{"CoMD", "HPCCG", "AMG", "FFT", "IS"}
+
+// Spec is one workload at one input level.
+type Spec struct {
+	// Name is the workload name (one of Names).
+	Name string
+	// Input is the input level, 1..4; level 1 is the training input
+	// (Table 5).
+	Input int
+	// InputDesc describes the input, e.g. "nx=ny=nz=12".
+	InputDesc string
+	// Source is the sci program text.
+	Source string
+	// Verify is the output verification routine (Table 2).
+	Verify fault.Verifier
+	// Heap is the per-rank heap size the input needs.
+	Heap int64
+}
+
+// Get builds the spec for a workload at an input level.
+func Get(name string, input int) (*Spec, error) {
+	if input < 1 || input > 4 {
+		return nil, fmt.Errorf("workloads: input level %d out of range 1..4", input)
+	}
+	switch name {
+	case "CoMD":
+		return comdSpec(input), nil
+	case "HPCCG":
+		return hpccgSpec(input), nil
+	case "AMG":
+		return amgSpec(input), nil
+	case "FFT":
+		return fftSpec(input), nil
+	case "IS":
+		return isSpec(input), nil
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// MustGet is Get that panics on error.
+func MustGet(name string, input int) *Spec {
+	s, err := Get(name, input)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Compile compiles the spec's source to IR.
+func (s *Spec) Compile() (*ir.Module, error) {
+	m, err := lang.Compile(s.Source)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s input %d: %w", s.Name, s.Input, err)
+	}
+	return m, nil
+}
+
+// BaseConfig returns the interpreter configuration the workload needs.
+func (s *Spec) BaseConfig(ranks int) interp.Config {
+	heap := s.Heap
+	if heap <= 0 {
+		heap = 64 << 20
+	}
+	return interp.Config{Ranks: ranks, HeapBytes: heap}
+}
+
+// Verification helpers shared by the workload definitions.
+
+// outF safely reads index i of a float output vector.
+func outF(r *interp.Result, i int) float64 {
+	if i < 0 || i >= len(r.OutputF) {
+		return math.NaN()
+	}
+	return r.OutputF[i]
+}
+
+// sameLenF reports whether the float outputs have equal length.
+func sameLenF(a, b *interp.Result) bool { return len(a.OutputF) == len(b.OutputF) }
+
+// l2Diff computes the L2 norm of the difference of two float output
+// ranges [from, from+n).
+func l2Diff(a, b *interp.Result, from, n int) float64 {
+	var s float64
+	for i := 0; i < n; i++ {
+		d := outF(a, from+i) - outF(b, from+i)
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// finite reports whether v is a usable number.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

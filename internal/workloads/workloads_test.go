@@ -1,0 +1,186 @@
+package workloads
+
+import (
+	"testing"
+
+	"ipas/internal/fault"
+	"ipas/internal/interp"
+)
+
+func TestGoldenRunsPassVerification(t *testing.T) {
+	for _, name := range Names {
+		t.Run(name, func(t *testing.T) {
+			spec := MustGet(name, 1)
+			m, err := spec.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := interp.Compile(m, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := interp.Run(p, spec.BaseConfig(1))
+			if res.Trap != interp.TrapNone {
+				t.Fatalf("golden trap: %v (%s)", res.Trap, res.TrapMsg)
+			}
+			if !spec.Verify(res, res) {
+				t.Fatalf("golden run fails its own verification: F=%v I(len)=%d",
+					head(res.OutputF, 6), len(res.OutputI))
+			}
+			if res.TotalDyn < 50_000 {
+				t.Fatalf("workload too small to be representative: %d dyn instrs", res.TotalDyn)
+			}
+			t.Logf("%s: %d dyn instrs, %d injectable", name, res.TotalDyn, res.Injectable[0])
+		})
+	}
+}
+
+func head(v []float64, n int) []float64 {
+	if len(v) < n {
+		return v
+	}
+	return v[:n]
+}
+
+func TestMultiRankMatchesSingleRank(t *testing.T) {
+	for _, name := range Names {
+		t.Run(name, func(t *testing.T) {
+			spec := MustGet(name, 1)
+			m, err := spec.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := interp.Compile(m, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r1 := interp.Run(p, spec.BaseConfig(1))
+			r3 := interp.Run(p, spec.BaseConfig(3))
+			if r3.Trap != interp.TrapNone {
+				t.Fatalf("3-rank trap: %v (%s)", r3.Trap, r3.TrapMsg)
+			}
+			if len(r1.OutputF) != len(r3.OutputF) || len(r1.OutputI) != len(r3.OutputI) {
+				t.Fatalf("output shapes differ: %d/%d vs %d/%d",
+					len(r1.OutputF), len(r1.OutputI), len(r3.OutputF), len(r3.OutputI))
+			}
+			// Floating outputs may differ by reduction rounding; the
+			// workload's own verifier is the right equivalence notion.
+			if !spec.Verify(r1, r3) {
+				t.Fatalf("3-rank run fails verification against 1-rank golden: %v vs %v",
+					head(r1.OutputF, 6), head(r3.OutputF, 6))
+			}
+		})
+	}
+}
+
+func TestInputLaddersGrow(t *testing.T) {
+	for _, name := range Names {
+		t.Run(name, func(t *testing.T) {
+			prev := int64(0)
+			for in := 1; in <= 2; in++ {
+				spec := MustGet(name, in)
+				m, err := spec.Compile()
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, err := interp.Compile(m, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := interp.Run(p, spec.BaseConfig(1))
+				if res.Trap != interp.TrapNone {
+					t.Fatalf("input %d trap: %v", in, res.Trap)
+				}
+				if res.TotalDyn <= prev {
+					t.Fatalf("input %d not larger: %d <= %d", in, res.TotalDyn, prev)
+				}
+				prev = res.TotalDyn
+			}
+		})
+	}
+}
+
+// TestCampaignOutcomeMix injects faults into two contrasting workloads
+// and checks the phenomenology the paper reports: every outcome
+// category is populated, SOC is a minority outcome, and masking exists.
+func TestCampaignOutcomeMix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault campaign is slow")
+	}
+	for _, name := range []string{"HPCCG", "IS"} {
+		t.Run(name, func(t *testing.T) {
+			spec := MustGet(name, 1)
+			m, err := spec.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := fault.Compile(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := &fault.Campaign{Prog: p, Verify: spec.Verify, Config: spec.BaseConfig(1), Seed: 7}
+			res, err := c.Run(120)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: symptom=%d detected=%d masked=%d soc=%d", name,
+				res.Counts[fault.OutcomeSymptom], res.Counts[fault.OutcomeDetected],
+				res.Counts[fault.OutcomeMasked], res.Counts[fault.OutcomeSOC])
+			if res.Counts[fault.OutcomeDetected] != 0 {
+				t.Error("unprotected code cannot detect by duplication")
+			}
+			if res.Counts[fault.OutcomeMasked] == 0 {
+				t.Error("no masking observed; fault model implausible")
+			}
+			if res.Counts[fault.OutcomeSymptom] == 0 {
+				t.Error("no crash/hang symptoms observed; fault model implausible")
+			}
+			soc := res.Proportion(fault.OutcomeSOC)
+			if soc <= 0 || soc > 0.5 {
+				t.Errorf("SOC proportion %.2f outside plausible band (0, 0.5]", soc)
+			}
+		})
+	}
+}
+
+// TestAllInputsCompile ensures every input level of every workload
+// compiles and verifies statically (execution of the big inputs is
+// covered by Figure 9's harness).
+func TestAllInputsCompile(t *testing.T) {
+	for _, name := range Names {
+		for in := 1; in <= 4; in++ {
+			spec := MustGet(name, in)
+			m, err := spec.Compile()
+			if err != nil {
+				t.Fatalf("%s input %d: %v", name, in, err)
+			}
+			if m.NumSites() == 0 {
+				t.Fatalf("%s input %d: no sites", name, in)
+			}
+			if spec.InputDesc == "" {
+				t.Fatalf("%s input %d: missing description", name, in)
+			}
+		}
+	}
+}
+
+// TestStaticSizeInputInvariant: changing only the input constants must
+// not change the static shape of the code (Figure 9 depends on this:
+// the classifier's site decisions transfer across inputs one-to-one).
+func TestStaticSizeInputInvariant(t *testing.T) {
+	for _, name := range Names {
+		base := -1
+		for in := 1; in <= 4; in++ {
+			m, err := MustGet(name, in).Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base < 0 {
+				base = m.NumInstrs()
+			} else if m.NumInstrs() != base {
+				t.Fatalf("%s: input %d has %d instrs, input 1 has %d",
+					name, in, m.NumInstrs(), base)
+			}
+		}
+	}
+}

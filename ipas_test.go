@@ -1,0 +1,161 @@
+package ipas
+
+import (
+	"testing"
+)
+
+func TestFromWorkloadAndExecute(t *testing.T) {
+	for _, name := range WorkloadNames() {
+		app, err := FromWorkload(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := Execute(app, app.Config)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.TotalDyn == 0 {
+			t.Fatalf("%s: no instructions executed", name)
+		}
+		if !app.Verify(res, res) {
+			t.Fatalf("%s: golden run fails verification", name)
+		}
+	}
+	if _, err := FromWorkload("NOPE", 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := FromWorkload("FFT", 9); err == nil {
+		t.Fatal("bad input level accepted")
+	}
+}
+
+func TestFromSci(t *testing.T) {
+	src := `
+func main() {
+	var s int = 0;
+	for (var i int = 0; i < 5; i = i + 1) {
+		s = s + i;
+	}
+	out_i64(0, s);
+}
+`
+	verify := func(golden, faulty *RunResult) bool {
+		return len(faulty.OutputI) == 1 && faulty.OutputI[0] == golden.OutputI[0]
+	}
+	app, err := FromSci(src, verify, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(app, app.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutputI[0] != 10 {
+		t.Fatalf("output = %v", res.OutputI)
+	}
+	if _, err := FromSci(src, nil, RunConfig{}); err == nil {
+		t.Fatal("missing verifier accepted")
+	}
+	if _, err := FromSci("not a program", verify, RunConfig{}); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}
+
+func TestInjectFaultsFacade(t *testing.T) {
+	app, err := FromWorkload("FFT", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := InjectFaults(app, 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 40 {
+		t.Fatalf("%d trials", len(res.Trials))
+	}
+	if res.Proportion(OutcomeDetected) != 0 {
+		t.Fatal("unprotected app detected faults")
+	}
+}
+
+func TestProtectBestFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full workflow")
+	}
+	app, err := FromWorkload("FFT", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := QuickOptions()
+	opts.Samples = 180
+	opts.EvalTrials = 60
+	opts.TopN = 2
+	best, err := ProtectBest(app, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Policy != PolicyIPAS {
+		t.Fatalf("best policy = %v", best.Policy)
+	}
+	if best.Slowdown <= 1 || best.Stats.Duplicated == 0 {
+		t.Fatalf("implausible best variant: slowdown=%v dup=%d", best.Slowdown, best.Stats.Duplicated)
+	}
+}
+
+func TestOptionPresets(t *testing.T) {
+	q, p := QuickOptions(), PaperOptions()
+	if p.Samples != 2500 || p.EvalTrials != 1024 || p.TopN != 5 {
+		t.Fatalf("paper options: %+v", p)
+	}
+	if got := len(p.Grid.Cs) * len(p.Grid.Gammas); got != 500 {
+		t.Fatalf("paper grid has %d points", got)
+	}
+	if q.Samples >= p.Samples {
+		t.Fatal("quick options not smaller than paper options")
+	}
+}
+
+func TestProtectStaticAndFullDuplication(t *testing.T) {
+	app, err := FromWorkload("IS", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Execute(app, app.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sm, sst, err := ProtectStatic(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sst.Duplicated == 0 || sst.Duplicated == sst.Candidates {
+		t.Fatalf("static policy degenerate: %+v", sst)
+	}
+	sres, err := ExecuteModule(sm, app.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Trap != 0 {
+		t.Fatalf("static-protected run trapped: %v", sres.Trap)
+	}
+	if !app.Verify(base, sres) {
+		t.Fatal("static protection changed verified output")
+	}
+
+	fm, fst, err := FullDuplication(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fst.Duplicated != fst.Candidates {
+		t.Fatalf("full duplication incomplete: %+v", fst)
+	}
+	fres, err := ExecuteModule(fm, app.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(base.TotalDyn < sres.TotalDyn && sres.TotalDyn < fres.TotalDyn) {
+		t.Fatalf("overhead ordering violated: %d, %d, %d",
+			base.TotalDyn, sres.TotalDyn, fres.TotalDyn)
+	}
+}
