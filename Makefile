@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet bench experiments experiments-paper examples clean
+.PHONY: build test test-short vet race ci bench experiments experiments-paper examples clean
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,15 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector run; the campaign engine is concurrent (worker pools,
+# journal writes, progress callbacks, cancellation), so this is the
+# test mode that matters for it.
+race:
+	$(GO) test -race ./...
+
+# What CI runs (see .github/workflows/ci.yml).
+ci: vet build race
 
 # One benchmark per paper table/figure plus component and ablation
 # benches; writes bench_output.txt.

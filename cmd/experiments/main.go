@@ -1,18 +1,29 @@
 // Command experiments regenerates the paper's evaluation tables and
 // figures (§6): Table 3-6 and Figures 5-9.
 //
+// Long runs are interruptible: Ctrl-C (or -deadline expiry) stops the
+// suite cleanly, and -progress reports per-campaign trial counts on
+// stderr together with error summaries for campaigns that degraded
+// (some trials failed infrastructure-side and were excluded).
+//
 // Usage:
 //
 //	experiments [-run all|table3|table4|table5|table6|fig5|fig6|fig7|fig8|fig9]
 //	            [-quick|-paper] [-workloads CoMD,HPCCG,...] [-trials N] [-seed S]
+//	            [-deadline D] [-max-retries N] [-progress]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 
+	"ipas/internal/core"
 	"ipas/internal/experiments"
 )
 
@@ -24,6 +35,9 @@ func main() {
 	samples := flag.Int("samples", 0, "override training sample count")
 	seed := flag.Int64("seed", 1, "RNG seed")
 	csv := flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
+	deadline := flag.Duration("deadline", 0, "wall-clock budget for the whole suite (0 = none)")
+	maxRetries := flag.Int("max-retries", 2, "per-trial retries after infrastructure errors")
+	progress := flag.Bool("progress", false, "report per-campaign progress and error summaries on stderr")
 	flag.Parse()
 
 	params := experiments.Quick()
@@ -42,14 +56,32 @@ func main() {
 	}
 	params.Opts.Seed = *seed
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+
+	controls := &core.CampaignControls{MaxRetries: *maxRetries}
+	if *progress {
+		controls.Progress = newProgressReporter()
+	}
+	params.Opts.Controls = controls
+
 	suite := experiments.NewSuite(params)
 	ids := experiments.IDs()
 	if *run != "all" {
 		ids = strings.Split(*run, ",")
 	}
 	for _, id := range ids {
-		t, err := suite.Run(strings.TrimSpace(id))
+		t, err := suite.RunContext(ctx, strings.TrimSpace(id))
 		if err != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s interrupted: %v\n", id, err)
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
 			os.Exit(1)
 		}
@@ -58,5 +90,29 @@ func main() {
 		} else {
 			fmt.Println(t.Render())
 		}
+	}
+}
+
+// newProgressReporter returns a stage-aware progress callback: it logs
+// roughly every tenth of each campaign plus its completion, and flags
+// campaigns that finished with failed trials.
+func newProgressReporter() func(stage string, done, total, failed int) {
+	var mu sync.Mutex
+	return func(stage string, done, total, failed int) {
+		step := total / 10
+		if step == 0 {
+			step = 1
+		}
+		if done%step != 0 && done != total {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if done == total && failed > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %d/%d trials, %d failed (excluded from proportions)\n",
+				stage, done, total, failed)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "experiments: %s: %d/%d trials\n", stage, done, total)
 	}
 }

@@ -2,16 +2,29 @@
 // paper's FlipIt role) against one of the five evaluation workloads and
 // prints the outcome proportions of §5.5.
 //
+// The campaign is resilient: Ctrl-C (or -deadline expiry) checkpoints
+// completed trials into the -journal file and exits; re-running with
+// -resume continues from the journal and produces a result
+// bit-identical to an uninterrupted run with the same seed. Trials that
+// hit infrastructure errors are retried up to -max-retries times and
+// then reported without aborting the campaign.
+//
 // Usage:
 //
 //	flipit [-workload NAME] [-input N] [-n TRIALS] [-seed S] [-funcs]
+//	       [-journal FILE [-resume]] [-deadline D] [-max-retries N]
+//	       [-workers N] [-progress]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"ipas/internal/fault"
 	"ipas/internal/stats"
@@ -24,7 +37,23 @@ func main() {
 	n := flag.Int("n", 200, "number of injection trials")
 	seed := flag.Int64("seed", 1, "campaign RNG seed")
 	funcs := flag.Bool("funcs", false, "break outcomes down per function")
+	journalPath := flag.String("journal", "", "JSONL trial journal for checkpointing (enables resume)")
+	resume := flag.Bool("resume", false, "continue a campaign from an existing non-empty -journal")
+	deadline := flag.Duration("deadline", 0, "wall-clock budget for the campaign (0 = none)")
+	maxRetries := flag.Int("max-retries", 2, "per-trial retries after infrastructure errors")
+	workers := flag.Int("workers", 0, "concurrent trial workers (0 = GOMAXPROCS)")
+	progress := flag.Bool("progress", false, "report trial progress on stderr")
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancels the campaign; completed trials are
+	// already in the journal by the time we observe the cancellation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
 
 	spec, err := workloads.Get(*name, *input)
 	if err != nil {
@@ -38,17 +67,66 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	c := &fault.Campaign{Prog: prog, Verify: spec.Verify, Config: spec.BaseConfig(1), Seed: *seed}
-	res, err := c.Run(*n)
-	if err != nil {
-		fatal(err)
+
+	var journal *fault.Journal
+	if *journalPath != "" {
+		journal, err = fault.OpenJournal(*journalPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer journal.Close()
+		if journal.Restored() > 0 && !*resume {
+			fatal(fmt.Errorf("journal %s already holds %d trials; pass -resume to continue it (or delete the file)",
+				*journalPath, journal.Restored()))
+		}
+		if *resume && journal.Restored() > 0 {
+			fmt.Fprintf(os.Stderr, "flipit: resuming: %d trials restored from %s\n", journal.Restored(), *journalPath)
+		}
+	} else if *resume {
+		fatal(fmt.Errorf("-resume requires -journal"))
 	}
 
-	fmt.Printf("%s input %d (%s): %d injections, golden run %d dyn instrs\n",
-		*name, *input, spec.InputDesc, *n, res.GoldenDyn)
+	c := &fault.Campaign{
+		Prog:       prog,
+		Verify:     spec.Verify,
+		Config:     spec.BaseConfig(1),
+		Seed:       *seed,
+		Workers:    *workers,
+		MaxRetries: *maxRetries,
+		Journal:    journal,
+	}
+	if *progress {
+		c.Progress = func(done, total, failed int) {
+			if done%50 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "flipit: %d/%d trials (%d failed)\n", done, total, failed)
+			}
+		}
+	}
+
+	res, err := c.RunContext(ctx, *n)
+	if res == nil {
+		fatal(err)
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "flipit: interrupted (%v): %d/%d trials completed\n", ctx.Err(), res.Completed, *n)
+		if journal != nil {
+			fmt.Fprintf(os.Stderr, "flipit: checkpoint saved; rerun with -journal %s -resume to continue\n", *journalPath)
+		} else {
+			fmt.Fprintln(os.Stderr, "flipit: no -journal was set, so this partial progress is lost on exit")
+		}
+	} else if err != nil {
+		// Infrastructure failures: the campaign degraded but completed.
+		fmt.Fprintf(os.Stderr, "flipit: degraded campaign: %s\n", res.ErrorSummary())
+	}
+	if res.Completed == 0 {
+		fatal(errors.New("no trials completed"))
+	}
+
+	fmt.Printf("%s input %d (%s): %d/%d injections completed, golden run %d dyn instrs\n",
+		*name, *input, spec.InputDesc, res.Completed, *n, res.GoldenDyn)
 	for _, o := range []fault.Outcome{fault.OutcomeSymptom, fault.OutcomeDetected, fault.OutcomeMasked, fault.OutcomeSOC} {
 		p := res.Proportion(o)
-		fmt.Printf("  %-9s %6.2f%%  ± %.2f%% (95%%)\n", o, 100*p, 100*stats.MarginOfError95(p, *n))
+		fmt.Printf("  %-9s %6.2f%%  ± %.2f%% (95%%)\n", o, 100*p, 100*stats.MarginOfError95(p, res.Completed))
 	}
 
 	if *funcs {
@@ -63,6 +141,9 @@ func main() {
 		type agg struct{ soc, total int }
 		byFn := map[string]*agg{}
 		for _, tr := range res.Trials {
+			if tr.Status != fault.TrialCompleted {
+				continue
+			}
 			a := byFn[siteFn[tr.Site]]
 			if a == nil {
 				a = &agg{}
@@ -84,6 +165,10 @@ func main() {
 			fmt.Printf("  %-16s %3d/%3d trials SOC (%.1f%%)\n",
 				"@"+fn, a.soc, a.total, 100*float64(a.soc)/float64(a.total))
 		}
+	}
+
+	if ctx.Err() != nil {
+		os.Exit(130)
 	}
 }
 

@@ -3,17 +3,29 @@
 // the ideal-point best configurations (the tool a user would run to
 // decide how to protect their code).
 //
+// The workflow is resilient: Ctrl-C (or -deadline expiry) stops it, and
+// with -journal DIR set, every campaign checkpoints its completed
+// trials into per-stage JSONL journals under DIR; re-running with
+// -journal DIR -resume continues from the checkpoint and produces a
+// result identical to an uninterrupted run with the same parameters.
+//
 // Usage:
 //
 //	ipas [-workload NAME] [-input N] [-quick|-paper] [-samples N]
 //	     [-trials N] [-topn N] [-seed S]
+//	     [-journal DIR [-resume]] [-deadline D] [-max-retries N] [-progress]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"text/tabwriter"
+	"time"
 
 	"ipas"
 	"ipas/internal/core"
@@ -32,6 +44,11 @@ func main() {
 	saveProtected := flag.String("save-protected", "", "write the best IPAS protected module (textual IR) to this file")
 	saveClassifier := flag.String("save-classifier", "", "write the best IPAS classifier (JSON) to this file")
 	withClassifier := flag.String("with-classifier", "", "skip training: protect using a previously saved classifier and write the module to -save-protected")
+	journalDir := flag.String("journal", "", "checkpoint directory: one JSONL trial journal per campaign stage")
+	resume := flag.Bool("resume", false, "continue an interrupted workflow from the -journal directory")
+	deadline := flag.Duration("deadline", 0, "wall-clock budget for the workflow (0 = none)")
+	maxRetries := flag.Int("max-retries", 2, "per-trial retries after infrastructure errors")
+	progress := flag.Bool("progress", false, "report campaign progress on stderr")
 	flag.Parse()
 
 	opts := ipas.QuickOptions()
@@ -48,6 +65,37 @@ func main() {
 		opts.TopN = *topn
 	}
 	opts.Seed = *seed
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+
+	controls := &core.CampaignControls{MaxRetries: *maxRetries}
+	if *progress {
+		controls.Progress = func(stage string, done, total, failed int) {
+			if done%50 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "ipas: %s: %d/%d trials (%d failed)\n", stage, done, total, failed)
+			}
+		}
+	}
+	if *journalDir != "" {
+		cp, err := ipas.NewCheckpoint(*journalDir, *resume)
+		if err != nil {
+			fatal(err)
+		}
+		defer cp.Close()
+		controls.Checkpoint = cp
+		if *resume {
+			fmt.Fprintf(os.Stderr, "ipas: resuming from checkpoint directory %s\n", *journalDir)
+		}
+	} else if *resume {
+		fatal(errors.New("-resume requires -journal"))
+	}
+	opts.Controls = controls
 
 	app, err := ipas.FromWorkload(*name, *input)
 	if err != nil {
@@ -80,9 +128,22 @@ func main() {
 	fmt.Printf("IPAS workflow: %s input %d — %d training samples, %d grid points, top-%d, %d eval injections\n",
 		*name, *input, opts.Samples, len(opts.Grid.Cs)*len(opts.Grid.Gammas), opts.TopN, opts.EvalTrials)
 
-	res, err := ipas.RunWorkflow(app, opts)
+	t0 := time.Now()
+	res, err := ipas.RunWorkflowContext(ctx, app, opts)
 	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "ipas: interrupted after %v: %v\n", time.Since(t0).Round(10*time.Millisecond), err)
+			if *journalDir != "" {
+				fmt.Fprintf(os.Stderr, "ipas: checkpoint saved; rerun with -journal %s -resume to continue\n", *journalDir)
+			} else {
+				fmt.Fprintln(os.Stderr, "ipas: no -journal was set, so this partial progress is lost on exit")
+			}
+			os.Exit(130)
+		}
 		fatal(err)
+	}
+	if res.Data.Degraded != nil {
+		fmt.Fprintf(os.Stderr, "ipas: degraded collection campaign: %s\n", res.Data.Campaign.ErrorSummary())
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -98,6 +159,12 @@ func main() {
 			v.SOCReductionPct, v.Slowdown)
 	}
 	w.Flush()
+
+	for _, v := range res.AllVariants() {
+		if v.Coverage.Failed > 0 {
+			fmt.Fprintf(os.Stderr, "ipas: degraded %s evaluation: %s\n", v.Label(), v.Coverage.ErrorSummary())
+		}
+	}
 
 	bi := res.Best(core.PolicyIPAS)
 	bb := res.Best(core.PolicyBaseline)

@@ -31,6 +31,9 @@ func main() {
 	type band struct{ soc, masked, symptom, total int }
 	bands := make([]band, 8)
 	for _, tr := range res.Trials {
+		if tr.Status != ipas.TrialCompleted {
+			continue
+		}
 		b := &bands[tr.Bit/8]
 		b.total++
 		switch tr.Outcome {

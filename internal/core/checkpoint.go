@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"ipas/internal/fault"
+)
+
+// CampaignControls carries the resilience knobs threaded into every
+// fault-injection campaign the workflow runs: retry policy, worker
+// bound, progress reporting and checkpointing.
+type CampaignControls struct {
+	// MaxRetries / RetryBackoff configure per-trial retry of
+	// infrastructure errors (see fault.Campaign).
+	MaxRetries   int
+	RetryBackoff time.Duration
+	// Workers bounds concurrent trials per campaign (0 = GOMAXPROCS).
+	Workers int
+	// Progress, when non-nil, receives per-campaign progress: stage
+	// names the campaign ("collect", "eval IPAS-1", ...), done/total
+	// count trials, and failed counts infrastructure failures.
+	Progress func(stage string, done, total, failed int)
+	// Checkpoint, when non-nil, supplies one trial journal per
+	// campaign so an interrupted workflow resumes from disk.
+	Checkpoint *Checkpoint
+}
+
+// Apply configures one campaign with the controls, opening its journal
+// when checkpointing is enabled.
+func (cc *CampaignControls) Apply(c *fault.Campaign, stage string) error {
+	if cc == nil {
+		return nil
+	}
+	c.MaxRetries = cc.MaxRetries
+	c.RetryBackoff = cc.RetryBackoff
+	c.Workers = cc.Workers
+	if cc.Progress != nil {
+		report := cc.Progress
+		c.Progress = func(done, total, failed int) { report(stage, done, total, failed) }
+	}
+	if cc.Checkpoint != nil {
+		j, err := cc.Checkpoint.Journal(stage)
+		if err != nil {
+			return err
+		}
+		c.Journal = j
+	}
+	return nil
+}
+
+// Checkpoint manages the journal directory of a workflow run: one
+// JSONL trial journal per campaign (the collection campaign plus every
+// variant's coverage evaluation), named after the campaign's stage.
+// Because every campaign draws its plans up front from its seed, a
+// workflow resumed from a checkpoint directory produces results
+// bit-identical to an uninterrupted run.
+type Checkpoint struct {
+	// Dir is the journal directory (created on first use).
+	Dir string
+	// Resume permits reuse of journals that already contain trials.
+	// Without it, opening a non-empty journal is an error — a guard
+	// against accidentally mixing two different runs' checkpoints.
+	Resume bool
+
+	mu   sync.Mutex
+	open map[string]*fault.Journal
+	subs map[string]*Checkpoint
+}
+
+// NewCheckpoint creates the journal directory and returns a checkpoint
+// manager rooted there.
+func NewCheckpoint(dir string, resume bool) (*Checkpoint, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: creating checkpoint dir: %w", err)
+	}
+	return &Checkpoint{Dir: dir, Resume: resume}, nil
+}
+
+// Sub returns a checkpoint rooted in a subdirectory, scoping (say) one
+// workload's campaigns inside a suite-level checkpoint so their stage
+// names cannot collide. The parent's Close closes the sub's journals.
+func (c *Checkpoint) Sub(name string) *Checkpoint {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.subs == nil {
+		c.subs = map[string]*Checkpoint{}
+	}
+	key := stageFileName(name)
+	if s, ok := c.subs[key]; ok {
+		return s
+	}
+	s := &Checkpoint{Dir: filepath.Join(c.Dir, key), Resume: c.Resume}
+	c.subs[key] = s
+	return s
+}
+
+// Journal opens (once) the journal for the named campaign stage.
+func (c *Checkpoint) Journal(stage string) (*fault.Journal, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.open == nil {
+		c.open = map[string]*fault.Journal{}
+	}
+	if j, ok := c.open[stage]; ok {
+		return j, nil
+	}
+	if err := os.MkdirAll(c.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: creating checkpoint dir: %w", err)
+	}
+	path := filepath.Join(c.Dir, stageFileName(stage)+".jsonl")
+	j, err := fault.OpenJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	if j.Restored() > 0 && !c.Resume {
+		j.Close()
+		return nil, fmt.Errorf("core: journal %s already holds %d trials; pass resume to continue it (or use a fresh checkpoint dir)",
+			path, j.Restored())
+	}
+	c.open[stage] = j
+	return j, nil
+}
+
+// Close closes every journal the checkpoint opened. The files remain
+// on disk for later resume.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for _, j := range c.open {
+		if err := j.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, s := range c.subs {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.open, c.subs = nil, nil
+	return first
+}
+
+// stageFileName maps a stage label onto a safe file name.
+func stageFileName(stage string) string {
+	var sb strings.Builder
+	for _, r := range stage {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('-')
+		}
+	}
+	if sb.Len() == 0 {
+		return "campaign"
+	}
+	return sb.String()
+}

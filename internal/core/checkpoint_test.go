@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// A collection campaign cancelled mid-run and re-run against the same
+// checkpoint directory must yield the same training set as an
+// uninterrupted collection.
+func TestCollectContextCheckpointResume(t *testing.T) {
+	app := loadApp(t, "FFT")
+	const samples = 60
+
+	ref, err := Collect(app, samples, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	cp1, err := NewCheckpoint(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cc1 := &CampaignControls{
+		Workers:    2,
+		Checkpoint: cp1,
+		Progress: func(stage string, done, total, failed int) {
+			if done >= 10 {
+				cancel()
+			}
+		},
+	}
+	if _, err := CollectContext(ctx, app, samples, 9, cc1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted collection returned %v, want context.Canceled", err)
+	}
+	if err := cp1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cp2, err := NewCheckpoint(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	got, err := CollectContext(context.Background(), app, samples, 9, &CampaignControls{Checkpoint: cp2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Degraded != nil {
+		t.Fatalf("resumed collection degraded: %v", got.Degraded)
+	}
+	if len(got.X) != len(ref.X) {
+		t.Fatalf("resumed collection has %d samples, want %d", len(got.X), len(ref.X))
+	}
+	for i := range ref.SOC {
+		if got.SOC[i] != ref.SOC[i] || got.Symptom[i] != ref.Symptom[i] {
+			t.Fatalf("labels differ at sample %d after resume", i)
+		}
+	}
+	for i := range ref.Campaign.Trials {
+		if got.Campaign.Trials[i] != ref.Campaign.Trials[i] {
+			t.Fatalf("trial %d differs after resume: %+v vs %+v",
+				i, got.Campaign.Trials[i], ref.Campaign.Trials[i])
+		}
+	}
+}
+
+// Without resume, pointing a workflow at a checkpoint directory that
+// already holds trials must fail loudly instead of silently mixing two
+// runs' journals.
+func TestCheckpointRefusesSilentReuse(t *testing.T) {
+	app := loadApp(t, "FFT")
+	dir := filepath.Join(t.TempDir(), "ckpt")
+
+	cp1, err := NewCheckpoint(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CollectContext(context.Background(), app, 10, 4, &CampaignControls{Checkpoint: cp1}); err != nil {
+		t.Fatal(err)
+	}
+	cp1.Close()
+
+	cp2, err := NewCheckpoint(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	_, err = CollectContext(context.Background(), app, 10, 4, &CampaignControls{Checkpoint: cp2})
+	if err == nil || !strings.Contains(err.Error(), "resume") {
+		t.Fatalf("reused checkpoint without resume: %v", err)
+	}
+}
+
+// Sub-checkpoints must scope identical stage names into distinct
+// journal files so suite-level checkpoints cannot collide.
+func TestCheckpointSubScopesStages(t *testing.T) {
+	cp, err := NewCheckpoint(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	a, err := cp.Sub("FFT").Journal("collect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cp.Sub("HPCCG").Journal("collect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Path() == b.Path() {
+		t.Fatalf("sub-checkpoints share journal path %s", a.Path())
+	}
+	if cp.Sub("FFT") != cp.Sub("FFT") {
+		t.Fatal("Sub is not cached per name")
+	}
+}

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -80,6 +81,10 @@ type TrainingData struct {
 	Campaign *fault.CampaignResult
 	// SiteFeatures caches the per-site feature table of the module.
 	SiteFeatures [][]float64
+	// Degraded, when non-nil, records that some trials failed with
+	// infrastructure errors and the training set was built from the
+	// completed ones only (the joined per-trial errors).
+	Degraded error
 }
 
 // Labels returns the label vector for the given policy's classifier.
@@ -94,6 +99,16 @@ func (d *TrainingData) Labels(p Policy) []int {
 // with `samples` trials against the unprotected application, labeling
 // each injected instruction's feature vector by the observed outcome.
 func Collect(app *App, samples int, seed int64) (*TrainingData, error) {
+	return CollectContext(context.Background(), app, samples, seed, nil)
+}
+
+// CollectContext is Collect with cancellation and campaign resilience
+// controls. Cancellation aborts with ctx's error (after checkpointing
+// completed trials, when a checkpoint is configured); trials that fail
+// with infrastructure errors after retries are dropped from the
+// training set and reported in TrainingData.Degraded, so one bad trial
+// no longer discards an entire collection campaign.
+func CollectContext(ctx context.Context, app *App, samples int, seed int64, cc *CampaignControls) (*TrainingData, error) {
 	prog, err := fault.Compile(app.Module)
 	if err != nil {
 		return nil, err
@@ -104,15 +119,27 @@ func Collect(app *App, samples int, seed int64) (*TrainingData, error) {
 		Config: app.Config,
 		Seed:   seed,
 	}
-	res, err := campaign.Run(samples)
-	if err != nil {
+	if err := cc.Apply(campaign, "collect"); err != nil {
 		return nil, err
+	}
+	res, err := campaign.RunContext(ctx, samples)
+	if res == nil {
+		return nil, err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("core: collection interrupted after %d/%d trials: %w", res.Completed, samples, cerr)
+	}
+	if res.Completed == 0 {
+		return nil, fmt.Errorf("core: collection produced no completed trials: %w", err)
 	}
 	ext := features.NewExtractor(app.Module)
 	siteFeats := ext.VectorBySite()
 
-	d := &TrainingData{Campaign: res, SiteFeatures: siteFeats}
+	d := &TrainingData{Campaign: res, SiteFeatures: siteFeats, Degraded: err}
 	for _, tr := range res.Trials {
+		if tr.Status != fault.TrialCompleted {
+			continue
+		}
 		if tr.Site < 0 || tr.Site >= len(siteFeats) || siteFeats[tr.Site] == nil {
 			return nil, fmt.Errorf("core: trial hit unknown site %d", tr.Site)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -26,6 +27,10 @@ type Options struct {
 	EvalTrials int
 	// Seed drives all sampling.
 	Seed int64
+	// Controls carries resilience knobs (retry policy, progress,
+	// checkpointing) threaded into every campaign the workflow runs.
+	// Nil keeps the defaults: no checkpointing, 2 retries.
+	Controls *CampaignControls
 }
 
 // PaperOptions returns the paper-scale parameters.
@@ -124,16 +129,31 @@ func (r *Result) Best(p Policy) *Variant {
 // every top-N configuration under both policies, full duplication, and
 // coverage evaluation of every variant.
 func Run(app *App, opts Options) (*Result, error) {
-	data, err := Collect(app, opts.Samples, opts.Seed)
+	return RunContext(context.Background(), app, opts)
+}
+
+// RunContext is Run with cancellation: ctx aborts the workflow between
+// (and, via the interpreter's cancellation hook, inside) its campaigns
+// and training steps. With Options.Controls.Checkpoint set, every
+// campaign journals its trials, so an interrupted workflow re-invoked
+// against the same checkpoint directory resumes where it stopped.
+func RunContext(ctx context.Context, app *App, opts Options) (*Result, error) {
+	data, err := CollectContext(ctx, app, opts.Samples, opts.Seed, opts.Controls)
 	if err != nil {
 		return nil, err
 	}
-	return RunWithData(app, data, opts)
+	return RunWithDataContext(ctx, app, data, opts)
 }
 
 // RunWithData is Run with a pre-collected training set (so callers can
 // reuse one injection campaign across experiments).
 func RunWithData(app *App, data *TrainingData, opts Options) (*Result, error) {
+	return RunWithDataContext(context.Background(), app, data, opts)
+}
+
+// RunWithDataContext is RunWithData with cancellation and resilience
+// controls.
+func RunWithDataContext(ctx context.Context, app *App, data *TrainingData, opts Options) (*Result, error) {
 	res := &Result{Data: data}
 
 	t0 := time.Now()
@@ -142,6 +162,9 @@ func RunWithData(app *App, data *TrainingData, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: training IPAS classifier: %w", err)
 	}
 	res.TrainIPASTime = time.Since(t0)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	t0 = time.Now()
 	baseCls, err := Train(data, data.Labels(PolicyBaseline), opts.Grid, opts.TopN)
@@ -155,26 +178,29 @@ func RunWithData(app *App, data *TrainingData, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	baseGolden := interp.Run(baseProg, app.Config)
+	baseGolden := interp.RunContext(ctx, baseProg, app.Config)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if baseGolden.Trap != interp.TrapNone {
 		return nil, fmt.Errorf("core: unprotected golden run trapped: %v", baseGolden.Trap)
 	}
 	baseDyn := baseGolden.TotalDyn
 
 	// Reference variants.
-	unprot, err := buildVariant(app, data, PolicyNone, -1, nil, opts, baseDyn)
+	unprot, err := buildVariant(ctx, app, data, PolicyNone, -1, nil, opts, baseDyn)
 	if err != nil {
 		return nil, err
 	}
 	res.Unprotected = unprot
 	unprotSOC := unprot.Coverage.Proportion(fault.OutcomeSOC)
 
-	full, err := buildVariant(app, data, PolicyFullDup, -1, nil, opts, baseDyn)
+	full, err := buildVariant(ctx, app, data, PolicyFullDup, -1, nil, opts, baseDyn)
 	if err != nil {
 		return nil, err
 	}
 	for i, cls := range ipasCls {
-		v, err := buildVariant(app, data, PolicyIPAS, i, cls, opts, baseDyn)
+		v, err := buildVariant(ctx, app, data, PolicyIPAS, i, cls, opts, baseDyn)
 		if err != nil {
 			return nil, err
 		}
@@ -182,7 +208,7 @@ func RunWithData(app *App, data *TrainingData, opts Options) (*Result, error) {
 		res.ProtectTime += v.ProtectDuration
 	}
 	for i, cls := range baseCls {
-		v, err := buildVariant(app, data, PolicyBaseline, i, cls, opts, baseDyn)
+		v, err := buildVariant(ctx, app, data, PolicyBaseline, i, cls, opts, baseDyn)
 		if err != nil {
 			return nil, err
 		}
@@ -204,7 +230,7 @@ func RunWithData(app *App, data *TrainingData, opts Options) (*Result, error) {
 // buildVariant protects (policy-dependent), measures slowdown, and runs
 // the evaluation campaign. baseDyn is the unprotected golden dynamic
 // instruction count.
-func buildVariant(app *App, data *TrainingData, policy Policy, cfgIdx int, cls *Classifier, opts Options, baseDyn int64) (*Variant, error) {
+func buildVariant(ctx context.Context, app *App, data *TrainingData, policy Policy, cfgIdx int, cls *Classifier, opts Options, baseDyn int64) (*Variant, error) {
 	v := &Variant{Policy: policy, ConfigIndex: cfgIdx, Classifier: cls}
 
 	tProtect := time.Now()
@@ -241,9 +267,22 @@ func buildVariant(app *App, data *TrainingData, policy Policy, cfgIdx int, cls *
 		Config: app.Config,
 		Seed:   opts.Seed + int64(cfgIdx) + 7919*int64(policy),
 	}
-	cov, err := campaign.Run(opts.EvalTrials)
-	if err != nil {
+	if err := opts.Controls.Apply(campaign, "eval "+v.Label()); err != nil {
+		return nil, err
+	}
+	cov, err := campaign.RunContext(ctx, opts.EvalTrials)
+	if cov == nil {
 		return nil, fmt.Errorf("core: evaluating %s: %w", v.Label(), err)
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("core: evaluating %s interrupted after %d/%d trials: %w",
+			v.Label(), cov.Completed, opts.EvalTrials, cerr)
+	}
+	// Degraded coverage (some trials failed infrastructure-side) is
+	// usable as long as any trials completed: proportions are computed
+	// over completed trials only.
+	if cov.Completed == 0 {
+		return nil, fmt.Errorf("core: evaluating %s: no trials completed: %w", v.Label(), err)
 	}
 	v.Coverage = cov
 

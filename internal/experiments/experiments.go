@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -153,6 +154,7 @@ type Suite struct {
 	Params Params
 
 	mu      sync.Mutex
+	ctx     context.Context
 	apps    map[string]*core.App
 	results map[string]*core.Result
 }
@@ -192,6 +194,26 @@ func (s *Suite) App(name string) (*core.App, error) {
 	return app, nil
 }
 
+// context returns the context installed by RunContext/AllContext
+// (Background when the suite is driven through Run/All).
+func (s *Suite) context() context.Context {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ctx == nil {
+		return context.Background()
+	}
+	return s.ctx
+}
+
+// setContext installs ctx for the generators of one Run/All call. The
+// suite serializes experiment runs through its caller; concurrent
+// RunContext calls with different contexts are not supported.
+func (s *Suite) setContext(ctx context.Context) {
+	s.mu.Lock()
+	s.ctx = ctx
+	s.mu.Unlock()
+}
+
 // Result returns (running lazily) the full workflow result for a
 // workload at input level 1.
 func (s *Suite) Result(name string) (*core.Result, error) {
@@ -206,7 +228,7 @@ func (s *Suite) Result(name string) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	r, err := core.Run(app, s.Params.Opts)
+	r, err := core.RunContext(s.context(), app, s.optsFor(name))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: workflow for %s: %w", name, err)
 	}
@@ -216,8 +238,39 @@ func (s *Suite) Result(name string) (*core.Result, error) {
 	return r, nil
 }
 
+// optsFor scopes one workload's resilience controls: progress lines
+// are prefixed with the workload ("HPCCG: eval IPAS-1") and journals
+// land in a per-workload checkpoint subdirectory so stage names cannot
+// collide across workloads.
+func (s *Suite) optsFor(name string) core.Options {
+	opts := s.Params.Opts
+	cc := opts.Controls
+	if cc == nil {
+		return opts
+	}
+	scoped := *cc
+	if cc.Progress != nil {
+		report := cc.Progress
+		scoped.Progress = func(stage string, done, total, failed int) {
+			report(name+": "+stage, done, total, failed)
+		}
+	}
+	if cc.Checkpoint != nil {
+		scoped.Checkpoint = cc.Checkpoint.Sub(name)
+	}
+	opts.Controls = &scoped
+	return opts
+}
+
 // All runs every experiment and returns the tables in paper order.
 func (s *Suite) All() ([]*Table, error) {
+	return s.AllContext(context.Background())
+}
+
+// AllContext is All with cancellation threaded into every workflow and
+// campaign the generators run.
+func (s *Suite) AllContext(ctx context.Context) ([]*Table, error) {
+	s.setContext(ctx)
 	type gen struct {
 		id string
 		fn func() (*Table, error)
@@ -246,6 +299,13 @@ func (s *Suite) All() ([]*Table, error) {
 
 // Run runs one experiment by ID.
 func (s *Suite) Run(id string) (*Table, error) {
+	return s.RunContext(context.Background(), id)
+}
+
+// RunContext runs one experiment by ID under ctx: cancellation aborts
+// the underlying workflows and campaigns, returning ctx's error.
+func (s *Suite) RunContext(ctx context.Context, id string) (*Table, error) {
+	s.setContext(ctx)
 	switch strings.ToLower(id) {
 	case "table3":
 		return s.Table3()

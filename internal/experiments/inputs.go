@@ -1,12 +1,32 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ipas/internal/core"
 	"ipas/internal/fault"
 	"ipas/internal/workloads"
 )
+
+// runInputCampaign runs one Figure 9 campaign under the suite's
+// context and controls, tolerating infrastructure-degraded results.
+func (s *Suite) runInputCampaign(ctx context.Context, cc *core.CampaignControls, stage string, c *fault.Campaign) (*fault.CampaignResult, error) {
+	if err := cc.Apply(c, stage); err != nil {
+		return nil, err
+	}
+	res, err := c.RunContext(ctx, s.Params.InputTrials)
+	if res == nil {
+		return nil, err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	if res.Completed == 0 {
+		return nil, fmt.Errorf("no trials completed: %w", err)
+	}
+	return res, nil
+}
 
 // Fig9 reproduces Figure 9: IPAS is trained on input 1 and the
 // protection it selects is applied to the same code built for larger
@@ -45,7 +65,9 @@ func (s *Suite) Fig9() (*Table, error) {
 
 // inputReduction evaluates the trained classifier's protection on one
 // input level and returns the SOC reduction relative to that input's
-// unprotected SOC proportion.
+// unprotected SOC proportion. Its two campaigns inherit the suite's
+// context and resilience controls, so Figure 9 is cancellable and
+// tolerates degraded (partially failed) campaigns like the workflow.
 func (s *Suite) inputReduction(name string, input int, cls *core.Classifier) (float64, error) {
 	spec, err := workloads.Get(name, input)
 	if err != nil {
@@ -56,14 +78,16 @@ func (s *Suite) inputReduction(name string, input int, cls *core.Classifier) (fl
 		return 0, err
 	}
 	cfg := spec.BaseConfig(1)
+	ctx := s.context()
+	controls := s.optsFor(name).Controls
 
 	unprotProg, err := fault.Compile(m)
 	if err != nil {
 		return 0, err
 	}
-	unprotRes, err := (&fault.Campaign{
+	unprotRes, err := s.runInputCampaign(ctx, controls, fmt.Sprintf("fig9 input%d unprot", input), &fault.Campaign{
 		Prog: unprotProg, Verify: spec.Verify, Config: cfg, Seed: 101 + int64(input),
-	}).Run(s.Params.InputTrials)
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -76,9 +100,9 @@ func (s *Suite) inputReduction(name string, input int, cls *core.Classifier) (fl
 	if err != nil {
 		return 0, err
 	}
-	protRes, err := (&fault.Campaign{
+	protRes, err := s.runInputCampaign(ctx, controls, fmt.Sprintf("fig9 input%d prot", input), &fault.Campaign{
 		Prog: protProg, Verify: spec.Verify, Config: cfg, Seed: 202 + int64(input),
-	}).Run(s.Params.InputTrials)
+	})
 	if err != nil {
 		return 0, err
 	}

@@ -45,10 +45,14 @@ func (s *Suite) Fig8() (*Table, error) {
 			return nil, err
 		}
 
+		ctx := s.context()
 		row := []string{name}
 		for _, ranks := range s.Params.Ranks {
-			ru := interp.Run(unprot, spec.BaseConfig(ranks))
-			rp := interp.Run(prot, spec.BaseConfig(ranks))
+			ru := interp.RunContext(ctx, unprot, spec.BaseConfig(ranks))
+			rp := interp.RunContext(ctx, prot, spec.BaseConfig(ranks))
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if ru.Trap != interp.TrapNone || rp.Trap != interp.TrapNone {
 				return nil, fmt.Errorf("experiments: fig8 %s at %d ranks trapped: %v/%v (%s%s)",
 					name, ranks, ru.Trap, rp.Trap, ru.TrapMsg, rp.TrapMsg)

@@ -7,10 +7,13 @@
 package fault
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"ipas/internal/interp"
 	"ipas/internal/ir"
@@ -107,47 +110,95 @@ func Classify(golden, res *interp.Result, verify Verifier) Outcome {
 	}
 }
 
+// TrialStatus separates modeled fault outcomes from campaign
+// infrastructure conditions (REFINE's distinction: faults of the
+// injector harness must never be counted as faults of the application).
+type TrialStatus uint8
+
+const (
+	// TrialCompleted means the trial ran and Outcome is valid. It is
+	// the zero value so a plainly constructed Trial is a completed one.
+	TrialCompleted TrialStatus = iota
+	// TrialFailed means every attempt hit an infrastructure error
+	// (worker panic, pre-injection trap, plan that never fired); Err
+	// holds the last error and the trial carries no outcome.
+	TrialFailed
+	// TrialPending means the trial was never executed (campaign
+	// cancelled before its turn); it is re-run on resume.
+	TrialPending
+)
+
+// String names the status.
+func (s TrialStatus) String() string {
+	switch s {
+	case TrialCompleted:
+		return "completed"
+	case TrialFailed:
+		return "failed"
+	case TrialPending:
+		return "pending"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
 // Trial records one injection.
 type Trial struct {
 	// Site is the static instruction (SiteID) the fault landed on.
-	Site int
+	Site int `json:"site"`
 	// Bit is the flipped bit position (modulo the result width).
-	Bit int
+	Bit int `json:"bit"`
 	// Index is the dynamic injectable-instance index targeted.
-	Index int64
-	// Outcome is the classified result.
-	Outcome Outcome
+	Index int64 `json:"index"`
+	// Outcome is the classified result (valid only when Status is
+	// TrialCompleted).
+	Outcome Outcome `json:"outcome"`
 	// Latency is the number of dynamic instructions the injected rank
 	// executed between the bit flip and the run's termination — the
 	// error-detection latency for Detected/Symptom outcomes, and the
 	// residual run length for Masked/SOC (§2.1: duplication detects
 	// "close to the occurrence", enabling recent checkpoints).
-	Latency int64
+	Latency int64 `json:"latency"`
+	// Status partitions trials into completed / failed / pending.
+	Status TrialStatus `json:"status,omitempty"`
+	// Err is the last infrastructure error when Status is TrialFailed.
+	Err string `json:"err,omitempty"`
+	// Attempts counts executions performed for this trial (1 = no
+	// retries were needed).
+	Attempts int `json:"attempts,omitempty"`
 }
 
-// CampaignResult aggregates a statistical fault-injection campaign.
+// CampaignResult aggregates a statistical fault-injection campaign. It
+// degrades gracefully: Trials always holds one slot per planned trial,
+// Completed/Failed/Pending partition them, and the outcome statistics
+// (Counts, Proportion, MeanLatency) are computed over completed trials
+// only.
 type CampaignResult struct {
 	Trials []Trial
 	Counts [NumOutcomes]int
 	// GoldenDyn is the fault-free total dynamic instruction count.
 	GoldenDyn int64
+	// Completed, Failed and Pending partition Trials by status.
+	Completed int
+	Failed    int
+	Pending   int
 }
 
-// Proportion returns the fraction of trials with outcome o.
+// Proportion returns the fraction of completed trials with outcome o.
 func (c *CampaignResult) Proportion(o Outcome) float64 {
-	if len(c.Trials) == 0 {
+	if c.Completed == 0 {
 		return 0
 	}
-	return float64(c.Counts[o]) / float64(len(c.Trials))
+	return float64(c.Counts[o]) / float64(c.Completed)
 }
 
 // MeanLatency returns the average injection-to-termination latency (in
-// dynamic instructions) over trials with outcome o, or -1 when none.
+// dynamic instructions) over completed trials with outcome o, or -1
+// when none.
 func (c *CampaignResult) MeanLatency(o Outcome) float64 {
 	var sum float64
 	n := 0
 	for _, tr := range c.Trials {
-		if tr.Outcome == o {
+		if tr.Status == TrialCompleted && tr.Outcome == o {
 			sum += float64(tr.Latency)
 			n++
 		}
@@ -156,6 +207,35 @@ func (c *CampaignResult) MeanLatency(o Outcome) float64 {
 		return -1
 	}
 	return sum / float64(n)
+}
+
+// ErrorSummary renders a short human-readable account of trials that
+// did not complete ("" when every trial completed). At most three
+// distinct error messages are spelled out.
+func (c *CampaignResult) ErrorSummary() string {
+	if c.Failed == 0 && c.Pending == 0 {
+		return ""
+	}
+	s := fmt.Sprintf("%d/%d trials completed", c.Completed, len(c.Trials))
+	if c.Failed > 0 {
+		s += fmt.Sprintf(", %d failed", c.Failed)
+		shown := 0
+		for t, tr := range c.Trials {
+			if tr.Status != TrialFailed {
+				continue
+			}
+			if shown == 3 {
+				s += ", ..."
+				break
+			}
+			s += fmt.Sprintf(" [trial %d after %d attempts: %s]", t, tr.Attempts, tr.Err)
+			shown++
+		}
+	}
+	if c.Pending > 0 {
+		s += fmt.Sprintf(", %d pending (cancelled before execution)", c.Pending)
+	}
+	return s
 }
 
 // Campaign drives statistical fault injection against one program.
@@ -177,6 +257,30 @@ type Campaign struct {
 	// Trials are independent interpreter runs and the plan sequence is
 	// drawn up front, so results are identical for any worker count.
 	Workers int
+	// MaxRetries bounds how many times a trial is re-executed after an
+	// infrastructure error — a worker panic, a trap raised before the
+	// fault injected, or a plan that never fired (default 2, so up to
+	// 3 attempts). After the budget is exhausted the trial is recorded
+	// as TrialFailed instead of aborting the campaign.
+	MaxRetries int
+	// RetryBackoff is the base delay before re-running a failed trial;
+	// attempt k waits RetryBackoff << (k-1), and cancellation
+	// interrupts the wait (default 10ms).
+	RetryBackoff time.Duration
+	// Journal, when non-nil, receives every finished trial as it
+	// completes and seeds resume: trials already recorded are restored
+	// instead of re-executed. Because the plan sequence is drawn up
+	// front from Seed, a resumed campaign is bit-identical to an
+	// uninterrupted one.
+	Journal *Journal
+	// Progress, when non-nil, is invoked (serialized) after every
+	// finished trial with the number done so far (including restored
+	// ones), the total, and the infrastructure-failure count.
+	Progress func(done, total, failed int)
+
+	// beforeTrial is a test hook called at the start of every trial
+	// attempt; panics it raises exercise the worker isolation path.
+	beforeTrial func(t, attempt int)
 }
 
 // Compile compiles a module for fault injection.
@@ -186,11 +290,37 @@ func Compile(m *ir.Module) (*interp.Program, error) {
 
 // Run executes the golden run plus n injection trials.
 func (c *Campaign) Run(n int) (*CampaignResult, error) {
+	return c.RunContext(context.Background(), n)
+}
+
+// errCancelled marks a trial attempt interrupted by context
+// cancellation; the trial stays pending (re-run on resume) rather than
+// being charged a retry.
+var errCancelled = errors.New("fault: trial cancelled")
+
+// RunContext executes the golden run plus n injection trials, honoring
+// ctx for cancellation and deadlines.
+//
+// The engine is resilient: every trial attempt runs with panic
+// isolation, infrastructure errors are retried up to MaxRetries times
+// with exponential backoff, and a trial that still fails is recorded
+// as TrialFailed instead of aborting the campaign. On cancellation the
+// partial result is returned together with ctx.Err(); unexecuted
+// trials stay TrialPending. When any trial failed, the (complete)
+// result is returned together with the joined per-trial errors.
+//
+// A non-nil result always accounts for all n trials; inspect
+// Completed/Failed/Pending (or ErrorSummary) to see how the campaign
+// degraded.
+func (c *Campaign) RunContext(ctx context.Context, n int) (*CampaignResult, error) {
 	hang := c.HangFactor
 	if hang <= 0 {
 		hang = 10
 	}
-	golden := interp.Run(c.Prog, c.Config)
+	golden := interp.RunContext(ctx, c.Prog, c.Config)
+	if golden.Trap == interp.TrapCancelled || ctx.Err() != nil {
+		return nil, fmt.Errorf("fault: golden run cancelled: %w", ctx.Err())
+	}
 	if golden.Trap != interp.TrapNone {
 		return nil, fmt.Errorf("fault: golden run trapped: %v (%s)", golden.Trap, golden.TrapMsg)
 	}
@@ -200,11 +330,47 @@ func (c *Campaign) Run(n int) (*CampaignResult, error) {
 	}
 
 	// Draw the whole plan sequence up front so results do not depend
-	// on worker scheduling.
+	// on worker scheduling — this is also what makes checkpoint/resume
+	// bit-identical: trial t's plan is a pure function of (Seed, t).
 	rng := rand.New(rand.NewSource(c.Seed))
 	plans := make([]interp.FaultPlan, n)
 	for t := range plans {
 		plans[t] = interp.FaultPlan{Rank: 0, Index: rng.Int63n(pop), Bit: rng.Intn(64)}
+	}
+
+	out := &CampaignResult{GoldenDyn: golden.TotalDyn, Trials: make([]Trial, n)}
+	for t := range out.Trials {
+		out.Trials[t] = Trial{Site: -1, Bit: plans[t].Bit, Index: plans[t].Index, Status: TrialPending}
+	}
+
+	// Resume: restore trials already journaled by a previous run of
+	// the same campaign (the journal header pins seed, trial count and
+	// the golden run's fingerprint, so restored plans line up).
+	restored := 0
+	if c.Journal != nil {
+		prev, err := c.Journal.begin(JournalMeta{
+			Seed: c.Seed, Trials: n, GoldenDyn: golden.TotalDyn, Population: pop,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for t, tr := range prev {
+			if t >= 0 && t < n && tr.Status != TrialPending {
+				out.Trials[t] = tr
+				restored++
+			}
+		}
+	}
+
+	maxRetries := c.MaxRetries
+	if maxRetries < 0 {
+		maxRetries = 0
+	} else if maxRetries == 0 {
+		maxRetries = 2
+	}
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
 	}
 
 	workers := c.Workers
@@ -215,8 +381,34 @@ func (c *Campaign) Run(n int) (*CampaignResult, error) {
 		workers = n
 	}
 
-	out := &CampaignResult{GoldenDyn: golden.TotalDyn, Trials: make([]Trial, n)}
-	errs := make([]error, n)
+	var (
+		mu         sync.Mutex
+		done       = restored
+		failed     = 0
+		journalErr error
+	)
+	for _, tr := range out.Trials {
+		if tr.Status == TrialFailed {
+			failed++
+		}
+	}
+	finish := func(t int, tr Trial) {
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		if tr.Status == TrialFailed {
+			failed++
+		}
+		if c.Journal != nil {
+			if err := c.Journal.record(t, tr); err != nil && journalErr == nil {
+				journalErr = err
+			}
+		}
+		if c.Progress != nil {
+			c.Progress(done, n, failed)
+		}
+	}
+
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -224,40 +416,130 @@ func (c *Campaign) Run(n int) (*CampaignResult, error) {
 		go func() {
 			defer wg.Done()
 			for t := range next {
-				plan := plans[t]
-				cfg := c.Config
-				cfg.Fault = &plan
-				cfg.MaxInstrs = golden.MaxRankDyn*hang + 1_000_000
-				res := interp.Run(c.Prog, cfg)
-				if !res.Injected && res.Trap == interp.TrapNone {
-					errs[t] = fmt.Errorf("fault: trial %d did not inject (index %d of %d)", t, plan.Index, pop)
-					continue
+				tr := c.runTrial(ctx, t, plans[t], golden, golden.MaxRankDyn*hang+1_000_000, maxRetries, backoff)
+				if tr.Status == TrialPending {
+					continue // cancelled mid-trial; re-run on resume
 				}
-				out.Trials[t] = Trial{
-					Site:    res.InjectedSite,
-					Bit:     plan.Bit,
-					Index:   plan.Index,
-					Outcome: Classify(golden, res, c.Verify),
-					Latency: res.InjectedRankDyn - res.InjectedAt,
-				}
+				out.Trials[t] = tr
+				finish(t, tr)
 			}
 		}()
 	}
+feed:
 	for t := 0; t < n; t++ {
-		next <- t
+		if out.Trials[t].Status != TrialPending {
+			continue // restored from the journal
+		}
+		select {
+		case next <- t:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
 
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	var errs []error
+	for t := range out.Trials {
+		switch out.Trials[t].Status {
+		case TrialCompleted:
+			out.Completed++
+			out.Counts[out.Trials[t].Outcome]++
+		case TrialFailed:
+			out.Failed++
+			errs = append(errs, fmt.Errorf("fault: trial %d failed after %d attempts: %s",
+				t, out.Trials[t].Attempts, out.Trials[t].Err))
+		case TrialPending:
+			out.Pending++
 		}
 	}
-	for _, tr := range out.Trials {
-		out.Counts[tr.Outcome]++
+	if journalErr != nil {
+		errs = append(errs, fmt.Errorf("fault: journal write: %w", journalErr))
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	if len(errs) > 0 {
+		return out, errors.Join(errs...)
 	}
 	return out, nil
+}
+
+// runTrial executes one trial with panic isolation and bounded
+// retry-with-backoff; a still-pending result means cancellation.
+func (c *Campaign) runTrial(ctx context.Context, t int, plan interp.FaultPlan, golden *interp.Result, budget int64, maxRetries int, backoff time.Duration) Trial {
+	pending := Trial{Site: -1, Bit: plan.Bit, Index: plan.Index, Status: TrialPending}
+	var lastErr error
+	attempts := 0
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		if ctx.Err() != nil {
+			return pending
+		}
+		if attempt > 0 {
+			select {
+			case <-time.After(backoff << (attempt - 1)):
+			case <-ctx.Done():
+				return pending
+			}
+		}
+		attempts++
+		tr, err := c.attemptTrial(ctx, t, plan, golden, budget, attempt)
+		if err == nil {
+			tr.Attempts = attempts
+			return tr
+		}
+		if errors.Is(err, errCancelled) {
+			return pending
+		}
+		lastErr = err
+	}
+	pending.Status = TrialFailed
+	pending.Err = lastErr.Error()
+	pending.Attempts = attempts
+	return pending
+}
+
+// attemptTrial performs a single isolated execution of one trial; any
+// panic in the interpreter or the user's verification routine is
+// converted into an infrastructure error.
+func (c *Campaign) attemptTrial(ctx context.Context, t int, plan interp.FaultPlan, golden *interp.Result, budget int64, attempt int) (tr Trial, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("worker panic: %v", p)
+		}
+	}()
+	if c.beforeTrial != nil {
+		c.beforeTrial(t, attempt)
+	}
+	cfg := c.Config
+	cfg.Fault = &plan
+	cfg.MaxInstrs = budget
+	res := interp.RunContext(ctx, c.Prog, cfg)
+	return trialFromResult(plan, golden, res, c.Verify)
+}
+
+// trialFromResult converts one interpreter run into a completed Trial
+// or an infrastructure error. A run that terminates — cleanly or with
+// a trap — before its fault ever injected observed no modeled fault:
+// classifying such a trap as a symptom would corrupt the outcome
+// statistics, so both cases are errors of the harness, retried and
+// ultimately reported as TrialFailed rather than counted.
+func trialFromResult(plan interp.FaultPlan, golden, res *interp.Result, verify Verifier) (Trial, error) {
+	switch {
+	case res.Trap == interp.TrapCancelled:
+		return Trial{}, errCancelled
+	case !res.Injected && res.Trap == interp.TrapNone:
+		return Trial{}, fmt.Errorf("did not inject (index %d never reached)", plan.Index)
+	case !res.Injected:
+		return Trial{}, fmt.Errorf("pre-injection trap %v (%s)", res.Trap, res.TrapMsg)
+	}
+	return Trial{
+		Site:    res.InjectedSite,
+		Bit:     plan.Bit,
+		Index:   plan.Index,
+		Outcome: Classify(golden, res, verify),
+		Latency: res.InjectedRankDyn - res.InjectedAt,
+	}, nil
 }
 
 // Golden runs the program fault-free and returns the result.

@@ -1,0 +1,211 @@
+package fault
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// JournalFormat identifies the trial-journal file format.
+const JournalFormat = "ipas-trial-journal-v1"
+
+// JournalMeta fingerprints the campaign a journal belongs to. Seed and
+// Trials pin the plan sequence; GoldenDyn and Population pin the
+// program + configuration (a different binary or input produces a
+// different golden run, and resuming across them would silently mix
+// incompatible trials).
+type JournalMeta struct {
+	Format    string `json:"format"`
+	Seed      int64  `json:"seed"`
+	Trials    int    `json:"trials"`
+	GoldenDyn int64  `json:"golden_dyn"`
+	// Population is the injectable dynamic-instance count on rank 0.
+	Population int64 `json:"population"`
+}
+
+// journalLine is one JSONL record: exactly one of Meta (first line) or
+// Trial is set.
+type journalLine struct {
+	Meta  *JournalMeta `json:"meta,omitempty"`
+	T     int          `json:"t,omitempty"`
+	Trial *Trial       `json:"trial,omitempty"`
+}
+
+// Journal is an append-only JSONL checkpoint of a fault-injection
+// campaign: a meta header followed by one line per finished trial.
+// Opening an existing journal restores its trials so the campaign can
+// resume; a trailing partial line (crash mid-write) is discarded and
+// overwritten. Record order does not matter — trials carry their index
+// — so any worker interleaving checkpoints correctly.
+type Journal struct {
+	path string
+
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	meta     *JournalMeta
+	restored map[int]Trial
+	began    bool
+}
+
+// OpenJournal opens (or creates) the campaign journal at path and
+// loads every complete record already present.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fault: opening journal: %w", err)
+	}
+	j := &Journal{path: path, f: f, restored: map[int]Trial{}}
+	valid, err := j.load()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Drop a torn trailing line and position appends after the last
+	// complete record.
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fault: truncating journal %s: %w", path, err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	j.w = bufio.NewWriter(f)
+	return j, nil
+}
+
+// load parses the journal, filling meta and restored, and returns the
+// byte offset just past the last complete, well-formed line. A record
+// is only trusted when newline-terminated and valid JSON; anything
+// after the first torn or malformed line is discarded.
+func (j *Journal) load() (int64, error) {
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	data, err := io.ReadAll(j.f)
+	if err != nil {
+		return 0, fmt.Errorf("fault: reading journal %s: %w", j.path, err)
+	}
+	var valid int64
+	rest := data
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			break // torn tail: no terminating newline
+		}
+		line := bytes.TrimSpace(rest[:nl])
+		advance := int64(nl) + 1
+		rest = rest[nl+1:]
+		if len(line) == 0 {
+			valid += advance
+			continue
+		}
+		var rec journalLine
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break // torn tail: keep what parsed so far
+		}
+		switch {
+		case rec.Meta != nil:
+			if rec.Meta.Format != JournalFormat {
+				return 0, fmt.Errorf("fault: journal %s: unknown format %q", j.path, rec.Meta.Format)
+			}
+			if j.meta != nil {
+				return 0, fmt.Errorf("fault: journal %s: duplicate meta header", j.path)
+			}
+			j.meta = rec.Meta
+		case rec.Trial != nil:
+			if j.meta == nil {
+				return 0, fmt.Errorf("fault: journal %s: trial record before meta header", j.path)
+			}
+			j.restored[rec.T] = *rec.Trial
+		}
+		valid += advance
+	}
+	return valid, nil
+}
+
+// Restored reports how many trials the journal already holds.
+func (j *Journal) Restored() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.restored)
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// begin binds the journal to a campaign: a fresh journal writes the
+// meta header; an existing one verifies that it belongs to the same
+// campaign (same seed, trial count and golden-run fingerprint) and
+// hands back the restored trials.
+func (j *Journal) begin(meta JournalMeta) (map[int]Trial, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	meta.Format = JournalFormat
+	if j.began {
+		return nil, fmt.Errorf("fault: journal %s: already driving a campaign", j.path)
+	}
+	if j.meta != nil {
+		if *j.meta != meta {
+			return nil, fmt.Errorf(
+				"fault: journal %s belongs to a different campaign (journal seed=%d trials=%d goldenDyn=%d pop=%d; campaign seed=%d trials=%d goldenDyn=%d pop=%d)",
+				j.path, j.meta.Seed, j.meta.Trials, j.meta.GoldenDyn, j.meta.Population,
+				meta.Seed, meta.Trials, meta.GoldenDyn, meta.Population)
+		}
+		j.began = true
+		return j.restored, nil
+	}
+	if err := j.append(journalLine{Meta: &meta}); err != nil {
+		return nil, err
+	}
+	j.meta = &meta
+	j.began = true
+	return nil, nil
+}
+
+// record appends one finished trial and flushes it to the OS, so a
+// killed process loses at most the line being written.
+func (j *Journal) record(t int, tr Trial) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.w == nil {
+		return fmt.Errorf("fault: journal %s: closed", j.path)
+	}
+	j.restored[t] = tr
+	return j.append(journalLine{T: t, Trial: &tr})
+}
+
+func (j *Journal) append(rec journalLine) error {
+	data, err := json.Marshal(&rec)
+	if err != nil {
+		return err
+	}
+	if _, err := j.w.Write(data); err != nil {
+		return err
+	}
+	if err := j.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return j.w.Flush()
+}
+
+// Close flushes and closes the journal file. The journal stays on disk
+// for later resume; delete it once its campaign result is consumed.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.w == nil {
+		return nil
+	}
+	err := j.w.Flush()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.w, j.f = nil, nil
+	return err
+}

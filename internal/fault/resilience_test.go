@@ -1,0 +1,337 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ipas/internal/interp"
+	"ipas/internal/lang"
+)
+
+// compileCampaignProg compiles the shared test program and returns it
+// with its exact-match verifier.
+func compileCampaignProg(t *testing.T) (*interp.Program, Verifier) {
+	t.Helper()
+	m, err := lang.Compile(campaignProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify := func(golden, faulty *interp.Result) bool {
+		return len(faulty.OutputF) == 1 && faulty.OutputF[0] == golden.OutputF[0]
+	}
+	return p, verify
+}
+
+// A worker panic on one attempt must be retried, and the retried trial
+// must produce the same outcome as an undisturbed campaign — only the
+// attempt count differs.
+func TestCampaignPanicIsolationRetries(t *testing.T) {
+	p, verify := compileCampaignProg(t)
+	const n = 40
+
+	ref := &Campaign{Prog: p, Verify: verify, Seed: 11}
+	refRes, err := ref.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := &Campaign{Prog: p, Verify: verify, Seed: 11, Workers: 2, RetryBackoff: time.Millisecond}
+	c.beforeTrial = func(trial, attempt int) {
+		if trial == 7 && attempt == 0 {
+			panic("injected test panic")
+		}
+	}
+	res, err := c.RunContext(context.Background(), n)
+	if err != nil {
+		t.Fatalf("campaign with one recovered panic errored: %v", err)
+	}
+	if res.Completed != n || res.Failed != 0 {
+		t.Fatalf("completed=%d failed=%d, want %d/0", res.Completed, res.Failed, n)
+	}
+	if got := res.Trials[7].Attempts; got != 2 {
+		t.Fatalf("trial 7 attempts = %d, want 2", got)
+	}
+	for i := range res.Trials {
+		got := res.Trials[i]
+		got.Attempts = refRes.Trials[i].Attempts // only the retry count may differ
+		if got != refRes.Trials[i] {
+			t.Fatalf("trial %d diverged after retry: %+v vs %+v", i, res.Trials[i], refRes.Trials[i])
+		}
+	}
+}
+
+// A trial that panics on every attempt must be recorded as TrialFailed
+// with the panic message, while the rest of the campaign completes and
+// its statistics cover completed trials only.
+func TestCampaignPanicIsolationExhaustsRetries(t *testing.T) {
+	p, verify := compileCampaignProg(t)
+	const n = 30
+
+	c := &Campaign{Prog: p, Verify: verify, Seed: 13, Workers: 2, MaxRetries: 1, RetryBackoff: time.Millisecond}
+	c.beforeTrial = func(trial, attempt int) {
+		if trial == 3 {
+			panic("persistent test panic")
+		}
+	}
+	res, err := c.RunContext(context.Background(), n)
+	if err == nil {
+		t.Fatal("campaign with a permanently failing trial reported no error")
+	}
+	if !strings.Contains(err.Error(), "trial 3") || !strings.Contains(err.Error(), "worker panic") {
+		t.Fatalf("error does not identify the failed trial: %v", err)
+	}
+	if res == nil {
+		t.Fatal("campaign with a failing trial must still return its result")
+	}
+	if res.Completed != n-1 || res.Failed != 1 || res.Pending != 0 {
+		t.Fatalf("completed=%d failed=%d pending=%d, want %d/1/0", res.Completed, res.Failed, res.Pending, n-1)
+	}
+	tr := res.Trials[3]
+	if tr.Status != TrialFailed || tr.Attempts != 2 || !strings.Contains(tr.Err, "persistent test panic") {
+		t.Fatalf("failed trial recorded as %+v", tr)
+	}
+	total := 0
+	for _, cnt := range res.Counts {
+		total += cnt
+	}
+	if total != res.Completed {
+		t.Fatalf("counts sum to %d, want completed=%d", total, res.Completed)
+	}
+	var sum float64
+	for _, o := range []Outcome{OutcomeSymptom, OutcomeDetected, OutcomeMasked, OutcomeSOC} {
+		sum += res.Proportion(o)
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("proportions over completed trials sum to %v", sum)
+	}
+	if res.ErrorSummary() == "" {
+		t.Fatal("degraded campaign produced an empty error summary")
+	}
+}
+
+// A campaign cancelled mid-run and resumed from its journal must be
+// bit-identical to an uninterrupted campaign.
+func TestCampaignCancelThenResumeBitIdentical(t *testing.T) {
+	p, verify := compileCampaignProg(t)
+	const n = 50
+
+	ref := &Campaign{Prog: p, Verify: verify, Seed: 21}
+	refRes, err := ref.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "trials.jsonl")
+	j1, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c1 := &Campaign{
+		Prog: p, Verify: verify, Seed: 21, Workers: 2, Journal: j1,
+		Progress: func(done, total, failed int) {
+			if done >= 10 {
+				cancel()
+			}
+		},
+	}
+	partial, err := c1.RunContext(ctx, n)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled campaign returned %v, want context.Canceled", err)
+	}
+	if partial == nil || partial.Pending == 0 {
+		t.Fatalf("cancellation left no pending trials (partial=%+v)", partial)
+	}
+	if partial.Completed+partial.Failed+partial.Pending != n {
+		t.Fatalf("status partition does not cover all trials: %+v", partial)
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Restored() == 0 {
+		t.Fatal("journal restored no trials")
+	}
+	c2 := &Campaign{Prog: p, Verify: verify, Seed: 21, Workers: 2, Journal: j2}
+	resumed, err := c2.RunContext(context.Background(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Completed != n {
+		t.Fatalf("resumed campaign completed %d/%d", resumed.Completed, n)
+	}
+	for i := range refRes.Trials {
+		if resumed.Trials[i] != refRes.Trials[i] {
+			t.Fatalf("trial %d differs after resume: %+v vs %+v", i, resumed.Trials[i], refRes.Trials[i])
+		}
+	}
+	if resumed.Counts != refRes.Counts {
+		t.Fatalf("outcome counts differ after resume: %v vs %v", resumed.Counts, refRes.Counts)
+	}
+}
+
+// A journal written by one campaign must refuse to drive a different
+// one (different seed => different plan sequence).
+func TestJournalRejectsDifferentCampaign(t *testing.T) {
+	p, verify := compileCampaignProg(t)
+	path := filepath.Join(t.TempDir(), "trials.jsonl")
+
+	j1, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := &Campaign{Prog: p, Verify: verify, Seed: 5, Journal: j1}
+	if _, err := c1.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	j1.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	c2 := &Campaign{Prog: p, Verify: verify, Seed: 6, Journal: j2}
+	if _, err := c2.Run(10); err == nil || !strings.Contains(err.Error(), "different campaign") {
+		t.Fatalf("journal accepted a campaign with a different seed: %v", err)
+	}
+}
+
+// A torn trailing line (crash mid-write) must be discarded on open, and
+// the journal must still resume from the records before it.
+func TestJournalDiscardsTornTail(t *testing.T) {
+	p, verify := compileCampaignProg(t)
+	path := filepath.Join(t.TempDir(), "trials.jsonl")
+
+	j1, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := &Campaign{Prog: p, Verify: verify, Seed: 8, Journal: j1}
+	if _, err := c1.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	j1.Close()
+
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"t":99,"tri`); err != nil { // no newline: torn write
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("journal with torn tail failed to open: %v", err)
+	}
+	defer j2.Close()
+	if j2.Restored() != 10 {
+		t.Fatalf("restored %d trials, want 10", j2.Restored())
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(intact) {
+		t.Fatal("torn tail was not truncated back to the last complete record")
+	}
+}
+
+// Runs that end before their fault injects are injector-infrastructure
+// conditions, never modeled outcomes (they must not surface as
+// OutcomeSymptom in the statistics).
+func TestTrialFromResultPreInjectionIsInfraError(t *testing.T) {
+	golden := &interp.Result{}
+	plan := interp.FaultPlan{Index: 5, Bit: 3}
+	okVerify := func(_, _ *interp.Result) bool { return true }
+
+	if _, err := trialFromResult(plan, golden, &interp.Result{Trap: interp.TrapOOB}, okVerify); err == nil {
+		t.Fatal("pre-injection trap was classified instead of erroring")
+	}
+	if _, err := trialFromResult(plan, golden, &interp.Result{Trap: interp.TrapNone}, okVerify); err == nil {
+		t.Fatal("clean run that never injected was classified instead of erroring")
+	}
+	if _, err := trialFromResult(plan, golden, &interp.Result{Trap: interp.TrapCancelled}, okVerify); !errors.Is(err, errCancelled) {
+		t.Fatalf("cancelled run returned %v, want errCancelled", err)
+	}
+	tr, err := trialFromResult(plan, golden, &interp.Result{Injected: true, InjectedSite: 4, Trap: interp.TrapOOB}, okVerify)
+	if err != nil {
+		t.Fatalf("post-injection trap errored: %v", err)
+	}
+	if tr.Status != TrialCompleted || tr.Outcome != OutcomeSymptom {
+		t.Fatalf("post-injection trap classified as %+v, want completed symptom", tr)
+	}
+}
+
+// Cancellation raised while trials are executing must leave unexecuted
+// trials pending (to be re-run on resume), never charge them as failed.
+func TestCampaignCancelDuringTrialLeavesPending(t *testing.T) {
+	p, verify := compileCampaignProg(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Bool
+	c := &Campaign{
+		Prog: p, Verify: verify, Seed: 3, Workers: 1,
+		beforeTrial: func(trial, attempt int) {
+			if started.CompareAndSwap(false, true) {
+				cancel()
+			}
+		},
+	}
+	res, err := c.RunContext(ctx, 20)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled campaign returned no result")
+	}
+	for i, tr := range res.Trials {
+		if tr.Status == TrialFailed {
+			t.Fatalf("cancellation charged trial %d as failed: %+v", i, tr)
+		}
+	}
+}
+
+// The invariance extends to GOMAXPROCS workers (the satellite asks for
+// 1, 4 and GOMAXPROCS explicitly; 1 vs 4 is covered by
+// TestCampaignWorkerCountInvariant).
+func TestCampaignWorkerCountInvariantGOMAXPROCS(t *testing.T) {
+	p, verify := compileCampaignProg(t)
+	run := func(workers int) *CampaignResult {
+		c := &Campaign{Prog: p, Verify: verify, Seed: 55, Workers: workers}
+		res, err := c.Run(60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1 := run(1)
+	rg := run(runtime.GOMAXPROCS(0))
+	for i := range r1.Trials {
+		if r1.Trials[i] != rg.Trials[i] {
+			t.Fatalf("trial %d differs between 1 and GOMAXPROCS=%d workers", i, runtime.GOMAXPROCS(0))
+		}
+	}
+}

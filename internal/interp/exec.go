@@ -13,6 +13,11 @@ type rank struct {
 	mem  *Memory
 	comm *comm
 
+	// cancel, when non-nil, is the embedding context's Done channel;
+	// the instruction loop polls it every cancelPollPeriod instructions
+	// and raises TrapCancelled.
+	cancel <-chan struct{}
+
 	budget   int64 // remaining instruction budget (-1: unlimited)
 	executed int64
 
@@ -80,6 +85,10 @@ func (r *rank) frame(n int) []Val {
 
 const maxCallDepth = 4096
 
+// cancelPollPeriod is how many executed instructions pass between
+// cancellation polls (power of two; the poll is a non-blocking select).
+const cancelPollPeriod = 4096
+
 // run executes @main on this rank and returns the trap (TrapNone on
 // normal termination).
 func (r *rank) run() (trap Trap, msg string) {
@@ -142,6 +151,13 @@ func (r *rank) callFunc(pf *progFunc, args []Val) Val {
 		for ii := range b.instrs {
 			pi := &b.instrs[ii]
 			r.executed++
+			if r.cancel != nil && r.executed&(cancelPollPeriod-1) == 0 {
+				select {
+				case <-r.cancel:
+					panic(trapPanic{TrapCancelled, "execution cancelled"})
+				default:
+				}
+			}
 			if r.budget >= 0 {
 				r.budget--
 				if r.budget < 0 {

@@ -15,6 +15,9 @@ type comm struct {
 	size  int
 	boxes [][]chan message // boxes[src][dst]
 	done  chan struct{}    // closed on job abort
+	// cancel, when non-nil, is the embedding context's Done channel;
+	// blocked MPI operations wake on it with TrapCancelled.
+	cancel <-chan struct{}
 	// recvTimeout bounds a blocking receive; expiry means the ranks
 	// have deadlocked (possible only under fault injection).
 	recvTimeout time.Duration
@@ -31,8 +34,8 @@ const (
 	tagResult int64 = -2
 )
 
-func newComm(size int, recvTimeout time.Duration) *comm {
-	c := &comm{size: size, done: make(chan struct{}), recvTimeout: recvTimeout}
+func newComm(size int, recvTimeout time.Duration, cancel <-chan struct{}) *comm {
+	c := &comm{size: size, done: make(chan struct{}), cancel: cancel, recvTimeout: recvTimeout}
 	c.boxes = make([][]chan message, size)
 	for s := 0; s < size; s++ {
 		c.boxes[s] = make([]chan message, size)
@@ -67,13 +70,15 @@ func (c *comm) send(r *rank, dst, tag int64, data []Val) {
 	case <-c.done:
 		panic(trapPanic{TrapAbort, "job aborted"})
 	default:
-		// Mailbox full: block with abort/deadlock detection.
+		// Mailbox full: block with abort/cancel/deadlock detection.
 		t := time.NewTimer(c.recvTimeout)
 		defer t.Stop()
 		select {
 		case c.boxes[r.id][d] <- message{tag: tag, data: data}:
 		case <-c.done:
 			panic(trapPanic{TrapAbort, "job aborted"})
+		case <-c.cancel:
+			panic(trapPanic{TrapCancelled, "execution cancelled"})
 		case <-t.C:
 			panic(trapPanic{TrapDeadlock, "send blocked"})
 		}
@@ -98,6 +103,9 @@ func (c *comm) recv(r *rank, src, tag int64, n int64) []Val {
 		case <-c.done:
 			t.Stop()
 			panic(trapPanic{TrapAbort, "job aborted"})
+		case <-c.cancel:
+			t.Stop()
+			panic(trapPanic{TrapCancelled, "execution cancelled"})
 		case <-t.C:
 			panic(trapPanic{TrapDeadlock, "recv blocked"})
 		}

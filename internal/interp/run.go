@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -91,8 +92,17 @@ type Result struct {
 
 // Run executes the program under the given configuration.
 func Run(p *Program, cfg Config) *Result {
+	return RunContext(context.Background(), p, cfg)
+}
+
+// RunContext executes the program, aborting with TrapCancelled as soon
+// as ctx is cancelled or its deadline expires. Cancellation is polled
+// in the instruction loop and honored by blocked MPI operations, so a
+// hung or long run stops within a bounded number of instructions.
+func RunContext(ctx context.Context, p *Program, cfg Config) *Result {
 	cfg = cfg.withDefaults()
-	c := newComm(cfg.Ranks, cfg.RecvTimeout)
+	cancel := ctx.Done()
+	c := newComm(cfg.Ranks, cfg.RecvTimeout, cancel)
 	ranks := make([]*rank, cfg.Ranks)
 	for i := range ranks {
 		r := &rank{
@@ -100,6 +110,7 @@ func Run(p *Program, cfg Config) *Result {
 			prog:         p,
 			mem:          NewMemory(cfg.HeapBytes, cfg.StackBytes),
 			comm:         c,
+			cancel:       cancel,
 			budget:       -1,
 			injectedSite: -1,
 		}

@@ -97,6 +97,11 @@ const (
 	// TrapDeadlock is reported by the MPI watchdog when ranks stop
 	// making progress.
 	TrapDeadlock
+	// TrapCancelled means the embedding Go context was cancelled (or
+	// its deadline expired) while the job ran. It is an infrastructure
+	// condition of the harness, not a modeled fault outcome: campaign
+	// layers must treat it as "trial not executed", never as a symptom.
+	TrapCancelled
 )
 
 var trapNames = map[Trap]string{
@@ -104,7 +109,7 @@ var trapNames = map[Trap]string{
 	TrapUnaligned: "unaligned", TrapDivZero: "div-by-zero",
 	TrapStackOverflow: "stack-overflow", TrapOOM: "out-of-memory",
 	TrapBudget: "instruction-budget (hang)", TrapDetected: "detected-by-duplication",
-	TrapAbort: "abort", TrapDeadlock: "deadlock",
+	TrapAbort: "abort", TrapDeadlock: "deadlock", TrapCancelled: "cancelled",
 }
 
 // String names the trap.
@@ -120,7 +125,7 @@ func (t Trap) String() string {
 // as opposed to a duplication detection.
 func (t Trap) IsSymptom() bool {
 	switch t {
-	case TrapNone, TrapDetected:
+	case TrapNone, TrapDetected, TrapCancelled:
 		return false
 	}
 	return true

@@ -15,6 +15,7 @@
 package ipas
 
 import (
+	"context"
 	"fmt"
 
 	"ipas/internal/baseline"
@@ -68,6 +69,42 @@ type RunConfig = interp.Config
 
 // CampaignResult aggregates a statistical fault-injection campaign.
 type CampaignResult = fault.CampaignResult
+
+// Trial is one injection's record inside a CampaignResult.
+type Trial = fault.Trial
+
+// TrialStatus partitions trials into completed / failed / pending.
+type TrialStatus = fault.TrialStatus
+
+// Trial statuses.
+const (
+	TrialCompleted = fault.TrialCompleted
+	TrialFailed    = fault.TrialFailed
+	TrialPending   = fault.TrialPending
+)
+
+// Journal is an append-only JSONL trial log enabling campaign
+// checkpoint/resume.
+type Journal = fault.Journal
+
+// OpenJournal opens (or creates) a trial journal at path.
+func OpenJournal(path string) (*Journal, error) { return fault.OpenJournal(path) }
+
+// Checkpoint manages a directory of per-stage trial journals for
+// multi-campaign runs (the workflow and the experiment suite).
+type Checkpoint = core.Checkpoint
+
+// NewCheckpoint creates a checkpoint manager rooted at dir. With resume
+// false, reusing a directory that already holds trial journals is an
+// error (protects against accidentally mixing campaigns).
+func NewCheckpoint(dir string, resume bool) (*Checkpoint, error) {
+	return core.NewCheckpoint(dir, resume)
+}
+
+// CampaignControls carries the resilience knobs (retry policy, worker
+// count, progress reporting, checkpointing) threaded into every
+// campaign a workflow runs; set it on Options.Controls.
+type CampaignControls = core.CampaignControls
 
 // Outcome classification of a single injection (§5.5 of the paper).
 const (
@@ -124,6 +161,14 @@ func RunWorkflow(app *App, opts Options) (*WorkflowResult, error) {
 	return core.Run(app, opts)
 }
 
+// RunWorkflowContext is RunWorkflow with cancellation: ctx aborts the
+// workflow between and inside its campaigns, and with
+// Options.Controls.Checkpoint set, an interrupted workflow re-invoked
+// against the same checkpoint directory resumes where it stopped.
+func RunWorkflowContext(ctx context.Context, app *App, opts Options) (*WorkflowResult, error) {
+	return core.RunContext(ctx, app, opts)
+}
+
 // ProtectBest runs the workflow and returns the IPAS variant closest to
 // the ideal point (slowdown 1, SOC reduction 100) — the build a user
 // would ship to production.
@@ -177,6 +222,19 @@ func InjectFaults(app *App, n int, seed int64) (*CampaignResult, error) {
 	}
 	c := &fault.Campaign{Prog: prog, Verify: app.Verify, Config: app.Config, Seed: seed}
 	return c.Run(n)
+}
+
+// InjectFaultsContext is InjectFaults with cancellation and an optional
+// journal for checkpoint/resume. On cancellation it returns the partial
+// result alongside ctx's error; completed trials are already in the
+// journal, so rerunning with the same journal resumes the campaign.
+func InjectFaultsContext(ctx context.Context, app *App, n int, seed int64, j *Journal) (*CampaignResult, error) {
+	prog, err := fault.Compile(app.Module)
+	if err != nil {
+		return nil, err
+	}
+	c := &fault.Campaign{Prog: prog, Verify: app.Verify, Config: app.Config, Seed: seed, Journal: j}
+	return c.RunContext(ctx, n)
 }
 
 // Execute runs the application fault-free and returns its outputs and
