@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet race ci bench experiments experiments-paper examples clean
+.PHONY: build test test-short vet race ci bench bench-all bench-smoke experiments experiments-paper examples clean
 
 build:
 	$(GO) build ./...
@@ -25,9 +25,22 @@ race:
 # What CI runs (see .github/workflows/ci.yml).
 ci: vet build race
 
+# Interpreter + campaign throughput benchmarks (the perf trajectory of
+# the execution engine), recorded machine-readably in BENCH_interp.json.
+BENCH_INTERP = BenchmarkInterpreter|BenchmarkInterpreterInstrumented|BenchmarkCampaignThroughput
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_INTERP)' -benchtime=2s . \
+		| $(GO) run ./cmd/bench2json -o BENCH_interp.json
+
+# Single-iteration smoke of the same benchmarks (what CI runs): proves
+# they execute and that bench2json parses their output.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(BENCH_INTERP)' -benchtime=1x . \
+		| $(GO) run ./cmd/bench2json -o /dev/null
+
 # One benchmark per paper table/figure plus component and ablation
 # benches; writes bench_output.txt.
-bench:
+bench-all:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 # Regenerate every table and figure of the paper's evaluation at quick

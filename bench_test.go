@@ -145,6 +145,63 @@ func BenchmarkInterpreter(b *testing.B) {
 	}
 }
 
+// BenchmarkInterpreterInstrumented measures the fully instrumented
+// execution loop (site counting + instruction budget armed — the shape
+// of a campaign trial) so the specialization gap between the fast and
+// full paths stays visible in the perf record.
+func BenchmarkInterpreterInstrumented(b *testing.B) {
+	for _, name := range workloads.Names {
+		b.Run(name, func(b *testing.B) {
+			spec := workloads.MustGet(name, 1)
+			m, err := spec.Compile()
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := interp.Compile(m, fault.Injectable)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := spec.BaseConfig(1)
+			cfg.CountSites = true
+			cfg.MaxInstrs = 1 << 40
+			var dyn int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := interp.Run(p, cfg)
+				if res.Trap != interp.TrapNone {
+					b.Fatal(res.Trap)
+				}
+				dyn = res.TotalDyn
+			}
+			b.ReportMetric(float64(dyn)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+		})
+	}
+}
+
+// BenchmarkCampaignThroughput measures end-to-end injection-campaign
+// speed (golden run + armed trials + verification + classification) —
+// the unit of cost behind every figure's sample count.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	const trials = 30
+	for _, name := range []string{"FFT", "IS"} {
+		b.Run(name, func(b *testing.B) {
+			app := benchApp(b, name)
+			prog, err := fault.Compile(app.Module)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := &fault.Campaign{Prog: prog, Verify: app.Verify, Config: app.Config, Seed: 9}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Run(trials); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+		})
+	}
+}
+
 // BenchmarkSciCompile measures front-end + mem2reg speed.
 func BenchmarkSciCompile(b *testing.B) {
 	spec := workloads.MustGet("CoMD", 1)

@@ -1,0 +1,161 @@
+// Command bench2json converts `go test -bench` output into a
+// machine-readable JSON document, so benchmark runs can be checked in
+// and diffed across commits (see `make bench`, which writes
+// BENCH_interp.json).
+//
+// Usage:
+//
+//	go test -bench=. . | go run ./cmd/bench2json -o BENCH_interp.json
+//
+// Input is read from stdin (or a file argument) and passed through to
+// stdout unchanged, so it can sit in a pipe after `tee`. Non-benchmark
+// lines are ignored except for the goos/goarch/cpu header, which is
+// captured as environment metadata.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one result line: name, iteration count, ns/op, and any
+// additional metrics (B/op, allocs/op, and custom b.ReportMetric units
+// such as instrs/s or trials/s).
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the checked-in document: environment header plus results
+// in input order.
+type Report struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Package    string      `json:"pkg,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON to this file (default stdout only)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	passthrough := io.Writer(os.Stdout)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+		passthrough = io.Discard
+	}
+
+	rep, err := parse(in, passthrough)
+	if err != nil {
+		fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines in input"))
+	}
+	js, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	js = append(js, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, js, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "bench2json: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+	} else {
+		os.Stdout.Write(js)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench2json:", err)
+	os.Exit(1)
+}
+
+// parse scans go-test benchmark output, echoing every line to echo.
+func parse(in io.Reader, echo io.Writer) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(echo, line)
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Package = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseLine(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseLine parses one result line of the form
+//
+//	BenchmarkName-8   123   4567 ns/op   8.9e+07 instrs/s   16 B/op
+//
+// The name's trailing -GOMAXPROCS suffix is kept (it is part of the
+// benchmark identity in go tooling). Metric values and units alternate
+// after the iteration count.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	rest := fields[2:]
+	for i := 0; i+1 < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		unit := rest[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = map[string]float64{}
+		}
+		b.Metrics[unit] = v
+	}
+	return b, b.NsPerOp != 0 || len(b.Metrics) > 0
+}
+
+// sortKeys is used by tests to get deterministic metric ordering.
+func sortKeys(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: ipas
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkInterpreter/FFT-8         	      33	  70727464 ns/op	  88930441 instrs/s
+BenchmarkInterpreter/CoMD-8        	       9	 114893342 ns/op	 139916216 instrs/s	     128 B/op	       2 allocs/op
+BenchmarkCampaignThroughput/FFT-8  	       2	 903210042 ns/op	        33.21 trials/s
+--- some unrelated line ---
+PASS
+ok  	ipas	12.345s
+`
+	rep, err := parse(strings.NewReader(input), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.Package != "ipas" {
+		t.Fatalf("bad header: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b0 := rep.Benchmarks[0]
+	if b0.Name != "BenchmarkInterpreter/FFT-8" || b0.Iterations != 33 || b0.NsPerOp != 70727464 {
+		t.Fatalf("bad first benchmark: %+v", b0)
+	}
+	if b0.Metrics["instrs/s"] != 88930441 {
+		t.Fatalf("bad metric: %+v", b0.Metrics)
+	}
+	b1 := rep.Benchmarks[1]
+	keys := sortKeys(b1.Metrics)
+	if len(keys) != 3 || keys[0] != "B/op" || keys[1] != "allocs/op" || keys[2] != "instrs/s" {
+		t.Fatalf("bad metric keys: %v", keys)
+	}
+	if rep.Benchmarks[2].Metrics["trials/s"] != 33.21 {
+		t.Fatalf("bad trials/s: %+v", rep.Benchmarks[2].Metrics)
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",
+		"BenchmarkX notanumber 1 ns/op",
+		"BenchmarkX 10 notafloat ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("accepted %q", line)
+		}
+	}
+}

@@ -174,6 +174,9 @@ func RunWithDataContext(ctx context.Context, app *App, data *TrainingData, opts 
 	res.TrainBaselineTime = time.Since(t0)
 
 	// Unprotected golden run, shared by every variant's slowdown ratio.
+	// The config carries no fault plan, site counting, or budget, so
+	// this (like every golden and timing run in the pipeline) executes
+	// on the interpreter's uninstrumented fast loop.
 	baseProg, err := interp.Compile(app.Module, nil)
 	if err != nil {
 		return nil, err

@@ -48,6 +48,9 @@ func (s *Suite) Fig8() (*Table, error) {
 		ctx := s.context()
 		row := []string{name}
 		for _, ranks := range s.Params.Ranks {
+			// Timing runs are uninstrumented, so every rank executes on
+			// the interpreter's fast loop; the slowdown ratio below is a
+			// property of the protected code, not of engine overhead.
 			ru := interp.RunContext(ctx, unprot, spec.BaseConfig(ranks))
 			rp := interp.RunContext(ctx, prot, spec.BaseConfig(ranks))
 			if err := ctx.Err(); err != nil {

@@ -317,6 +317,12 @@ func (c *Campaign) RunContext(ctx context.Context, n int) (*CampaignResult, erro
 	if hang <= 0 {
 		hang = 10
 	}
+	// The golden run carries no instrumentation, so it executes on the
+	// interpreter's fast loop; that loop still counts injectable
+	// instances (Result.Injectable) precisely because this line sizes
+	// the sampling population from it. Armed trials below run the full
+	// loop with the same compile-time injectable predicate, so Index
+	// drawn here names the same dynamic instance there.
 	golden := interp.RunContext(ctx, c.Prog, c.Config)
 	if golden.Trap == interp.TrapCancelled || ctx.Err() != nil {
 		return nil, fmt.Errorf("fault: golden run cancelled: %w", ctx.Err())

@@ -57,6 +57,12 @@ var builtinByName = map[string]builtinID{
 }
 
 // callBuiltin executes a builtin in the context of rank r.
+//
+// args may be arena-backed (call arguments are marshalled through the
+// frame arena and released when the call returns), so builtins must
+// not retain the slice: anything that outlives the call — an MPI
+// message payload, for example — is copied into fresh storage first
+// (the send cases wrap scalars in new slices; readVec allocates).
 func (r *rank) callBuiltin(id builtinID, args []Val) Val {
 	switch id {
 	case bSqrt:

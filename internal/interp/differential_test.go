@@ -1,0 +1,541 @@
+package interp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ipas/internal/ir"
+	"ipas/internal/lang"
+)
+
+// This file is the semantic oracle for the flat bytecode engine: a
+// reference evaluator that walks the IR directly, block by block with
+// phi resolution on block entry — the shape of the engine the bytecode
+// lowering replaced. Every behavior the fault-injection layers depend
+// on (trap taxonomy, dynamic instruction counts, injectable-instance
+// ordering, site counts, single-bit injection, output buffers) is
+// compared bit-for-bit between the reference walker and both
+// specialized loops over randprog-generated programs.
+
+// refInjectable mirrors fault.Injectable (fault imports interp, so the
+// real predicate cannot be imported here): result-producing,
+// non-terminator instructions except loads and phis, excluding
+// protection checks.
+func refInjectable(in *ir.Instr) bool {
+	if !in.HasResult() || in.Op().IsTerminator() {
+		return false
+	}
+	switch in.Op() {
+	case ir.OpLoad, ir.OpPhi:
+		return false
+	}
+	return in.Prot != ir.ProtCheck
+}
+
+// refMachine executes a single-rank module by walking the IR.
+type refMachine struct {
+	mem      *Memory
+	budget   int64
+	executed int64
+
+	injectable   func(*ir.Instr) bool
+	injectArmed  bool
+	injectIndex  int64
+	injectBit    int
+	injected     bool
+	injectedSite int
+	injectedAt   int64
+
+	injectableSeen int64
+	countSites     bool
+	siteCounts     []int64
+
+	outputF  []float64
+	outputI  []int64
+	printLog []float64
+
+	callDepth int
+}
+
+// refRun executes @main of m with the old engine's semantics and
+// reports the outcome in the same Result shape as Run.
+func refRun(m *ir.Module, cfg Config, injectable func(*ir.Instr) bool) *Result {
+	if injectable == nil {
+		injectable = func(*ir.Instr) bool { return false }
+	}
+	cfg = cfg.withDefaults()
+	rm := &refMachine{
+		mem:          NewMemory(cfg.HeapBytes, cfg.StackBytes),
+		budget:       -1,
+		injectable:   injectable,
+		injectedSite: -1,
+	}
+	if cfg.MaxInstrs > 0 {
+		rm.budget = cfg.MaxInstrs
+	}
+	if cfg.Fault != nil && cfg.Fault.Rank == 0 {
+		rm.injectArmed = true
+		rm.injectIndex = cfg.Fault.Index
+		rm.injectBit = cfg.Fault.Bit
+	}
+	if cfg.CountSites {
+		rm.countSites = true
+		rm.siteCounts = make([]int64, m.NumSites())
+	}
+
+	res := &Result{InjectedSite: -1, TrapRank: -1}
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				tp, ok := p.(trapPanic)
+				if !ok {
+					panic(p)
+				}
+				res.Trap, res.TrapRank, res.TrapMsg = tp.trap, 0, tp.msg
+			}
+		}()
+		rm.callFn(m.FuncByName("main"), nil)
+	}()
+
+	res.DynInstrs = []int64{rm.executed}
+	res.TotalDyn = rm.executed
+	res.MaxRankDyn = rm.executed
+	res.Injectable = []int64{rm.injectableSeen}
+	res.Injected = rm.injected
+	if rm.injected {
+		res.InjectedSite = rm.injectedSite
+		res.InjectedAt = rm.injectedAt
+		res.InjectedRankDyn = rm.executed
+	}
+	res.OutputF, res.OutputI, res.PrintLog = rm.outputF, rm.outputI, rm.printLog
+	res.SiteCounts = rm.siteCounts
+	return res
+}
+
+func (rm *refMachine) val(env map[ir.Value]Val, v ir.Value) Val {
+	if c, ok := v.(*ir.Const); ok {
+		if c.Type().IsFloat() {
+			return FloatVal(c.Float)
+		}
+		return IntVal(c.Int)
+	}
+	return env[v]
+}
+
+func (rm *refMachine) callFn(f *ir.Func, args []Val) Val {
+	if f.Builtin {
+		return rm.builtin(f.Name(), args)
+	}
+	rm.callDepth++
+	if rm.callDepth > maxCallDepth {
+		panic(trapPanic{TrapStackOverflow, "call depth exceeded"})
+	}
+	sp := rm.mem.PushFrame()
+	env := map[ir.Value]Val{}
+	for i, prm := range f.Params() {
+		if i < len(args) {
+			env[prm] = args[i]
+		}
+	}
+
+	blocks := f.Blocks()
+	b := blocks[0]
+	var prev *ir.Block
+	for {
+		// Phi resolution on block entry: parallel reads, then writes.
+		phis := b.Phis()
+		if prev != nil && len(phis) > 0 {
+			vals := make([]Val, len(phis))
+			for i, phi := range phis {
+				for j, inc := range phi.Incoming {
+					if inc == prev {
+						vals[i] = rm.val(env, phi.Operand(j))
+						break
+					}
+				}
+			}
+			for i, phi := range phis {
+				env[phi] = vals[i]
+			}
+		}
+		prev = b
+
+		for _, in := range b.Instrs() {
+			if in.Op() == ir.OpPhi {
+				continue
+			}
+			rm.executed++
+			if rm.budget >= 0 {
+				rm.budget--
+				if rm.budget < 0 {
+					panic(trapPanic{TrapBudget, "instruction budget exceeded"})
+				}
+			}
+			if rm.countSites {
+				rm.siteCounts[in.SiteID]++
+			}
+			switch in.Op() {
+			case ir.OpBr:
+				b = in.Targets[0]
+			case ir.OpCondBr:
+				if rm.val(env, in.Operand(0)).I != 0 {
+					b = in.Targets[0]
+				} else {
+					b = in.Targets[1]
+				}
+			case ir.OpRet:
+				var ret Val
+				if in.NumOperands() > 0 {
+					ret = rm.val(env, in.Operand(0))
+				}
+				rm.mem.PopFrame(sp)
+				rm.callDepth--
+				return ret
+			case ir.OpTrap:
+				raiseTrap(rm.val(env, in.Operand(0)).I)
+			case ir.OpStore:
+				v := rm.val(env, in.Operand(0))
+				w := in.Operand(0).Type().Size()
+				rm.mem.Store(rm.val(env, in.Operand(1)).I, w, v, in.Operand(0).Type().IsFloat())
+			default:
+				v := rm.evalInstr(env, in)
+				if in.HasResult() && rm.injectable(in) {
+					rm.injectableSeen++
+					if rm.injectArmed && rm.injectableSeen-1 == rm.injectIndex {
+						v = FlipBit(v, in.Type(), rm.injectBit)
+						rm.injected = true
+						rm.injectedSite = in.SiteID
+						rm.injectedAt = rm.executed
+						rm.injectArmed = false
+					}
+				}
+				if in.HasResult() {
+					env[in] = v
+				}
+			}
+			if in.Op().IsTerminator() {
+				break
+			}
+		}
+	}
+}
+
+func (rm *refMachine) evalInstr(env map[ir.Value]Val, in *ir.Instr) Val {
+	op0 := func() Val { return rm.val(env, in.Operand(0)) }
+	op1 := func() Val { return rm.val(env, in.Operand(1)) }
+	t := in.Type()
+	switch in.Op() {
+	case ir.OpAdd:
+		return IntVal(truncToType(t, op0().I+op1().I))
+	case ir.OpSub:
+		return IntVal(truncToType(t, op0().I-op1().I))
+	case ir.OpMul:
+		return IntVal(truncToType(t, op0().I*op1().I))
+	case ir.OpSDiv:
+		d := op1().I
+		if d == 0 {
+			panic(trapPanic{TrapDivZero, "integer division by zero"})
+		}
+		if d == -1 {
+			return IntVal(truncToType(t, -op0().I))
+		}
+		return IntVal(truncToType(t, op0().I/d))
+	case ir.OpSRem:
+		d := op1().I
+		if d == 0 {
+			panic(trapPanic{TrapDivZero, "integer remainder by zero"})
+		}
+		if d == -1 {
+			return IntVal(0)
+		}
+		return IntVal(truncToType(t, op0().I%d))
+	case ir.OpFAdd:
+		return FloatVal(op0().F + op1().F)
+	case ir.OpFSub:
+		return FloatVal(op0().F - op1().F)
+	case ir.OpFMul:
+		return FloatVal(op0().F * op1().F)
+	case ir.OpFDiv:
+		return FloatVal(op0().F / op1().F)
+	case ir.OpAnd:
+		return IntVal(truncToType(t, op0().I&op1().I))
+	case ir.OpOr:
+		return IntVal(truncToType(t, op0().I|op1().I))
+	case ir.OpXor:
+		return IntVal(truncToType(t, op0().I^op1().I))
+	case ir.OpShl:
+		return IntVal(truncToType(t, op0().I<<(uint64(op1().I)&63)))
+	case ir.OpLShr:
+		w := uint64(t.Bits())
+		x := uint64(op0().I) & widthMask(w)
+		return IntVal(truncToType(t, int64(x>>(uint64(op1().I)&(w-1)))))
+	case ir.OpAShr:
+		return IntVal(truncToType(t, op0().I>>(uint64(op1().I)&63)))
+	case ir.OpICmp:
+		return Bool(icmp(in.Pred, op0().I, op1().I))
+	case ir.OpFCmp:
+		return Bool(fcmp(in.Pred, op0().F, op1().F))
+	case ir.OpLoad:
+		return rm.mem.Load(op0().I, t.Size(), t.IsFloat())
+	case ir.OpAlloca:
+		return IntVal(rm.mem.Alloca(align8(t.Elem().Size() * in.AllocElems)))
+	case ir.OpGEP:
+		return IntVal(op0().I + op1().I*t.Elem().Size())
+	case ir.OpAtomicRMW:
+		addr := op0().I
+		old := rm.mem.Load(addr, t.Size(), false)
+		rm.mem.Store(addr, t.Size(), IntVal(old.I+op1().I), false)
+		return old
+	case ir.OpTrunc, ir.OpSExt:
+		return IntVal(truncToType(t, op0().I))
+	case ir.OpZExt:
+		return IntVal(op0().I & int64(widthMask(uint64(in.Operand(0).Type().Bits()))))
+	case ir.OpSIToFP:
+		return FloatVal(float64(op0().I))
+	case ir.OpFPToSI:
+		return IntVal(truncToType(t, fpToInt(op0().F)))
+	case ir.OpPtrToInt, ir.OpIntToPtr:
+		return op0()
+	case ir.OpBitcast:
+		v := op0()
+		if t == ir.I64 {
+			return IntVal(int64(math.Float64bits(v.F)))
+		}
+		return FloatVal(math.Float64frombits(uint64(v.I)))
+	case ir.OpSelect:
+		if op0().I != 0 {
+			return op1()
+		}
+		return rm.val(env, in.Operand(2))
+	case ir.OpCall:
+		args := make([]Val, in.NumOperands())
+		for i := range args {
+			args[i] = rm.val(env, in.Operand(i))
+		}
+		return rm.callFn(in.Callee, args)
+	}
+	panic(trapPanic{TrapAbort, "unknown opcode " + in.Op().String()})
+}
+
+func (rm *refMachine) builtin(name string, args []Val) Val {
+	switch name {
+	case "sqrt":
+		return FloatVal(math.Sqrt(args[0].F))
+	case "sin":
+		return FloatVal(math.Sin(args[0].F))
+	case "cos":
+		return FloatVal(math.Cos(args[0].F))
+	case "exp":
+		return FloatVal(math.Exp(args[0].F))
+	case "log":
+		return FloatVal(math.Log(args[0].F))
+	case "pow":
+		return FloatVal(math.Pow(args[0].F, args[1].F))
+	case "fabs":
+		return FloatVal(math.Abs(args[0].F))
+	case "floor":
+		return FloatVal(math.Floor(args[0].F))
+	case "fmin":
+		return FloatVal(math.Min(args[0].F, args[1].F))
+	case "fmax":
+		return FloatVal(math.Max(args[0].F, args[1].F))
+	case "malloc_f64", "malloc_i64":
+		return IntVal(rm.mem.Malloc(args[0].I * 8))
+	case "out_f64":
+		idx := args[0].I
+		if idx < 0 || idx > 1<<24 {
+			panic(trapPanic{TrapAbort, "bad output index"})
+		}
+		for int64(len(rm.outputF)) <= idx {
+			rm.outputF = append(rm.outputF, 0)
+		}
+		rm.outputF[idx] = args[1].F
+		return Val{}
+	case "out_i64":
+		idx := args[0].I
+		if idx < 0 || idx > 1<<24 {
+			panic(trapPanic{TrapAbort, "bad output index"})
+		}
+		for int64(len(rm.outputI)) <= idx {
+			rm.outputI = append(rm.outputI, 0)
+		}
+		rm.outputI[idx] = args[1].I
+		return Val{}
+	case "assert_true":
+		if args[0].I == 0 {
+			panic(trapPanic{TrapAbort, "assertion failed"})
+		}
+		return Val{}
+	case "print_f64":
+		rm.printLog = append(rm.printLog, args[0].F)
+		return Val{}
+	case "print_i64":
+		rm.printLog = append(rm.printLog, float64(args[0].I))
+		return Val{}
+	}
+	panic(trapPanic{TrapAbort, "reference engine: unsupported builtin @" + name})
+}
+
+// --- comparison helpers ----------------------------------------------------
+
+func diffCompare(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if want.Trap != got.Trap {
+		t.Fatalf("%s: trap: ref %v, engine %v (%s)", label, want.Trap, got.Trap, got.TrapMsg)
+	}
+	if want.TotalDyn != got.TotalDyn {
+		t.Fatalf("%s: dynamic count: ref %d, engine %d", label, want.TotalDyn, got.TotalDyn)
+	}
+	if want.Injectable[0] != got.Injectable[0] {
+		t.Fatalf("%s: injectable population: ref %d, engine %d", label, want.Injectable[0], got.Injectable[0])
+	}
+	if want.Injected != got.Injected || want.InjectedSite != got.InjectedSite || want.InjectedAt != got.InjectedAt {
+		t.Fatalf("%s: injection: ref (%v site %d at %d), engine (%v site %d at %d)", label,
+			want.Injected, want.InjectedSite, want.InjectedAt,
+			got.Injected, got.InjectedSite, got.InjectedAt)
+	}
+	if len(want.OutputF) != len(got.OutputF) || len(want.OutputI) != len(got.OutputI) {
+		t.Fatalf("%s: output lengths: ref (%d f, %d i), engine (%d f, %d i)", label,
+			len(want.OutputF), len(want.OutputI), len(got.OutputF), len(got.OutputI))
+	}
+	for i := range want.OutputF {
+		if math.Float64bits(want.OutputF[i]) != math.Float64bits(got.OutputF[i]) {
+			t.Fatalf("%s: OutputF[%d]: ref %v, engine %v", label, i, want.OutputF[i], got.OutputF[i])
+		}
+	}
+	for i := range want.OutputI {
+		if want.OutputI[i] != got.OutputI[i] {
+			t.Fatalf("%s: OutputI[%d]: ref %d, engine %d", label, i, want.OutputI[i], got.OutputI[i])
+		}
+	}
+	if len(want.PrintLog) != len(got.PrintLog) {
+		t.Fatalf("%s: print log length: ref %d, engine %d", label, len(want.PrintLog), len(got.PrintLog))
+	}
+	for i := range want.PrintLog {
+		if math.Float64bits(want.PrintLog[i]) != math.Float64bits(got.PrintLog[i]) {
+			t.Fatalf("%s: PrintLog[%d]: ref %v, engine %v", label, i, want.PrintLog[i], got.PrintLog[i])
+		}
+	}
+	if want.SiteCounts != nil || got.SiteCounts != nil {
+		if len(want.SiteCounts) != len(got.SiteCounts) {
+			t.Fatalf("%s: site-count lengths: ref %d, engine %d", label, len(want.SiteCounts), len(got.SiteCounts))
+		}
+		for s := range want.SiteCounts {
+			if want.SiteCounts[s] != got.SiteCounts[s] {
+				t.Fatalf("%s: SiteCounts[%d]: ref %d, engine %d", label, s, want.SiteCounts[s], got.SiteCounts[s])
+			}
+		}
+	}
+}
+
+func diffModule(t *testing.T, seed int64) *ir.Module {
+	t.Helper()
+	m, err := lang.Compile(lang.RandomProgram(seed))
+	if err != nil {
+		t.Fatalf("seed %d: compile: %v", seed, err)
+	}
+	return m
+}
+
+const diffBudget = 500_000_000
+
+// TestDifferentialGolden compares golden (fault-free) runs between the
+// reference walker and both engine loops: the fast loop (plain config)
+// and the full loop (site counting + budget armed).
+func TestDifferentialGolden(t *testing.T) {
+	seeds := int64(40)
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		m := diffModule(t, seed)
+		p, err := Compile(m, refInjectable)
+		if err != nil {
+			t.Fatalf("seed %d: engine compile: %v", seed, err)
+		}
+
+		ref := refRun(m, Config{}, refInjectable)
+		fast := Run(p, Config{})
+		diffCompare(t, "fast", ref, fast)
+
+		refFull := refRun(m, Config{CountSites: true, MaxInstrs: diffBudget}, refInjectable)
+		full := Run(p, Config{CountSites: true, MaxInstrs: diffBudget})
+		diffCompare(t, "full", refFull, full)
+
+		// The two specialized loops must also agree with each other.
+		diffCompare(t, "fast-vs-full", &Result{
+			Trap: fast.Trap, TotalDyn: fast.TotalDyn, Injectable: fast.Injectable,
+			InjectedSite: -1, OutputF: fast.OutputF, OutputI: fast.OutputI,
+			PrintLog: fast.PrintLog, SiteCounts: full.SiteCounts,
+		}, full)
+	}
+}
+
+// TestDifferentialInjection compares armed single-bit injection runs:
+// identical Injected/InjectedSite/InjectedAt, traps, dynamic counts and
+// outputs between the reference walker and the instrumented loop.
+func TestDifferentialInjection(t *testing.T) {
+	seeds := int64(12)
+	trials := 24
+	if testing.Short() {
+		seeds, trials = 4, 8
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		m := diffModule(t, seed)
+		p, err := Compile(m, refInjectable)
+		if err != nil {
+			t.Fatalf("seed %d: engine compile: %v", seed, err)
+		}
+		golden := Run(p, Config{})
+		if golden.Trap != TrapNone {
+			t.Fatalf("seed %d: golden trap %v", seed, golden.Trap)
+		}
+		pop := golden.Injectable[0]
+		if pop == 0 {
+			continue
+		}
+		budget := golden.MaxRankDyn*10 + 1_000_000
+		rng := rand.New(rand.NewSource(seed * 7919))
+		for k := 0; k < trials; k++ {
+			plan := &FaultPlan{Rank: 0, Index: rng.Int63n(pop), Bit: rng.Intn(64)}
+			cfg := Config{Fault: plan, MaxInstrs: budget}
+			ref := refRun(m, cfg, refInjectable)
+			got := Run(p, cfg)
+			if !ref.Injected {
+				t.Fatalf("seed %d trial %d: reference did not inject (index %d, pop %d)",
+					seed, k, plan.Index, pop)
+			}
+			diffCompare(t, "armed", ref, got)
+		}
+	}
+}
+
+// FuzzDifferential fuzzes (program seed, injection index, bit) triples;
+// the corpus entries run as part of normal `go test`.
+func FuzzDifferential(f *testing.F) {
+	f.Add(int64(1), uint64(0), uint8(0))
+	f.Add(int64(2), uint64(17), uint8(63))
+	f.Add(int64(3), uint64(999), uint8(31))
+	f.Add(int64(7), uint64(123456), uint8(7))
+	f.Fuzz(func(t *testing.T, seed int64, idxRaw uint64, bit uint8) {
+		m, err := lang.Compile(lang.RandomProgram(seed))
+		if err != nil {
+			t.Skip()
+		}
+		p, err := Compile(m, refInjectable)
+		if err != nil {
+			t.Skip()
+		}
+		golden := Run(p, Config{})
+		ref := refRun(m, Config{}, refInjectable)
+		diffCompare(t, "fuzz-golden", ref, golden)
+		if golden.Trap != TrapNone || golden.Injectable[0] == 0 {
+			return
+		}
+		pop := golden.Injectable[0]
+		plan := &FaultPlan{Rank: 0, Index: int64(idxRaw % uint64(pop)), Bit: int(bit % 64)}
+		cfg := Config{Fault: plan, MaxInstrs: golden.MaxRankDyn*10 + 1_000_000}
+		diffCompare(t, "fuzz-armed", refRun(m, cfg, refInjectable), Run(p, cfg))
+	})
+}

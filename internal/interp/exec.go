@@ -14,9 +14,15 @@ type rank struct {
 	comm *comm
 
 	// cancel, when non-nil, is the embedding context's Done channel;
-	// the instruction loop polls it every cancelPollPeriod instructions
-	// and raises TrapCancelled.
+	// the instruction loops poll it every cancelPollPeriod instructions
+	// and raise TrapCancelled.
 	cancel <-chan struct{}
+
+	// instrumented selects the execution loop, once per run: the fully
+	// instrumented loop when a fault plan is armed on this rank, site
+	// counting is on, or an instruction budget is set; the fast loop
+	// otherwise (golden runs, verification re-runs, timing runs).
+	instrumented bool
 
 	budget   int64 // remaining instruction budget (-1: unlimited)
 	executed int64
@@ -38,13 +44,14 @@ type rank struct {
 	outputI  []int64
 	printLog []float64
 
-	callDepth int
-	scratch   []Val // phi parallel-copy buffer
+	callDepth  int
+	zeroFrames bool  // mirror of Program.zeroFrames
+	scratch    []Val // phi parallel-copy buffer
 
-	// arenaBlocks back call frames: frames are carved off sequentially
-	// and released LIFO on return, avoiding per-call heap allocation.
-	// Blocks never move, so outstanding frames stay valid as the arena
-	// grows.
+	// arenaBlocks back call frames and call-argument marshalling:
+	// regions are carved off sequentially and released LIFO on return,
+	// avoiding per-call heap allocation. Blocks never move, so
+	// outstanding frames stay valid as the arena grows.
 	arenaBlocks [][]Val
 	arenaCur    int
 	arenaOff    int
@@ -52,8 +59,10 @@ type rank struct {
 
 const arenaBlockSize = 16384
 
-// frame carves a zeroed slot slice of length n from the arena.
-func (r *rank) frame(n int) []Val {
+// frame carves a slot slice of length n from the arena. zero clears it
+// first; callers that overwrite every element before any read (call
+// frames of verified-SSA functions, argument marshalling) pass false.
+func (r *rank) frame(n int, zero bool) []Val {
 	if r.arenaBlocks == nil {
 		size := arenaBlockSize
 		if n > size {
@@ -76,8 +85,10 @@ func (r *rank) frame(n int) []Val {
 	}
 	blk := r.arenaBlocks[r.arenaCur]
 	s := blk[r.arenaOff : r.arenaOff+n : r.arenaOff+n]
-	for i := range s {
-		s[i] = Val{}
+	if zero {
+		for i := range s {
+			s[i] = Val{}
+		}
 	}
 	r.arenaOff += n
 	return s
@@ -105,7 +116,10 @@ func (r *rank) run() (trap Trap, msg string) {
 	return TrapNone, ""
 }
 
-// callFunc invokes a compiled function with the given arguments.
+// callFunc invokes a compiled function with the given arguments,
+// dispatching to the loop selected for this run. The per-call branch is
+// the only specialization cost; inside the loops there are no disarmed
+// instrumentation checks.
 func (r *rank) callFunc(pf *progFunc, args []Val) Val {
 	if pf.builtin != builtinNone {
 		return r.callBuiltin(pf.builtin, args)
@@ -116,104 +130,212 @@ func (r *rank) callFunc(pf *progFunc, args []Val) Val {
 	}
 	sp := r.mem.PushFrame()
 	saveCur, saveOff := r.arenaCur, r.arenaOff
-	slots := r.frame(pf.numSlots)
+	slots := r.frame(pf.numSlots, r.zeroFrames)
 	copy(slots, args)
+	var ret Val
+	if r.instrumented {
+		ret = r.execFull(pf, slots)
+	} else {
+		ret = r.execFast(pf, slots)
+	}
+	r.mem.PopFrame(sp)
+	r.arenaCur, r.arenaOff = saveCur, saveOff
+	r.callDepth--
+	return ret
+}
 
-	bi := 0
-	var prev *progBlock
+// get resolves an encoded operand: a frame slot if x >= 0, else the
+// constant-pool entry consts[^x].
+func get(slots, consts []Val, x int32) Val {
+	if x >= 0 {
+		return slots[x]
+	}
+	return consts[^x]
+}
+
+// runCopies performs one edge's phi parallel copies: all sources are
+// read before any destination is written.
+func (r *rank) runCopies(slots, consts []Val, cps []phiCopy) {
+	if len(cps) == 1 {
+		slots[cps[0].dst] = get(slots, consts, cps[0].src)
+		return
+	}
+	if cap(r.scratch) < len(cps) {
+		r.scratch = make([]Val, len(cps))
+	}
+	tmp := r.scratch[:len(cps)]
+	for i, cp := range cps {
+		tmp[i] = get(slots, consts, cp.src)
+	}
+	for i, cp := range cps {
+		slots[cp.dst] = tmp[i]
+	}
+}
+
+// raiseTrap maps an OpTrap code onto its trap.
+func raiseTrap(code int64) {
+	if code == TrapCodeDetected {
+		panic(trapPanic{TrapDetected, "duplication check failed"})
+	}
+	panic(trapPanic{TrapAbort, "explicit trap"})
+}
+
+// execFast is the uninstrumented hot loop: no budget accounting, no
+// site counting, no injection arming — just the dynamic-instruction
+// counter every result consumer relies on, the injectable-population
+// counter (fault.Campaign sizes its sampling space from the golden
+// run), and a cancellation poll when a context is attached. The hottest
+// opcodes are inlined so each instruction pays a single dispatch.
+//
+// Any semantic change here must be mirrored in execFull and eval; the
+// differential tests in differential_test.go compare all three against
+// a reference IR walker.
+func (r *rank) execFast(pf *progFunc, slots []Val) Val {
+	code := pf.code
+	consts := pf.consts
+	cancel := r.cancel
+	pc := 0
 	for {
-		b := pf.blocks[bi]
-		// PHI parallel copies for the edge prev->b.
-		if prev != nil && len(b.phiCopies) > 0 {
-			pi := -1
-			for i, p := range b.preds {
-				if p == prev {
-					pi = i
-					break
-				}
-			}
-			if pi >= 0 && len(b.phiCopies[pi]) > 0 {
-				cps := b.phiCopies[pi]
-				if cap(r.scratch) < len(cps) {
-					r.scratch = make([]Val, len(cps))
-				}
-				tmp := r.scratch[:len(cps)]
-				for i, cp := range cps {
-					tmp[i] = r.get(slots, cp.src)
-				}
-				for i, cp := range cps {
-					slots[cp.dst] = tmp[i]
-				}
+		pi := &code[pc]
+		r.executed++
+		if cancel != nil && r.executed&(cancelPollPeriod-1) == 0 {
+			select {
+			case <-cancel:
+				panic(trapPanic{TrapCancelled, "execution cancelled"})
+			default:
 			}
 		}
-		prev = b
+		var v Val
+		switch pi.op {
+		case ir.OpBr:
+			if e := pi.edges[0]; e >= 0 {
+				r.runCopies(slots, consts, pf.edgeCopies[e])
+			}
+			pc = int(pi.targets[0])
+			continue
+		case ir.OpCondBr:
+			k := 1
+			if get(slots, consts, pi.a0).I != 0 {
+				k = 0
+			}
+			if e := pi.edges[k]; e >= 0 {
+				r.runCopies(slots, consts, pf.edgeCopies[e])
+			}
+			pc = int(pi.targets[k])
+			continue
+		case ir.OpRet:
+			if pi.nops > 0 {
+				return get(slots, consts, pi.a0)
+			}
+			return Val{}
+		case ir.OpTrap:
+			raiseTrap(get(slots, consts, pi.a0).I)
+		case ir.OpStore:
+			r.mem.Store(get(slots, consts, pi.a1).I, pi.elemSize, get(slots, consts, pi.a0), pi.storeFloat)
+			pc++
+			continue
+		case ir.OpFAdd:
+			v = FloatVal(get(slots, consts, pi.a0).F + get(slots, consts, pi.a1).F)
+		case ir.OpFSub:
+			v = FloatVal(get(slots, consts, pi.a0).F - get(slots, consts, pi.a1).F)
+		case ir.OpFMul:
+			v = FloatVal(get(slots, consts, pi.a0).F * get(slots, consts, pi.a1).F)
+		case ir.OpFDiv:
+			v = FloatVal(get(slots, consts, pi.a0).F / get(slots, consts, pi.a1).F)
+		case ir.OpAdd:
+			v = IntVal(truncToType(pi.typ, get(slots, consts, pi.a0).I+get(slots, consts, pi.a1).I))
+		case ir.OpSub:
+			v = IntVal(truncToType(pi.typ, get(slots, consts, pi.a0).I-get(slots, consts, pi.a1).I))
+		case ir.OpMul:
+			v = IntVal(truncToType(pi.typ, get(slots, consts, pi.a0).I*get(slots, consts, pi.a1).I))
+		case ir.OpICmp:
+			v = Bool(icmp(pi.pred, get(slots, consts, pi.a0).I, get(slots, consts, pi.a1).I))
+		case ir.OpFCmp:
+			v = Bool(fcmp(pi.pred, get(slots, consts, pi.a0).F, get(slots, consts, pi.a1).F))
+		case ir.OpLoad:
+			v = r.mem.Load(get(slots, consts, pi.a0).I, pi.elemSize, pi.isFloat)
+		case ir.OpGEP:
+			v = IntVal(get(slots, consts, pi.a0).I + get(slots, consts, pi.a1).I*pi.elemSize)
+		default:
+			v = r.eval(pi, slots, consts)
+		}
+		if pi.injectable {
+			r.injectableSeen++
+		}
+		if pi.dst >= 0 {
+			slots[pi.dst] = v
+		}
+		pc++
+	}
+}
 
-		for ii := range b.instrs {
-			pi := &b.instrs[ii]
-			r.executed++
-			if r.cancel != nil && r.executed&(cancelPollPeriod-1) == 0 {
-				select {
-				case <-r.cancel:
-					panic(trapPanic{TrapCancelled, "execution cancelled"})
-				default:
-				}
-			}
-			if r.budget >= 0 {
-				r.budget--
-				if r.budget < 0 {
-					panic(trapPanic{TrapBudget, "instruction budget exceeded"})
-				}
-			}
-			if r.countSites {
-				r.siteCounts[pi.src.SiteID]++
-			}
-			switch pi.op {
-			case ir.OpBr:
-				bi = pi.blocks[0]
-			case ir.OpCondBr:
-				if r.get(slots, pi.ops[0]).I != 0 {
-					bi = pi.blocks[0]
-				} else {
-					bi = pi.blocks[1]
-				}
-			case ir.OpRet:
-				var ret Val
-				if len(pi.ops) > 0 {
-					ret = r.get(slots, pi.ops[0])
-				}
-				r.mem.PopFrame(sp)
-				r.arenaCur, r.arenaOff = saveCur, saveOff
-				r.callDepth--
-				return ret
-			case ir.OpTrap:
-				code := r.get(slots, pi.ops[0]).I
-				if code == TrapCodeDetected {
-					panic(trapPanic{TrapDetected, "duplication check failed"})
-				}
-				panic(trapPanic{TrapAbort, "explicit trap"})
-			case ir.OpStore:
-				v := r.get(slots, pi.ops[0])
-				addr := r.get(slots, pi.ops[1]).I
-				r.mem.Store(addr, pi.elemSize, v, pi.storeFloat)
+// execFull is the fully instrumented loop for armed trials: budget
+// accounting (the hang detector), per-site dynamic counting, and the
+// single-bit injection hook, all over the same flat stream.
+func (r *rank) execFull(pf *progFunc, slots []Val) Val {
+	code := pf.code
+	consts := pf.consts
+	pc := 0
+	for {
+		pi := &code[pc]
+		r.executed++
+		if r.cancel != nil && r.executed&(cancelPollPeriod-1) == 0 {
+			select {
+			case <-r.cancel:
+				panic(trapPanic{TrapCancelled, "execution cancelled"})
 			default:
-				v := r.eval(pi, slots)
-				if pi.injectable {
-					r.injectableSeen++
-					if r.injectArmed && r.injectableSeen-1 == r.injectIndex {
-						v = FlipBit(v, pi.typ, r.injectBit)
-						r.injected = true
-						r.injectedSite = pi.src.SiteID
-						r.injectedAt = r.executed
-						r.injectArmed = false
-					}
-				}
-				if pi.dst >= 0 {
-					slots[pi.dst] = v
+			}
+		}
+		if r.budget >= 0 {
+			r.budget--
+			if r.budget < 0 {
+				panic(trapPanic{TrapBudget, "instruction budget exceeded"})
+			}
+		}
+		if r.countSites {
+			r.siteCounts[pi.siteID]++
+		}
+		switch pi.op {
+		case ir.OpBr:
+			if e := pi.edges[0]; e >= 0 {
+				r.runCopies(slots, consts, pf.edgeCopies[e])
+			}
+			pc = int(pi.targets[0])
+		case ir.OpCondBr:
+			k := 1
+			if get(slots, consts, pi.a0).I != 0 {
+				k = 0
+			}
+			if e := pi.edges[k]; e >= 0 {
+				r.runCopies(slots, consts, pf.edgeCopies[e])
+			}
+			pc = int(pi.targets[k])
+		case ir.OpRet:
+			if pi.nops > 0 {
+				return get(slots, consts, pi.a0)
+			}
+			return Val{}
+		case ir.OpTrap:
+			raiseTrap(get(slots, consts, pi.a0).I)
+		case ir.OpStore:
+			r.mem.Store(get(slots, consts, pi.a1).I, pi.elemSize, get(slots, consts, pi.a0), pi.storeFloat)
+			pc++
+		default:
+			v := r.eval(pi, slots, consts)
+			if pi.injectable {
+				r.injectableSeen++
+				if r.injectArmed && r.injectableSeen-1 == r.injectIndex {
+					v = FlipBit(v, pi.typ, r.injectBit)
+					r.injected = true
+					r.injectedSite = int(pi.siteID)
+					r.injectedAt = r.executed
+					r.injectArmed = false
 				}
 			}
-			if pi.op.IsTerminator() {
-				break
+			if pi.dst >= 0 {
+				slots[pi.dst] = v
 			}
+			pc++
 		}
 	}
 }
@@ -222,108 +344,104 @@ func (r *rank) callFunc(pf *progFunc, args []Val) Val {
 // maps to TrapDetected (the "detected by duplication" outcome).
 const TrapCodeDetected = 1
 
-func (r *rank) get(slots []Val, o operand) Val {
-	if o.isConst {
-		return o.c
-	}
-	return slots[o.slot]
-}
-
-// eval computes the result of a non-control, non-store instruction.
-func (r *rank) eval(pi *pInstr, slots []Val) Val {
+// eval computes the result of a non-control, non-store instruction. It
+// is the single shared implementation of value semantics: execFull
+// routes every value opcode here, execFast only the cold ones.
+func (r *rank) eval(pi *pInstr, slots, consts []Val) Val {
 	switch pi.op {
 	case ir.OpAdd:
-		return IntVal(truncToType(pi.typ, r.get(slots, pi.ops[0]).I+r.get(slots, pi.ops[1]).I))
+		return IntVal(truncToType(pi.typ, get(slots, consts, pi.a0).I+get(slots, consts, pi.a1).I))
 	case ir.OpSub:
-		return IntVal(truncToType(pi.typ, r.get(slots, pi.ops[0]).I-r.get(slots, pi.ops[1]).I))
+		return IntVal(truncToType(pi.typ, get(slots, consts, pi.a0).I-get(slots, consts, pi.a1).I))
 	case ir.OpMul:
-		return IntVal(truncToType(pi.typ, r.get(slots, pi.ops[0]).I*r.get(slots, pi.ops[1]).I))
+		return IntVal(truncToType(pi.typ, get(slots, consts, pi.a0).I*get(slots, consts, pi.a1).I))
 	case ir.OpSDiv:
-		d := r.get(slots, pi.ops[1]).I
+		d := get(slots, consts, pi.a1).I
 		if d == 0 {
 			panic(trapPanic{TrapDivZero, "integer division by zero"})
 		}
 		if d == -1 {
-			return IntVal(truncToType(pi.typ, -r.get(slots, pi.ops[0]).I))
+			return IntVal(truncToType(pi.typ, -get(slots, consts, pi.a0).I))
 		}
-		return IntVal(truncToType(pi.typ, r.get(slots, pi.ops[0]).I/d))
+		return IntVal(truncToType(pi.typ, get(slots, consts, pi.a0).I/d))
 	case ir.OpSRem:
-		d := r.get(slots, pi.ops[1]).I
+		d := get(slots, consts, pi.a1).I
 		if d == 0 {
 			panic(trapPanic{TrapDivZero, "integer remainder by zero"})
 		}
 		if d == -1 {
 			return IntVal(0)
 		}
-		return IntVal(truncToType(pi.typ, r.get(slots, pi.ops[0]).I%d))
+		return IntVal(truncToType(pi.typ, get(slots, consts, pi.a0).I%d))
 	case ir.OpFAdd:
-		return FloatVal(r.get(slots, pi.ops[0]).F + r.get(slots, pi.ops[1]).F)
+		return FloatVal(get(slots, consts, pi.a0).F + get(slots, consts, pi.a1).F)
 	case ir.OpFSub:
-		return FloatVal(r.get(slots, pi.ops[0]).F - r.get(slots, pi.ops[1]).F)
+		return FloatVal(get(slots, consts, pi.a0).F - get(slots, consts, pi.a1).F)
 	case ir.OpFMul:
-		return FloatVal(r.get(slots, pi.ops[0]).F * r.get(slots, pi.ops[1]).F)
+		return FloatVal(get(slots, consts, pi.a0).F * get(slots, consts, pi.a1).F)
 	case ir.OpFDiv:
-		return FloatVal(r.get(slots, pi.ops[0]).F / r.get(slots, pi.ops[1]).F)
+		return FloatVal(get(slots, consts, pi.a0).F / get(slots, consts, pi.a1).F)
 	case ir.OpAnd:
-		return IntVal(truncToType(pi.typ, r.get(slots, pi.ops[0]).I&r.get(slots, pi.ops[1]).I))
+		return IntVal(truncToType(pi.typ, get(slots, consts, pi.a0).I&get(slots, consts, pi.a1).I))
 	case ir.OpOr:
-		return IntVal(truncToType(pi.typ, r.get(slots, pi.ops[0]).I|r.get(slots, pi.ops[1]).I))
+		return IntVal(truncToType(pi.typ, get(slots, consts, pi.a0).I|get(slots, consts, pi.a1).I))
 	case ir.OpXor:
-		return IntVal(truncToType(pi.typ, r.get(slots, pi.ops[0]).I^r.get(slots, pi.ops[1]).I))
+		return IntVal(truncToType(pi.typ, get(slots, consts, pi.a0).I^get(slots, consts, pi.a1).I))
 	case ir.OpShl:
-		return IntVal(truncToType(pi.typ, r.get(slots, pi.ops[0]).I<<(uint64(r.get(slots, pi.ops[1]).I)&63)))
+		return IntVal(truncToType(pi.typ, get(slots, consts, pi.a0).I<<(uint64(get(slots, consts, pi.a1).I)&63)))
 	case ir.OpLShr:
 		w := uint64(pi.typ.Bits())
-		x := uint64(r.get(slots, pi.ops[0]).I) & widthMask(w)
-		return IntVal(truncToType(pi.typ, int64(x>>(uint64(r.get(slots, pi.ops[1]).I)&(w-1)))))
+		x := uint64(get(slots, consts, pi.a0).I) & widthMask(w)
+		return IntVal(truncToType(pi.typ, int64(x>>(uint64(get(slots, consts, pi.a1).I)&(w-1)))))
 	case ir.OpAShr:
-		return IntVal(truncToType(pi.typ, r.get(slots, pi.ops[0]).I>>(uint64(r.get(slots, pi.ops[1]).I)&63)))
+		return IntVal(truncToType(pi.typ, get(slots, consts, pi.a0).I>>(uint64(get(slots, consts, pi.a1).I)&63)))
 	case ir.OpICmp:
-		a, b := r.get(slots, pi.ops[0]).I, r.get(slots, pi.ops[1]).I
-		return Bool(icmp(pi.pred, a, b))
+		return Bool(icmp(pi.pred, get(slots, consts, pi.a0).I, get(slots, consts, pi.a1).I))
 	case ir.OpFCmp:
-		a, b := r.get(slots, pi.ops[0]).F, r.get(slots, pi.ops[1]).F
-		return Bool(fcmp(pi.pred, a, b))
+		return Bool(fcmp(pi.pred, get(slots, consts, pi.a0).F, get(slots, consts, pi.a1).F))
 	case ir.OpLoad:
-		addr := r.get(slots, pi.ops[0]).I
-		return r.mem.Load(addr, pi.elemSize, pi.typ.IsFloat())
+		return r.mem.Load(get(slots, consts, pi.a0).I, pi.elemSize, pi.isFloat)
 	case ir.OpAlloca:
 		return IntVal(r.mem.Alloca(pi.allocBytes))
 	case ir.OpGEP:
-		return IntVal(r.get(slots, pi.ops[0]).I + r.get(slots, pi.ops[1]).I*pi.elemSize)
+		return IntVal(get(slots, consts, pi.a0).I + get(slots, consts, pi.a1).I*pi.elemSize)
 	case ir.OpAtomicRMW:
-		addr := r.get(slots, pi.ops[0]).I
-		old := r.mem.Load(addr, 8, false)
-		r.mem.Store(addr, 8, IntVal(old.I+r.get(slots, pi.ops[1]).I), false)
+		addr := get(slots, consts, pi.a0).I
+		old := r.mem.Load(addr, pi.elemSize, false)
+		r.mem.Store(addr, pi.elemSize, IntVal(old.I+get(slots, consts, pi.a1).I), false)
 		return old
 	case ir.OpTrunc, ir.OpSExt:
-		return IntVal(truncToType(pi.typ, r.get(slots, pi.ops[0]).I))
+		return IntVal(truncToType(pi.typ, get(slots, consts, pi.a0).I))
 	case ir.OpZExt:
-		src := pi.src.Operand(0).Type()
-		return IntVal(r.get(slots, pi.ops[0]).I & int64(widthMask(uint64(src.Bits()))))
+		return IntVal(get(slots, consts, pi.a0).I & int64(pi.srcMask))
 	case ir.OpSIToFP:
-		return FloatVal(float64(r.get(slots, pi.ops[0]).I))
+		return FloatVal(float64(get(slots, consts, pi.a0).I))
 	case ir.OpFPToSI:
-		return IntVal(truncToType(pi.typ, fpToInt(r.get(slots, pi.ops[0]).F)))
+		return IntVal(truncToType(pi.typ, fpToInt(get(slots, consts, pi.a0).F)))
 	case ir.OpPtrToInt, ir.OpIntToPtr:
-		return r.get(slots, pi.ops[0])
+		return get(slots, consts, pi.a0)
 	case ir.OpBitcast:
-		v := r.get(slots, pi.ops[0])
-		if pi.typ == ir.I64 {
+		v := get(slots, consts, pi.a0)
+		if !pi.isFloat {
 			return IntVal(int64(math.Float64bits(v.F)))
 		}
 		return FloatVal(math.Float64frombits(uint64(v.I)))
 	case ir.OpSelect:
-		if r.get(slots, pi.ops[0]).I != 0 {
-			return r.get(slots, pi.ops[1])
+		if get(slots, consts, pi.a0).I != 0 {
+			return get(slots, consts, pi.a1)
 		}
-		return r.get(slots, pi.ops[2])
+		return get(slots, consts, pi.ops[2])
 	case ir.OpCall:
-		args := make([]Val, len(pi.ops))
-		for i := range pi.ops {
-			args[i] = r.get(slots, pi.ops[i])
+		// Marshal arguments through the frame arena (released right
+		// after the call returns) instead of allocating per call.
+		saveCur, saveOff := r.arenaCur, r.arenaOff
+		args := r.frame(len(pi.ops), false)
+		for i, o := range pi.ops {
+			args[i] = get(slots, consts, o)
 		}
-		return r.callFunc(pi.callee, args)
+		v := r.callFunc(pi.callee, args)
+		r.arenaCur, r.arenaOff = saveCur, saveOff
+		return v
 	}
 	panic(trapPanic{TrapAbort, "unknown opcode " + pi.op.String()})
 }

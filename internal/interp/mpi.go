@@ -24,7 +24,11 @@ type comm struct {
 }
 
 type message struct {
-	tag  int64
+	tag int64
+	// data must be owned by the message: payloads sit in mailbox
+	// channels across sender returns, so senders pass freshly
+	// allocated slices, never frame-arena memory (which is reused as
+	// soon as the sending call unwinds).
 	data []Val
 }
 

@@ -6,9 +6,10 @@ import (
 	"ipas/internal/ir"
 )
 
-// Program is a module lowered to a dense, slot-based form that the
-// evaluator executes without map lookups. Compilation is deterministic;
-// a Program is immutable and safely shared by concurrent ranks.
+// Program is a module lowered to flat bytecode that the evaluator
+// executes without map lookups or IR back-references. Compilation is
+// deterministic; a Program is immutable and safely shared by concurrent
+// ranks.
 type Program struct {
 	mod   *ir.Module
 	funcs map[*ir.Func]*progFunc
@@ -21,53 +22,68 @@ type Program struct {
 
 	// NumSites is the module's site-table size.
 	NumSites int
+
+	// zeroFrames forces call frames to be zeroed before use. It is off
+	// for modules that pass ir.Verify: SSA dominance guarantees every
+	// slot is written before it is read, so zeroing is dead work (it
+	// dominated call-heavy profiles). Unverifiable modules keep the
+	// old deterministic zero-fill behavior.
+	zeroFrames bool
 }
 
+// progFunc is one function lowered to a single contiguous instruction
+// array. Control flow uses absolute indices into code; there are no
+// block boundaries at run time. Entry is pc 0.
 type progFunc struct {
 	fn       *ir.Func
 	builtin  builtinID
 	numSlots int
-	blocks   []*progBlock
+	code     []pInstr
+	// consts is the function's constant pool; operand index ^i (i.e.
+	// negative) refers to consts[i].
+	consts []Val
+	// edgeCopies holds the phi parallel-copy lists, one per CFG edge
+	// that carries phis; pInstr.edges indexes into it. Resolving the
+	// (pred, succ) pair at lowering time is what removes the old
+	// per-block-entry predecessor scan from the hot loop.
+	edgeCopies [][]phiCopy
 }
 
-type progBlock struct {
-	instrs []pInstr
-	// phiCopies[p] lists the parallel copies to perform when entering
-	// this block from predecessor index p (indexes into preds).
-	preds     []*progBlock
-	phiCopies [][]phiCopy
-	id        int
-}
-
+// phiCopy is one slot assignment of a parallel copy (dst = src). All
+// reads of a copy list happen before any write.
 type phiCopy struct {
-	dst int
-	src operand
+	dst int32
+	src int32 // operand encoding: slot if >= 0, else consts[^src]
 }
 
-// operand is a resolved instruction operand: either a constant value or
-// a frame slot.
-type operand struct {
-	isConst bool
-	c       Val
-	slot    int
-}
-
+// pInstr is one packed bytecode instruction. Everything the evaluator
+// needs at run time — jump targets, operand encodings, memory widths,
+// site id, zext source mask — is precomputed here at lowering time; no
+// field points back into the IR.
 type pInstr struct {
-	op     ir.Op
 	typ    *ir.Type
-	pred   ir.Pred
-	ops    []operand
-	dst    int // destination slot, -1 if none
-	blocks [2]int
 	callee *progFunc
-
-	elemSize   int64 // gep scale / alloca element size / load-store width
+	// ops lists every operand (same encoding as phiCopy.src) for
+	// instructions with more than two, and for calls (argument
+	// marshalling iterates it). a0/a1 carry the first two operands of
+	// everything else.
+	ops        []int32
+	elemSize   int64 // gep scale / alloca element size / load-store-rmw width
 	allocBytes int64
-	storeFloat bool // store payload is f64
+	srcMask    uint64 // zext: mask of the source type's width
 
-	src        *ir.Instr // static instruction (site info, protection tag)
+	a0, a1  int32
+	dst     int32 // destination slot, -1 if none
+	siteID  int32
+	targets [2]int32 // absolute pc of branch targets
+	edges   [2]int32 // edgeCopies index per target, -1 if the edge has no phis
+
+	op         ir.Op
+	pred       ir.Pred
+	nops       uint8
+	storeFloat bool // store payload is f64
+	isFloat    bool // result type is f64 (load/bitcast interpretation)
 	injectable bool
-	isCheck    bool // ProtCheck comparison (excluded from injection)
 }
 
 // Compile lowers a verified module into executable form. injectable
@@ -81,6 +97,7 @@ func Compile(m *ir.Module, injectable func(*ir.Instr) bool) (*Program, error) {
 		funcs:      map[*ir.Func]*progFunc{},
 		injectable: injectable,
 		NumSites:   m.NumSites(),
+		zeroFrames: ir.Verify(m) != nil,
 	}
 	// Shells first so calls resolve.
 	for _, f := range m.Funcs() {
@@ -118,8 +135,8 @@ func (p *Program) Module() *ir.Module { return p.mod }
 
 func (p *Program) compileFunc(f *ir.Func) error {
 	pf := p.funcs[f]
-	slot := map[ir.Value]int{}
-	n := 0
+	slot := map[ir.Value]int32{}
+	var n int32
 	for _, prm := range f.Params() {
 		slot[prm] = n
 		n++
@@ -132,73 +149,129 @@ func (p *Program) compileFunc(f *ir.Func) error {
 			}
 		}
 	}
-	pf.numSlots = n
+	pf.numSlots = int(n)
 
-	blockIdx := map[*ir.Block]int{}
-	for i, b := range f.Blocks() {
-		blockIdx[b] = i
-		pf.blocks = append(pf.blocks, &progBlock{id: i})
-	}
-
-	resolve := func(v ir.Value) operand {
+	constIdx := map[Val]int32{}
+	resolve := func(v ir.Value) int32 {
 		if c, ok := v.(*ir.Const); ok {
+			var cv Val
 			if c.Type().IsFloat() {
-				return operand{isConst: true, c: FloatVal(c.Float)}
+				cv = FloatVal(c.Float)
+			} else {
+				cv = IntVal(c.Int)
 			}
-			return operand{isConst: true, c: IntVal(c.Int)}
+			// NaN-valued keys never hit; they just take a fresh pool
+			// entry each time, which is harmless.
+			if i, ok := constIdx[cv]; ok {
+				return ^i
+			}
+			i := int32(len(pf.consts))
+			pf.consts = append(pf.consts, cv)
+			constIdx[cv] = i
+			return ^i
 		}
 		s, ok := slot[v]
 		if !ok {
 			panic(fmt.Sprintf("interp: unresolved value %s in @%s", v.Ref(), f.Name()))
 		}
-		return operand{slot: s}
+		return s
 	}
 
-	for bi, b := range f.Blocks() {
-		pb := pf.blocks[bi]
-		// Record predecessors for phi-copy resolution.
-		for _, pred := range b.Preds() {
-			pb.preds = append(pb.preds, pf.blocks[blockIdx[pred]])
-		}
-		pb.phiCopies = make([][]phiCopy, len(pb.preds))
-		for _, phi := range b.Phis() {
-			d := slot[phi]
-			for i, inc := range phi.Incoming {
-				// Find predecessor index of inc.
-				pi := -1
-				for j, pred := range b.Preds() {
-					if pred == inc {
-						pi = j
-						break
-					}
-				}
-				if pi < 0 {
-					return fmt.Errorf("interp: phi incoming %%%s not a predecessor in @%s", inc.Name(), f.Name())
-				}
-				pb.phiCopies[pi] = append(pb.phiCopies[pi], phiCopy{dst: d, src: resolve(phi.Operand(i))})
+	// Pass 1: assign each block its absolute start pc. A block's code is
+	// its non-phi instructions up to and including the first terminator
+	// (trailing dead code is unreachable in the old per-block walker too
+	// and is simply not emitted).
+	start := map[*ir.Block]int32{}
+	pc := 0
+	for _, b := range f.Blocks() {
+		start[b] = int32(pc)
+		term := false
+		for _, in := range b.Instrs() {
+			if in.Op() == ir.OpPhi {
+				continue
+			}
+			pc++
+			if in.Op().IsTerminator() {
+				term = true
+				break
 			}
 		}
+		if !term {
+			return fmt.Errorf("interp: block %%%s in @%s has no terminator", b.Name(), f.Name())
+		}
+	}
+	pf.code = make([]pInstr, 0, pc)
 
+	// edgeFor resolves the phi parallel copies for the CFG edge
+	// pred -> succ, indexed by the (pred, succ) pair at lowering time.
+	edgeFor := func(pred, succ *ir.Block) ([]phiCopy, error) {
+		var cps []phiCopy
+		for _, phi := range succ.Phis() {
+			found := false
+			for i, inc := range phi.Incoming {
+				if inc == pred {
+					cps = append(cps, phiCopy{dst: slot[phi], src: resolve(phi.Operand(i))})
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("interp: phi %s in %%%s has no incoming for predecessor %%%s in @%s",
+					phi.Ref(), succ.Name(), pred.Name(), f.Name())
+			}
+		}
+		return cps, nil
+	}
+
+	// Pass 2: emit the flat stream.
+	for _, b := range f.Blocks() {
 		for _, in := range b.Instrs() {
 			if in.Op() == ir.OpPhi {
 				continue // handled by edge copies
 			}
 			pi := pInstr{
-				op:   in.Op(),
-				typ:  in.Type(),
-				pred: in.Pred,
-				dst:  -1,
-				src:  in,
+				op:      in.Op(),
+				typ:     in.Type(),
+				pred:    in.Pred,
+				dst:     -1,
+				siteID:  int32(in.SiteID),
+				targets: [2]int32{-1, -1},
+				edges:   [2]int32{-1, -1},
 			}
 			if in.HasResult() {
 				pi.dst = slot[in]
+				pi.isFloat = in.Type().IsFloat()
 			}
-			for _, opnd := range in.Operands() {
-				pi.ops = append(pi.ops, resolve(opnd))
+			opnds := in.Operands()
+			nops := len(opnds)
+			if nops > 255 {
+				return fmt.Errorf("interp: instruction %s in @%s has %d operands", in.Ref(), f.Name(), nops)
+			}
+			pi.nops = uint8(nops)
+			if nops > 0 {
+				pi.a0 = resolve(opnds[0])
+			}
+			if nops > 1 {
+				pi.a1 = resolve(opnds[1])
+			}
+			if nops > 2 || in.Op() == ir.OpCall {
+				pi.ops = make([]int32, nops)
+				for i, o := range opnds {
+					pi.ops[i] = resolve(o)
+				}
 			}
 			for i, t := range in.Targets {
-				if i < 2 {
-					pi.blocks[i] = blockIdx[t]
+				if i >= 2 {
+					break
+				}
+				pi.targets[i] = start[t]
+				cps, err := edgeFor(b, t)
+				if err != nil {
+					return err
+				}
+				if len(cps) > 0 {
+					pi.edges[i] = int32(len(pf.edgeCopies))
+					pf.edgeCopies = append(pf.edgeCopies, cps)
 				}
 			}
 			switch in.Op() {
@@ -214,11 +287,20 @@ func (p *Program) compileFunc(f *ir.Func) error {
 			case ir.OpStore:
 				pi.elemSize = in.Operand(0).Type().Size()
 				pi.storeFloat = in.Operand(0).Type().IsFloat()
+			case ir.OpAtomicRMW:
+				pi.elemSize = in.Type().Size()
+			case ir.OpZExt:
+				pi.srcMask = widthMask(uint64(in.Operand(0).Type().Bits()))
 			}
 			pi.injectable = in.HasResult() && p.injectable(in)
-			pi.isCheck = in.Prot == ir.ProtCheck
-			pb.instrs = append(pb.instrs, pi)
+			pf.code = append(pf.code, pi)
+			if in.Op().IsTerminator() {
+				break
+			}
 		}
+	}
+	if len(pf.code) != pc {
+		return fmt.Errorf("interp: lowering @%s emitted %d instructions, expected %d", f.Name(), len(pf.code), pc)
 	}
 	return nil
 }

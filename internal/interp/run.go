@@ -24,6 +24,14 @@ type Config struct {
 	StackBytes int64
 	// MaxInstrs is the per-rank dynamic instruction budget; exceeding
 	// it raises TrapBudget (the hang detector). 0 means unlimited.
+	//
+	// MaxInstrs, Fault and CountSites together select the execution
+	// loop: when all three are off, ranks run the uninstrumented fast
+	// loop (see exec.go); arming any of them selects the fully
+	// instrumented loop. The choice is made once per run, never per
+	// instruction, and is invisible to results: both loops produce
+	// byte-identical outputs, traps, dynamic counts and injectable
+	// populations.
 	MaxInstrs int64
 	// Fault, when non-nil, arms single-bit corruption.
 	Fault *FaultPlan
@@ -113,6 +121,7 @@ func RunContext(ctx context.Context, p *Program, cfg Config) *Result {
 			cancel:       cancel,
 			budget:       -1,
 			injectedSite: -1,
+			zeroFrames:   p.zeroFrames,
 		}
 		if cfg.MaxInstrs > 0 {
 			r.budget = cfg.MaxInstrs
@@ -126,6 +135,11 @@ func RunContext(ctx context.Context, p *Program, cfg Config) *Result {
 			r.countSites = true
 			r.siteCounts = make([]int64, p.NumSites)
 		}
+		// Loop specialization (decided once per run): a rank with any
+		// instrumentation armed — budget, site counting, or an
+		// injection plan targeting it — takes the full loop; everything
+		// else takes the fast loop.
+		r.instrumented = r.budget >= 0 || r.countSites || r.injectArmed
 		ranks[i] = r
 	}
 

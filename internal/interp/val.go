@@ -4,6 +4,14 @@
 // dynamic instruction counts (the slowdown metric), and a fault hook
 // that flips one bit in the result of a chosen dynamic instruction
 // instance (the FlipIt fault model).
+//
+// Execution is a flat bytecode engine: Compile lowers each function to
+// a contiguous instruction array with absolute jump targets and
+// per-edge phi copy lists (prog.go), and RunContext selects — once per
+// rank per run — between an uninstrumented fast loop and a fully
+// instrumented one (exec.go). Both loops are observationally
+// identical; DESIGN.md §7 documents the layout, the specialization
+// matrix, and the invariants fault injection relies on.
 package interp
 
 import (
@@ -38,6 +46,8 @@ func Bool(b bool) Val {
 // FlipBit returns v with bit flipped, interpreting v according to t.
 // For floats the flip happens in the IEEE-754 bit pattern; for integers
 // in the two's-complement pattern truncated to the type's width.
+// The injection hook applies it to an instruction's produced value
+// before the frame-slot write, exactly once per armed run.
 func FlipBit(v Val, t *ir.Type, bit int) Val {
 	if t.IsFloat() {
 		bits := math.Float64bits(v.F)
