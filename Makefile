@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet race ci bench bench-all bench-smoke experiments experiments-paper examples clean
+.PHONY: build test test-short vet lint race ci bench bench-svm bench-all bench-smoke bench-check experiments experiments-paper examples clean
 
 build:
 	$(GO) build ./...
@@ -10,20 +10,40 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Style + correctness gate: gofmt (fails listing unformatted files),
+# go vet, and staticcheck when installed. staticcheck is optional
+# locally (no network install here); CI installs it explicitly, so the
+# gate is always enforced where it matters.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$unformatted"; \
+		exit 1; \
+	fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (CI runs it)"; \
+	fi
+
 test:
 	$(GO) test ./...
 
 test-short:
 	$(GO) test -short ./...
 
-# Race-detector run; the campaign engine is concurrent (worker pools,
+# Race-detector run with shuffled test order; the campaign engine and
+# the SVM training pipeline are concurrent (worker pools, kernel cache,
 # journal writes, progress callbacks, cancellation), so this is the
-# test mode that matters for it.
+# test mode that matters for them, and shuffling catches accidental
+# inter-test ordering dependencies.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on -timeout=30m ./...
 
 # What CI runs (see .github/workflows/ci.yml).
-ci: vet build race
+ci: lint build race bench-check
 
 # Interpreter + campaign throughput benchmarks (the perf trajectory of
 # the execution engine), recorded machine-readably in BENCH_interp.json.
@@ -32,11 +52,32 @@ bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_INTERP)' -benchtime=2s . \
 		| $(GO) run ./cmd/bench2json -o BENCH_interp.json
 
-# Single-iteration smoke of the same benchmarks (what CI runs): proves
-# they execute and that bench2json parses their output.
+# SVM training-pipeline benchmarks (serial baseline vs pooled search
+# with the kernel cache, plus the cache's miss/hit unit costs),
+# recorded in BENCH_svm.json. The grid search runs a fixed iteration
+# count because one search takes seconds; the cache benches need many
+# iterations to resolve the ns-scale hit path.
+bench-svm:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkGridSearch' -benchtime=2x ./internal/svm && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkKernelCache' -benchtime=1000x ./internal/svm; } \
+		| $(GO) run ./cmd/bench2json -o BENCH_svm.json
+
+# Single-iteration smoke of the recorded benchmarks (what CI runs):
+# proves they execute and leaves JSON reports for bench-check to diff.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(BENCH_INTERP)' -benchtime=1x . \
-		| $(GO) run ./cmd/bench2json -o /dev/null
+		| $(GO) run ./cmd/bench2json -o bench_smoke_interp.json
+	{ $(GO) test -run '^$$' -bench 'BenchmarkGridSearch' -benchtime=1x ./internal/svm && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkKernelCache' -benchtime=100x ./internal/svm; } \
+		| $(GO) run ./cmd/bench2json -o bench_smoke_svm.json
+
+# Bench-regression gate: smoke-run the benchmarks and compare against
+# the checked-in reference reports. The 10x tolerance is deliberately
+# generous — it passes machine variance and fails order-of-magnitude
+# regressions (see cmd/benchdiff).
+bench-check: bench-smoke
+	$(GO) run ./cmd/benchdiff -base BENCH_interp.json bench_smoke_interp.json
+	$(GO) run ./cmd/benchdiff -base BENCH_svm.json bench_smoke_svm.json
 
 # One benchmark per paper table/figure plus component and ablation
 # benches; writes bench_output.txt.
@@ -58,4 +99,4 @@ examples:
 	$(GO) run ./examples/mpiscaling
 
 clean:
-	rm -f bench_output.txt test_output.txt
+	rm -f bench_output.txt test_output.txt bench_smoke_interp.json bench_smoke_svm.json

@@ -1,0 +1,153 @@
+// Command benchdiff compares a fresh bench2json report against a
+// checked-in reference and fails (exit 1) when any benchmark slowed by
+// more than a tolerance factor. It is the CI bench-regression gate: the
+// tolerance is deliberately generous (default 10×) so that machine and
+// load variance pass, while order-of-magnitude regressions — an
+// accidentally quadratic loop, a lost fast path — fail the build.
+//
+// Usage:
+//
+//	benchdiff -base BENCH_interp.json [-tol 10] [-min-ns 1000] current.json
+//
+// Benchmark names are compared after stripping go test's trailing
+// -GOMAXPROCS suffix (BenchmarkFoo-8 vs BenchmarkFoo), so a reference
+// recorded on one machine gates runs on machines with different core
+// counts. Sub-benchmark names must therefore avoid a bare trailing
+// -digits group — use key=value style (workers=8) instead.
+//
+// Benchmarks present in the reference but missing from the current
+// report fail the comparison (a silently vanished benchmark usually
+// means a renamed or deleted hot path); extra benchmarks in the current
+// report are reported but never fail. Results faster than -min-ns in
+// the reference are reported but not gated: sub-microsecond timings
+// under 1x/100x smoke iteration counts are dominated by timer noise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// report mirrors the fields of cmd/bench2json's output that the
+// comparison needs.
+type report struct {
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+type benchmark struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+func main() {
+	basePath := flag.String("base", "", "checked-in reference report (required)")
+	tol := flag.Float64("tol", 10, "fail when current ns/op exceeds reference ns/op by this factor")
+	minNs := flag.Float64("min-ns", 1000, "skip gating benchmarks whose reference ns/op is below this (noise floor)")
+	flag.Parse()
+
+	if *basePath == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -base REFERENCE.json [-tol N] [-min-ns N] CURRENT.json")
+		os.Exit(2)
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	lines, regressions := compare(base, cur, *tol, *minNs)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %gx tolerance\n", len(regressions), *tol)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmarks within %gx of %s\n", len(base.Benchmarks), *tol, *basePath)
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &r, nil
+}
+
+// compare renders one line per reference benchmark and returns the
+// names that regressed beyond tol. Benchmarks below the minNs noise
+// floor, or with no timing in the reference, are reported but never
+// gate.
+func compare(base, cur *report, tol, minNs float64) (lines, regressions []string) {
+	current := map[string]float64{}
+	for _, b := range cur.Benchmarks {
+		name := canonical(b.Name)
+		if _, ok := current[name]; !ok {
+			current[name] = b.NsPerOp
+		}
+	}
+	seen := map[string]bool{}
+	for _, b := range base.Benchmarks {
+		name := canonical(b.Name)
+		if seen[name] {
+			continue // keep first occurrence, like go test tooling
+		}
+		seen[name] = true
+		now, ok := current[name]
+		switch {
+		case !ok:
+			lines = append(lines, fmt.Sprintf("MISSING  %-50s (reference %.0f ns/op)", b.Name, b.NsPerOp))
+			regressions = append(regressions, b.Name)
+		case b.NsPerOp <= 0 || now <= 0:
+			lines = append(lines, fmt.Sprintf("SKIP     %-50s no ns/op to compare", b.Name))
+		case b.NsPerOp < minNs:
+			lines = append(lines, fmt.Sprintf("noise    %-50s %.0f -> %.0f ns/op (below %.0f ns floor)", b.Name, b.NsPerOp, now, minNs))
+		case now > b.NsPerOp*tol:
+			lines = append(lines, fmt.Sprintf("REGRESS  %-50s %.0f -> %.0f ns/op (%.1fx > %gx)", b.Name, b.NsPerOp, now, now/b.NsPerOp, tol))
+			regressions = append(regressions, b.Name)
+		default:
+			lines = append(lines, fmt.Sprintf("ok       %-50s %.0f -> %.0f ns/op (%.2fx)", b.Name, b.NsPerOp, now, now/b.NsPerOp))
+		}
+	}
+	for _, b := range cur.Benchmarks {
+		if !seen[canonical(b.Name)] {
+			seen[canonical(b.Name)] = true
+			lines = append(lines, fmt.Sprintf("new      %-50s %.0f ns/op (not in reference)", b.Name, b.NsPerOp))
+		}
+	}
+	return lines, regressions
+}
+
+// canonical strips go test's trailing -GOMAXPROCS suffix so reports
+// from machines with different core counts compare by benchmark
+// identity. Only a final all-digit group preceded by '-' is removed.
+func canonical(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

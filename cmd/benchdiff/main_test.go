@@ -1,0 +1,120 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rep(pairs ...interface{}) *report {
+	r := &report{}
+	for i := 0; i < len(pairs); i += 2 {
+		r.Benchmarks = append(r.Benchmarks, benchmark{
+			Name:    pairs[i].(string),
+			NsPerOp: pairs[i+1].(float64),
+		})
+	}
+	return r
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	base := rep("BenchmarkA", 1e6, "BenchmarkB", 5e4)
+	cur := rep("BenchmarkA", 8e6, "BenchmarkB", 4e4)
+	_, regressions := compare(base, cur, 10, 1000)
+	if len(regressions) != 0 {
+		t.Fatalf("unexpected regressions: %v", regressions)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	base := rep("BenchmarkA", 1e6, "BenchmarkB", 5e4)
+	cur := rep("BenchmarkA", 1.5e7, "BenchmarkB", 4e4)
+	lines, regressions := compare(base, cur, 10, 1000)
+	if len(regressions) != 1 || regressions[0] != "BenchmarkA" {
+		t.Fatalf("want [BenchmarkA], got %v", regressions)
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "REGRESS") {
+		t.Fatalf("no REGRESS line in output:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := rep("BenchmarkA", 1e6, "BenchmarkGone", 1e6)
+	cur := rep("BenchmarkA", 1e6)
+	_, regressions := compare(base, cur, 10, 1000)
+	if len(regressions) != 1 || regressions[0] != "BenchmarkGone" {
+		t.Fatalf("want [BenchmarkGone], got %v", regressions)
+	}
+}
+
+func TestCompareNoiseFloorNeverGates(t *testing.T) {
+	// 30 ns reference (a cache-hit style micro-bench) ballooning to
+	// 3000 ns must not gate: below the floor it is timer noise.
+	base := rep("BenchmarkTiny", 30.0)
+	cur := rep("BenchmarkTiny", 3000.0)
+	lines, regressions := compare(base, cur, 10, 1000)
+	if len(regressions) != 0 {
+		t.Fatalf("noise-floor bench gated: %v", regressions)
+	}
+	if !strings.Contains(lines[0], "noise") {
+		t.Fatalf("want noise line, got %q", lines[0])
+	}
+}
+
+func TestCompareExtraCurrentBenchmarkIsInformational(t *testing.T) {
+	base := rep("BenchmarkA", 1e6)
+	cur := rep("BenchmarkA", 1e6, "BenchmarkNew", 5e6)
+	lines, regressions := compare(base, cur, 10, 1000)
+	if len(regressions) != 0 {
+		t.Fatalf("extra benchmark gated: %v", regressions)
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "new") {
+		t.Fatalf("new benchmark not reported:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestCompareStripsGomaxprocsSuffix(t *testing.T) {
+	// Reference recorded on a 1-core machine (no suffix), current run
+	// on a 4-core CI runner (-4 suffix): names must still pair up, and
+	// key=value sub-bench names must survive canonicalization.
+	base := rep("BenchmarkGridSearch/workers=8", 1e9, "BenchmarkInterpreter/CoMD", 1e6)
+	cur := rep("BenchmarkGridSearch/workers=8-4", 1.2e9, "BenchmarkInterpreter/CoMD-4", 1.1e6)
+	lines, regressions := compare(base, cur, 10, 1000)
+	if len(regressions) != 0 {
+		t.Fatalf("suffixed names did not pair: %v\n%s", regressions, strings.Join(lines, "\n"))
+	}
+	if len(lines) != 2 {
+		t.Fatalf("want 2 paired lines, got:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkA":                    "BenchmarkA",
+		"BenchmarkA-8":                  "BenchmarkA",
+		"BenchmarkA-16":                 "BenchmarkA",
+		"BenchmarkGridSearch/workers=8": "BenchmarkGridSearch/workers=8",
+		"BenchmarkA/serial-baseline":    "BenchmarkA/serial-baseline",
+		"BenchmarkA/serial-baseline-4":  "BenchmarkA/serial-baseline",
+		"BenchmarkA-":                   "BenchmarkA-",
+		"-8":                            "-8",
+	}
+	for in, want := range cases {
+		if got := canonical(in); got != want {
+			t.Errorf("canonical(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCompareDuplicateReferenceNamesUseFirst(t *testing.T) {
+	// bench2json keeps repeated names (e.g. -count=2); the gate should
+	// compare against the first occurrence only, not double-report.
+	base := rep("BenchmarkA", 1e6, "BenchmarkA", 9e9)
+	cur := rep("BenchmarkA", 2e6)
+	lines, regressions := compare(base, cur, 10, 1000)
+	if len(regressions) != 0 {
+		t.Fatalf("duplicate reference gated: %v", regressions)
+	}
+	if len(lines) != 1 {
+		t.Fatalf("want 1 line, got %d:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+}

@@ -37,6 +37,7 @@ func main() {
 	csv := flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget for the whole suite (0 = none)")
 	maxRetries := flag.Int("max-retries", 2, "per-trial retries after infrastructure errors")
+	trainWorkers := flag.Int("train-workers", 0, "concurrent grid-search workers for SVM training (0 = GOMAXPROCS; results are identical for any count)")
 	progress := flag.Bool("progress", false, "report per-campaign progress and error summaries on stderr")
 	flag.Parse()
 
@@ -64,7 +65,7 @@ func main() {
 		defer cancel()
 	}
 
-	controls := &core.CampaignControls{MaxRetries: *maxRetries}
+	controls := &core.CampaignControls{MaxRetries: *maxRetries, TrainWorkers: *trainWorkers}
 	if *progress {
 		controls.Progress = newProgressReporter()
 	}
@@ -108,11 +109,17 @@ func newProgressReporter() func(stage string, done, total, failed int) {
 		}
 		mu.Lock()
 		defer mu.Unlock()
+		what := "trials"
+		// Stage names arrive workload-prefixed ("FFT: train IPAS"),
+		// so match anywhere in the string.
+		if strings.Contains(stage, "train") {
+			what = "grid points"
+		}
 		if done == total && failed > 0 {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %d/%d trials, %d failed (excluded from proportions)\n",
-				stage, done, total, failed)
+			fmt.Fprintf(os.Stderr, "experiments: %s: %d/%d %s, %d failed (excluded from proportions)\n",
+				stage, done, total, what, failed)
 			return
 		}
-		fmt.Fprintf(os.Stderr, "experiments: %s: %d/%d trials\n", stage, done, total)
+		fmt.Fprintf(os.Stderr, "experiments: %s: %d/%d %s\n", stage, done, total, what)
 	}
 }

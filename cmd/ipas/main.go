@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"text/tabwriter"
 	"time"
@@ -48,7 +49,8 @@ func main() {
 	resume := flag.Bool("resume", false, "continue an interrupted workflow from the -journal directory")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget for the workflow (0 = none)")
 	maxRetries := flag.Int("max-retries", 2, "per-trial retries after infrastructure errors")
-	progress := flag.Bool("progress", false, "report campaign progress on stderr")
+	trainWorkers := flag.Int("train-workers", 0, "concurrent grid-search workers for SVM training (0 = GOMAXPROCS; results are identical for any count)")
+	progress := flag.Bool("progress", false, "report campaign and training progress on stderr")
 	flag.Parse()
 
 	opts := ipas.QuickOptions()
@@ -74,11 +76,15 @@ func main() {
 		defer cancel()
 	}
 
-	controls := &core.CampaignControls{MaxRetries: *maxRetries}
+	controls := &core.CampaignControls{MaxRetries: *maxRetries, TrainWorkers: *trainWorkers}
 	if *progress {
 		controls.Progress = func(stage string, done, total, failed int) {
 			if done%50 == 0 || done == total {
-				fmt.Fprintf(os.Stderr, "ipas: %s: %d/%d trials (%d failed)\n", stage, done, total, failed)
+				what := "trials"
+				if strings.Contains(stage, "train") {
+					what = "grid points"
+				}
+				fmt.Fprintf(os.Stderr, "ipas: %s: %d/%d %s (%d failed)\n", stage, done, total, what, failed)
 			}
 		}
 	}

@@ -1,0 +1,85 @@
+package baseline
+
+// The IPAS paper's learned baseline re-trains the classifier on
+// symptom labels gathered from fault injection (§5.3). This file adds
+// the third road between the two baselines this package discusses:
+// relabeling the training set from the *static* analysis — no fault
+// injection at all — and distilling it into the same classifier form
+// the learned pipeline produces, via the shared parallel grid search.
+// That makes "static Shoestring" directly comparable to the learned
+// variants on training cost and classifier quality.
+
+import (
+	"context"
+	"errors"
+
+	"ipas/internal/ir"
+	"ipas/internal/svm"
+)
+
+// SiteLabels runs the static analysis and labels every instrumentation
+// site ±1: +1 where the defining instruction is symptom-generating
+// (faults there likely trap on their own), -1 elsewhere. The vector is
+// indexed by SiteID, aligned with the per-site feature table.
+func SiteLabels(m *ir.Module, cfg Config) []int {
+	a := Analyze(m, cfg)
+	labels := make([]int, m.NumSites())
+	for i := range labels {
+		labels[i] = -1
+	}
+	for _, f := range m.Funcs() {
+		for _, b := range f.Blocks() {
+			for _, in := range b.Instrs() {
+				if in.SiteID >= 0 && in.SiteID < len(labels) && a.SymptomGenerating[in] {
+					labels[in.SiteID] = 1
+				}
+			}
+		}
+	}
+	return labels
+}
+
+// RelabelProblem assembles the relabeled training set: one scaled
+// feature vector per site that has features (see core.SiteFeaturesOf),
+// labeled by the static analysis. It returns the problem, the fitted
+// scaler, and the site index behind each problem row.
+func RelabelProblem(m *ir.Module, feats [][]float64, cfg Config) (*svm.Problem, *svm.Scaler, []int, error) {
+	if len(feats) != m.NumSites() {
+		return nil, nil, nil, errors.New("baseline: feature table does not match module sites")
+	}
+	labels := SiteLabels(m, cfg)
+	var raw [][]float64
+	var y, sites []int
+	for site, f := range feats {
+		if f == nil {
+			continue
+		}
+		raw = append(raw, f)
+		y = append(y, labels[site])
+		sites = append(sites, site)
+	}
+	if len(raw) == 0 {
+		return nil, nil, nil, errors.New("baseline: module has no featured sites")
+	}
+	scaler := svm.FitScaler(raw)
+	return &svm.Problem{X: scaler.ApplyAll(raw), Y: y}, scaler, sites, nil
+}
+
+// TrainRelabeled cross-validates the (C, γ) grid on the static symptom
+// labels through the shared parallel training pipeline (worker pool,
+// per-γ kernel cache, deterministic ranking) and returns the ranked
+// configurations. Cancellation follows the pipeline's partial-results
+// contract: the configurations evaluated so far come back with ctx's
+// error.
+func TrainRelabeled(ctx context.Context, m *ir.Module, feats [][]float64, cfg Config, grid svm.GridSpec, opts svm.SearchOptions) ([]svm.Config, error) {
+	prob, _, _, err := RelabelProblem(m, feats, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pos, neg := prob.Count()
+	if pos == 0 || neg == 0 {
+		return nil, errors.New("baseline: static analysis labeled every site the same class")
+	}
+	grid.WeightByClassFreq = true
+	return svm.GridSearchContext(ctx, prob, grid, opts)
+}

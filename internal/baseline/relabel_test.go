@@ -1,0 +1,93 @@
+package baseline
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"ipas/internal/features"
+	"ipas/internal/ir"
+	"ipas/internal/svm"
+	"ipas/internal/workloads"
+)
+
+func relabelFixture(t *testing.T) (*ir.Module, [][]float64) {
+	t.Helper()
+	spec := workloads.MustGet("FFT", 1)
+	m, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, features.NewExtractor(m).VectorBySite()
+}
+
+func TestSiteLabelsAlignWithAnalysis(t *testing.T) {
+	m, _ := relabelFixture(t)
+	labels := SiteLabels(m, Config{})
+	if len(labels) != m.NumSites() {
+		t.Fatalf("%d labels for %d sites", len(labels), m.NumSites())
+	}
+	a := Analyze(m, Config{})
+	pos := 0
+	for _, f := range m.Funcs() {
+		for _, b := range f.Blocks() {
+			for _, in := range b.Instrs() {
+				if in.SiteID < 0 {
+					continue
+				}
+				want := -1
+				if a.SymptomGenerating[in] {
+					want = 1
+					pos++
+				}
+				if labels[in.SiteID] != want {
+					t.Fatalf("site %d labeled %d, want %d", in.SiteID, labels[in.SiteID], want)
+				}
+			}
+		}
+	}
+	if pos == 0 || pos == len(labels) {
+		t.Fatalf("degenerate labeling: %d of %d positive", pos, len(labels))
+	}
+}
+
+func TestTrainRelabeledProducesRankedConfigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid search")
+	}
+	m, feats := relabelFixture(t)
+	grid := svm.LogGrid(1, 1e3, 3, 1e-3, 1, 3)
+	cfgs, err := TrainRelabeled(context.Background(), m, feats, Config{}, grid, svm.SearchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 9 {
+		t.Fatalf("got %d configs, want 9", len(cfgs))
+	}
+	for i := 1; i < len(cfgs); i++ {
+		if cfgs[i].CV.FScore > cfgs[i-1].CV.FScore {
+			t.Fatal("configs not sorted by F-score")
+		}
+	}
+	if cfgs[0].CV.FScore <= 0 {
+		t.Fatalf("best F-score %v: static labels should be learnable from the features", cfgs[0].CV.FScore)
+	}
+
+	// Worker count must not leak into the ranking here either.
+	again, err := TrainRelabeled(context.Background(), m, feats, Config{}, grid, svm.SearchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(relabelBits(cfgs), relabelBits(again)) {
+		t.Fatal("relabel training not deterministic across worker counts")
+	}
+}
+
+func relabelBits(cfgs []svm.Config) [][2]uint64 {
+	out := make([][2]uint64, len(cfgs))
+	for i, c := range cfgs {
+		out[i] = [2]uint64{math.Float64bits(c.CV.FScore), math.Float64bits(c.Params.C)}
+	}
+	return out
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ipas/internal/fault"
+	"ipas/internal/svm"
 )
 
 // CampaignControls carries the resilience knobs threaded into every
@@ -21,6 +22,10 @@ type CampaignControls struct {
 	RetryBackoff time.Duration
 	// Workers bounds concurrent trials per campaign (0 = GOMAXPROCS).
 	Workers int
+	// TrainWorkers bounds concurrent grid-point evaluations during SVM
+	// training (0 = GOMAXPROCS). Training results are bit-identical for
+	// any worker count.
+	TrainWorkers int
 	// Progress, when non-nil, receives per-campaign progress: stage
 	// names the campaign ("collect", "eval IPAS-1", ...), done/total
 	// count trials, and failed counts infrastructure failures.
@@ -51,6 +56,21 @@ func (cc *CampaignControls) Apply(c *fault.Campaign, stage string) error {
 		c.Journal = j
 	}
 	return nil
+}
+
+// SearchOptions renders the controls' training knobs as grid-search
+// options, routing per-grid-point progress into Progress under the
+// given stage name (training has no failed trials, so failed is 0).
+func (cc *CampaignControls) SearchOptions(stage string) svm.SearchOptions {
+	if cc == nil {
+		return svm.SearchOptions{}
+	}
+	opts := svm.SearchOptions{Workers: cc.TrainWorkers}
+	if cc.Progress != nil {
+		report := cc.Progress
+		opts.Progress = func(done, total int) { report(stage, done, total, 0) }
+	}
+	return opts
 }
 
 // Checkpoint manages the journal directory of a workflow run: one

@@ -174,6 +174,15 @@ func (c *Classifier) PredictPositive(raw []float64) bool {
 // then fits one final model per top-N configuration on the full
 // training set. Labels must be the policy-appropriate label vector.
 func Train(d *TrainingData, labels []int, grid svm.GridSpec, topN int) ([]*Classifier, error) {
+	return TrainContext(context.Background(), d, labels, grid, topN, nil, "train")
+}
+
+// TrainContext is Train with cancellation and the controls' training
+// knobs threaded through: the grid search runs on a bounded worker
+// pool (Controls.TrainWorkers) against a shared per-γ kernel cache,
+// and per-grid-point progress flows into Controls.Progress under the
+// given stage name. Results are bit-identical for any worker count.
+func TrainContext(ctx context.Context, d *TrainingData, labels []int, grid svm.GridSpec, topN int, cc *CampaignControls, stage string) ([]*Classifier, error) {
 	if len(labels) != len(d.X) {
 		return nil, fmt.Errorf("core: %d labels for %d samples", len(labels), len(d.X))
 	}
@@ -190,13 +199,17 @@ func Train(d *TrainingData, labels []int, grid svm.GridSpec, topN int) ([]*Class
 	scaler := svm.FitScaler(d.X)
 	prob := &svm.Problem{X: scaler.ApplyAll(d.X), Y: labels}
 	grid.WeightByClassFreq = true
-	configs, err := svm.GridSearch(prob, grid)
+	configs, err := svm.GridSearchContext(ctx, prob, grid, cc.SearchOptions(stage))
 	if err != nil {
 		return nil, err
 	}
+
+	// Final fits share one distance matrix and kernel cache across the
+	// top-N configurations (several of which typically share a γ).
+	cache := svm.NewKernelCache(svm.SqDistMatrix(prob.X), 0)
 	var out []*Classifier
 	for _, cfg := range svm.TopN(configs, topN) {
-		model, err := svm.Train(prob, cfg.Params)
+		model, err := svm.TrainWithKernel(ctx, prob, cfg.Params, cache.Matrix(cfg.Params.Gamma), nil)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"ipas/internal/svm"
+)
+
+// TestTrainContextDeterministicAcrossWorkers runs Step 3 end to end
+// (grid search + final top-N fits) at several worker counts and asserts
+// the resulting classifiers are bit-identical: serialized models use
+// IEEE-754 bit patterns, so byte equality is float-bit equality.
+func TestTrainContextDeterministicAcrossWorkers(t *testing.T) {
+	app := loadApp(t, "FFT")
+	data, err := Collect(app, 120, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := svm.LogGrid(1, 1e3, 4, 1e-3, 1, 3)
+	var ref [][]byte
+	for _, w := range []int{1, 4} {
+		cc := &CampaignControls{TrainWorkers: w}
+		cls, err := TrainContext(context.Background(), data, data.Labels(PolicyIPAS), grid, 3, cc, "train")
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		var blobs [][]byte
+		for _, c := range cls {
+			b, err := json.Marshal(c.Model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blobs = append(blobs, b)
+		}
+		if ref == nil {
+			ref = blobs
+			continue
+		}
+		if len(blobs) != len(ref) {
+			t.Fatalf("workers=%d: %d classifiers, want %d", w, len(blobs), len(ref))
+		}
+		for i := range blobs {
+			if string(blobs[i]) != string(ref[i]) {
+				t.Fatalf("workers=%d: classifier %d differs from workers=1", w, i)
+			}
+		}
+	}
+}
+
+// TestTrainContextCancelled asserts a cancelled training step aborts
+// with the context's error instead of returning classifiers.
+func TestTrainContextCancelled(t *testing.T) {
+	app := loadApp(t, "FFT")
+	data, err := Collect(app, 120, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TrainContext(ctx, data, data.Labels(PolicyIPAS), svm.QuickGrid(), 3, nil, "train"); err == nil {
+		t.Fatal("cancelled training returned classifiers")
+	}
+}

@@ -157,7 +157,7 @@ func RunWithDataContext(ctx context.Context, app *App, data *TrainingData, opts 
 	res := &Result{Data: data}
 
 	t0 := time.Now()
-	ipasCls, err := Train(data, data.Labels(PolicyIPAS), opts.Grid, opts.TopN)
+	ipasCls, err := TrainContext(ctx, data, data.Labels(PolicyIPAS), opts.Grid, opts.TopN, opts.Controls, "train IPAS")
 	if err != nil {
 		return nil, fmt.Errorf("core: training IPAS classifier: %w", err)
 	}
@@ -167,7 +167,7 @@ func RunWithDataContext(ctx context.Context, app *App, data *TrainingData, opts 
 	}
 
 	t0 = time.Now()
-	baseCls, err := Train(data, data.Labels(PolicyBaseline), opts.Grid, opts.TopN)
+	baseCls, err := TrainContext(ctx, data, data.Labels(PolicyBaseline), opts.Grid, opts.TopN, opts.Controls, "train Baseline")
 	if err != nil {
 		return nil, fmt.Errorf("core: training baseline classifier: %w", err)
 	}

@@ -1,0 +1,97 @@
+package svm
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// benchGridProblem is the grid-search benchmark dataset: two separable
+// classes, large enough that kernel exponentiation is the dominant
+// serial cost (as it is on the paper's feature vectors).
+func benchGridProblem() *Problem {
+	r := lcg(17)
+	p := &Problem{}
+	for i := 0; i < 640; i++ {
+		y := 1
+		c := 2.0
+		if i%3 == 0 {
+			y = -1
+			c = -2.0
+		}
+		p.X = append(p.X, []float64{
+			c + (r.next() - 0.5),
+			c + (r.next() - 0.5),
+			r.next(),
+		})
+		p.Y = append(p.Y, y)
+	}
+	return p
+}
+
+func benchGridSpec() GridSpec {
+	spec := PaperGrid()
+	spec.WeightByClassFreq = true
+	// Bound SMO so hopeless corners of the grid (γ→0 kernels that
+	// never separate) cost the same in every variant being compared.
+	spec.MaxIter = 300
+	return spec
+}
+
+// BenchmarkGridSearch measures the paper-scale 500-point (C, γ) search.
+// serial-baseline is the pre-pipeline implementation (one goroutine,
+// per-fold kernel exponentiation, rbf predictions); the workers-N
+// variants run the pooled search with the per-γ kernel cache. All
+// variants produce bit-identical rankings.
+func BenchmarkGridSearch(b *testing.B) {
+	p := benchGridProblem()
+	spec := benchGridSpec()
+
+	b.Run("serial-baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := serialReferenceSearch(p, spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, w := range []int{1, 8} {
+		// key=value naming, not workers-8: a trailing -digits group
+		// would be indistinguishable from go test's -GOMAXPROCS name
+		// suffix, which benchdiff strips to compare across machines.
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := GridSearchContext(context.Background(), p, spec, SearchOptions{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKernelCache isolates the cache's unit of work: producing the
+// kernel matrix for one γ. miss exponentiates the distance matrix;
+// hit returns the memoized rows (the state all but 1 of the ~125
+// same-γ requests on the paper grid are served from).
+func BenchmarkKernelCache(b *testing.B) {
+	p := benchGridProblem()
+	dist := SqDistMatrix(p.X)
+
+	b.Run("miss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := NewKernelCache(dist, 1)
+			if rows := c.Matrix(0.1); len(rows) != len(dist) {
+				b.Fatal("bad matrix")
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		c := NewKernelCache(dist, 1)
+		c.Matrix(0.1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rows := c.Matrix(0.1); len(rows) != len(dist) {
+				b.Fatal("bad matrix")
+			}
+		}
+	})
+}

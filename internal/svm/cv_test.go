@@ -1,0 +1,69 @@
+package svm
+
+import (
+	"context"
+	"testing"
+)
+
+// TestCrossValidateMoreFoldsThanSamples covers k > n: stratified folds
+// come out empty or degenerate and must be skipped, not crash.
+func TestCrossValidateMoreFoldsThanSamples(t *testing.T) {
+	p := &Problem{
+		X: [][]float64{{0, 0}, {0.1, 0}, {1, 1}, {1.1, 1}, {0, 0.2}, {1, 0.9}},
+		Y: []int{-1, -1, 1, 1, -1, 1},
+	}
+	dist := SqDistMatrix(p.X)
+	res, err := CrossValidate(p, Params{C: 10, Gamma: 1}, dist, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PredictedPos < 0 || res.PredictedPos > 1 {
+		t.Fatalf("PredictedPos = %v", res.PredictedPos)
+	}
+	kres, err := CrossValidateContext(context.Background(), p, Params{C: 10, Gamma: 1},
+		NewKernelCache(dist, 1).Matrix(1), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cvBits(kres) != cvBits(res) {
+		t.Fatalf("kernel path %+v != reference %+v with k > n", kres, res)
+	}
+}
+
+// TestCrossValidateSingleClassFold covers a lone positive sample: the
+// fold holding it in the test half trains on one class only, is marked
+// degenerate, and must be skipped without failing the other folds.
+func TestCrossValidateSingleClassFold(t *testing.T) {
+	p := &Problem{}
+	r := lcg(3)
+	p.X = append(p.X, []float64{2, 2})
+	p.Y = append(p.Y, 1)
+	for i := 0; i < 9; i++ {
+		p.X = append(p.X, []float64{r.next() - 0.5, r.next() - 0.5})
+		p.Y = append(p.Y, -1)
+	}
+	dist := SqDistMatrix(p.X)
+	res, err := CrossValidate(p, Params{C: 10, Gamma: 0.5}, dist, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The positive sample only ever appears in the degenerate fold's
+	// test half, so class-1 recall is never measured.
+	if res.Acc1 != 0 || res.FScore != 0 {
+		t.Fatalf("expected zero class-1 recall, got %+v", res)
+	}
+	if res.Acc2 == 0 {
+		t.Fatalf("negative folds were not evaluated: %+v", res)
+	}
+
+	splits := makeFoldSplits(p, 5)
+	degenerate := 0
+	for _, sp := range splits {
+		if sp.degenerate {
+			degenerate++
+		}
+	}
+	if degenerate != 1 {
+		t.Fatalf("%d degenerate folds, want 1", degenerate)
+	}
+}

@@ -1,8 +1,12 @@
 package svm
 
 import (
+	"context"
+	"errors"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // GridSpec describes the (C, γ) hyper-parameter grid. The paper varies
@@ -16,6 +20,9 @@ type GridSpec struct {
 	// WeightByClassFreq enables inverse-frequency class weights, the
 	// imbalance countermeasure §4.3.1 motivates.
 	WeightByClassFreq bool
+	// MaxIter, when positive, bounds SMO iterations per trained model
+	// (0 keeps the per-problem default, 100·n with a 10,000 floor).
+	MaxIter int
 }
 
 // LogGrid builds nc log-spaced C values in [cLo, cHi] and ng log-spaced
@@ -49,11 +56,39 @@ type Config struct {
 	CV     CVResult
 }
 
+// SearchOptions tunes GridSearchContext. The zero value searches with
+// one worker per CPU and no progress reporting.
+type SearchOptions struct {
+	// Workers bounds concurrent grid-point evaluations (≤ 0 uses
+	// GOMAXPROCS). Every grid point is evaluated independently and
+	// gathered by grid index, so results are bit-identical for any
+	// worker count.
+	Workers int
+	// Progress, when non-nil, is called under the search's lock after
+	// each evaluated grid point with the completed and total counts.
+	Progress func(done, total int)
+	// CacheCapacity bounds retained per-γ kernel matrices (≤ 0 uses
+	// DefaultKernelCacheCap). Grid points are dispatched γ-major, so a
+	// small capacity already captures nearly all reuse.
+	CacheCapacity int
+}
+
 // GridSearch cross-validates every (C, γ) combination and returns the
 // configurations sorted by descending F-score (ties broken towards
 // smaller predicted-positive fraction, i.e. less protection overhead,
 // then by C and γ for determinism).
 func GridSearch(p *Problem, spec GridSpec) ([]Config, error) {
+	return GridSearchContext(context.Background(), p, spec, SearchOptions{})
+}
+
+// GridSearchContext is GridSearch with a bounded worker pool,
+// cancellation, and progress reporting. Each (C, γ) point is evaluated
+// independently against a shared per-γ kernel cache and gathered by
+// grid index, so the ranking is bit-identical regardless of worker
+// count or scheduling. On cancellation the configurations evaluated so
+// far are returned — sorted — together with ctx's error, matching the
+// campaign engine's partial-results contract.
+func GridSearchContext(ctx context.Context, p *Problem, spec GridSpec, opts SearchOptions) ([]Config, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -71,32 +106,122 @@ func GridSearch(p *Problem, spec GridSpec) ([]Config, error) {
 			wNeg = n / (2 * float64(neg))
 		}
 	}
-	dist := SqDistMatrix(p.X)
-	var out []Config
-	for _, c := range spec.Cs {
-		for _, g := range spec.Gammas {
-			params := Params{C: c, Gamma: g, WeightPos: wPos, WeightNeg: wNeg}
-			cv, err := CrossValidate(p, params, dist, folds)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, Config{Params: params, CV: cv})
+
+	total := len(spec.Cs) * len(spec.Gammas)
+	if total == 0 {
+		return nil, errors.New("svm: empty grid")
+	}
+	// γ-major dispatch order: consecutive tasks share a kernel matrix,
+	// so even a small cache serves every C and fold of a γ from one
+	// exponentiation. The task index doubles as the deterministic
+	// gather slot (and final sort tiebreaker).
+	params := make([]Params, 0, total)
+	for _, g := range spec.Gammas {
+		for _, c := range spec.Cs {
+			params = append(params, Params{C: c, Gamma: g, WeightPos: wPos, WeightNeg: wNeg, MaxIter: spec.MaxIter})
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.CV.FScore != b.CV.FScore {
-			return a.CV.FScore > b.CV.FScore
+
+	dist := SqDistMatrix(p.X)
+	cache := NewKernelCache(dist, opts.CacheCapacity)
+	splits := makeFoldSplits(p, folds)
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+
+	results := make([]Config, total)
+	evaluated := make([]bool, total)
+	var (
+		mu       sync.Mutex
+		done     int
+		firstErr error
+	)
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				kernel := cache.Matrix(params[t].Gamma)
+				cv, err := crossValidateKernel(ctx, p, params[t], kernel, splits)
+				mu.Lock()
+				if err != nil {
+					// Cancellation surfaces through ctx below; any
+					// other error fails the search.
+					if ctx.Err() == nil && firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				results[t] = Config{Params: params[t], CV: cv}
+				evaluated[t] = true
+				done++
+				if opts.Progress != nil {
+					opts.Progress(done, total)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for t := 0; t < total; t++ {
+		select {
+		case next <- t:
+		case <-ctx.Done():
+			break feed
 		}
-		if a.CV.PredictedPos != b.CV.PredictedPos {
-			return a.CV.PredictedPos < b.CV.PredictedPos
+	}
+	close(next)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	order := make([]int, 0, total)
+	for t := range results {
+		if evaluated[t] {
+			order = append(order, t)
 		}
-		if a.Params.C != b.Params.C {
-			return a.Params.C < b.Params.C
-		}
-		return a.Params.Gamma < b.Params.Gamma
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return configLess(&results[order[a]], &results[order[b]], order[a], order[b])
 	})
+	out := make([]Config, len(order))
+	for i, t := range order {
+		out[i] = results[t]
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
 	return out, nil
+}
+
+// configLess is the ranking order: descending F-score, then smaller
+// predicted-positive fraction (less protection overhead), then C and γ,
+// then grid index — a strict total order, so the sorted ranking is
+// identical however the evaluations were scheduled.
+func configLess(a, b *Config, ai, bi int) bool {
+	if a.CV.FScore != b.CV.FScore {
+		return a.CV.FScore > b.CV.FScore
+	}
+	if a.CV.PredictedPos != b.CV.PredictedPos {
+		return a.CV.PredictedPos < b.CV.PredictedPos
+	}
+	if a.Params.C != b.Params.C {
+		return a.Params.C < b.Params.C
+	}
+	if a.Params.Gamma != b.Params.Gamma {
+		return a.Params.Gamma < b.Params.Gamma
+	}
+	return ai < bi
 }
 
 // TopN returns the best n configurations (fewer if the grid is small),

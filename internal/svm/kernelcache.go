@@ -1,0 +1,129 @@
+package svm
+
+import (
+	"math"
+	"sync"
+)
+
+// KernelCache memoizes full RBF kernel matrices K_ij = exp(-γ·D_ij)
+// per γ over one shared squared-distance matrix. On the paper's grid
+// every γ is paired with 25 C values and 5 CV folds, so without the
+// cache each exp(-γ·d) row is recomputed ~125 times; with it, once.
+//
+// The cache is safe for concurrent use by the grid-search worker pool:
+// the first goroutine to request a γ computes its matrix while later
+// requesters block on that entry, so a matrix is never built twice.
+// Matrices are immutable once published; eviction only drops the
+// cache's reference, so rows handed out earlier remain valid.
+type KernelCache struct {
+	dist     [][]float64
+	capacity int
+
+	mu      sync.Mutex
+	entries map[uint64]*kernelEntry
+	tick    uint64
+
+	hits, misses, evictions uint64
+}
+
+type kernelEntry struct {
+	ready   chan struct{}
+	rows    [][]float64
+	lastUse uint64
+}
+
+// DefaultKernelCacheCap bounds retained γ matrices when no explicit
+// capacity is given: enough that a worker pool rarely thrashes, small
+// enough that an n-sample search holds only a few n² matrices.
+const DefaultKernelCacheCap = 4
+
+// NewKernelCache wraps a squared-distance matrix (see SqDistMatrix).
+// capacity bounds how many γ matrices are retained (≤ 0 uses
+// DefaultKernelCacheCap); least-recently-used entries are evicted.
+func NewKernelCache(dist [][]float64, capacity int) *KernelCache {
+	if capacity <= 0 {
+		capacity = DefaultKernelCacheCap
+	}
+	return &KernelCache{dist: dist, capacity: capacity, entries: map[uint64]*kernelEntry{}}
+}
+
+// Matrix returns the full kernel matrix for gamma, computing it at
+// most once per residency. The returned rows are shared and must not
+// be modified.
+func (c *KernelCache) Matrix(gamma float64) [][]float64 {
+	key := math.Float64bits(gamma)
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.tick++
+		e.lastUse = c.tick
+		c.hits++
+		c.mu.Unlock()
+		<-e.ready
+		return e.rows
+	}
+	c.misses++
+	c.tick++
+	e := &kernelEntry{ready: make(chan struct{}), lastUse: c.tick}
+	c.evictLocked()
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	e.rows = kernelMatrix(c.dist, gamma)
+	close(e.ready)
+	return e.rows
+}
+
+// evictLocked drops least-recently-used completed entries until there
+// is room for one more. In-flight entries (still being computed) are
+// never evicted — other goroutines are blocked on them.
+func (c *KernelCache) evictLocked() {
+	for len(c.entries) >= c.capacity {
+		var victim uint64
+		var oldest *kernelEntry
+		for k, e := range c.entries {
+			select {
+			case <-e.ready:
+			default:
+				continue // in flight
+			}
+			if oldest == nil || e.lastUse < oldest.lastUse {
+				victim, oldest = k, e
+			}
+		}
+		if oldest == nil {
+			return // everything in flight; allow temporary overshoot
+		}
+		delete(c.entries, victim)
+		c.evictions++
+	}
+}
+
+// KernelCacheStats reports cache effectiveness.
+type KernelCacheStats struct {
+	Hits, Misses, Evictions uint64
+}
+
+// Stats returns a snapshot of hit/miss/eviction counters.
+func (c *KernelCache) Stats() KernelCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return KernelCacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
+}
+
+// kernelMatrix exponentiates the distance matrix for one γ. Symmetry
+// halves the exp calls; the mirrored entries are bit-identical to
+// recomputing them, since exp of the same input yields the same bits.
+func kernelMatrix(dist [][]float64, gamma float64) [][]float64 {
+	n := len(dist)
+	rows := newSquare(n)
+	for i := 0; i < n; i++ {
+		di := dist[i]
+		ri := rows[i]
+		for j := i; j < n; j++ {
+			v := math.Exp(-gamma * di[j])
+			ri[j] = v
+			rows[j][i] = v
+		}
+	}
+	return rows
+}

@@ -1,0 +1,75 @@
+package svm
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestModelRoundTripWithClassWeights trains on imbalanced data with
+// inverse-frequency class weights (the IPAS configuration) and asserts
+// the model survives JSON serialization bit-exactly.
+func TestModelRoundTripWithClassWeights(t *testing.T) {
+	r := lcg(5)
+	p := &Problem{}
+	for i := 0; i < 200; i++ {
+		if i%10 == 0 {
+			p.X = append(p.X, []float64{1.2 + 0.4*(r.next()-0.5), 1.2 + 0.4*(r.next()-0.5)})
+			p.Y = append(p.Y, 1)
+		} else {
+			p.X = append(p.X, []float64{2.5 * (r.next() - 0.5), 2.5 * (r.next() - 0.5)})
+			p.Y = append(p.Y, -1)
+		}
+	}
+	m, err := Train(p, Params{C: 50, Gamma: 0.8, WeightPos: 5, WeightNeg: 0.55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.SV) == 0 {
+		t.Fatal("no support vectors")
+	}
+
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+
+	if math.Float64bits(back.Gamma) != math.Float64bits(m.Gamma) ||
+		math.Float64bits(back.B) != math.Float64bits(m.B) {
+		t.Fatal("gamma/bias changed across round trip")
+	}
+	if len(back.Coef) != len(m.Coef) || len(back.SV) != len(m.SV) {
+		t.Fatalf("shape changed: %d/%d coef, %d/%d SV", len(back.Coef), len(m.Coef), len(back.SV), len(m.SV))
+	}
+	for i := range m.Coef {
+		if math.Float64bits(back.Coef[i]) != math.Float64bits(m.Coef[i]) {
+			t.Fatalf("coef %d changed", i)
+		}
+		for d := range m.SV[i] {
+			if math.Float64bits(back.SV[i][d]) != math.Float64bits(m.SV[i][d]) {
+				t.Fatalf("SV %d dim %d changed", i, d)
+			}
+		}
+	}
+	// Decisions must agree bitwise everywhere, not just on training data.
+	for i := 0; i < 50; i++ {
+		x := []float64{4 * (r.next() - 0.5), 4 * (r.next() - 0.5)}
+		if math.Float64bits(back.Decision(x)) != math.Float64bits(m.Decision(x)) {
+			t.Fatalf("decision diverges at %v", x)
+		}
+	}
+}
+
+func TestModelUnmarshalRejectsCorruptShapes(t *testing.T) {
+	var m Model
+	if err := json.Unmarshal([]byte(`{"coef_bits":[1],"sv_bits":[]}`), &m); err == nil {
+		t.Fatal("coef/SV length mismatch accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"coef_bits":[1,2],"sv_bits":[[1],[1,2]]}`), &m); err == nil {
+		t.Fatal("ragged support vectors accepted")
+	}
+}

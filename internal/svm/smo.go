@@ -1,17 +1,26 @@
 package svm
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
 
 // Train fits a C-SVC model on the problem.
 func Train(p *Problem, params Params) (*Model, error) {
+	return TrainContext(context.Background(), p, params)
+}
+
+// TrainContext is Train with cancellation: the SMO loop polls ctx
+// periodically and aborts with its error. Cancellation never alters
+// results — a run that completes is bit-identical to one trained
+// without a context.
+func TrainContext(ctx context.Context, p *Problem, params Params) (*Model, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	d := SqDistMatrix(p.X)
-	return TrainWithDist(p, params, d, nil)
+	return trainDist(ctx, p, params, d, nil)
 }
 
 // TrainWithDist fits a model using a precomputed squared-distance
@@ -19,30 +28,105 @@ func Train(p *Problem, params Params) (*Model, error) {
 // matrix rows (nil means identity). This lets cross validation and grid
 // search share one O(n²·dim) distance computation.
 func TrainWithDist(p *Problem, params Params, dist [][]float64, idx []int) (*Model, error) {
+	return trainDist(context.Background(), p, params, dist, idx)
+}
+
+// TrainWithKernel fits a model using a precomputed kernel matrix for
+// params.Gamma over a superset of samples (see KernelCache). idx maps
+// problem rows to kernel-matrix rows (nil means identity). Because the
+// cached kernel entries are the same exp(-γ·d) values TrainWithDist
+// computes, the resulting model is bit-identical.
+func TrainWithKernel(ctx context.Context, p *Problem, params Params, kernel [][]float64, idx []int) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m, _, err := trainKernel(ctx, p, params, kernel, idx)
+	return m, err
+}
+
+func trainDist(ctx context.Context, p *Problem, params Params, dist [][]float64, idx []int) (*Model, error) {
 	n := len(p.X)
 	if n == 0 {
 		return nil, fmt.Errorf("svm: empty problem")
 	}
-	params = params.withDefaults(n)
 	if idx == nil {
-		idx = make([]int, n)
-		for i := range idx {
-			idx[i] = i
-		}
+		idx = identity(n)
 	}
-
 	// Kernel matrix for this gamma.
-	K := make([][]float64, n)
-	kbuf := make([]float64, n*n)
-	for i := range K {
-		K[i] = kbuf[i*n : (i+1)*n]
-	}
+	K := newSquare(n)
 	for i := 0; i < n; i++ {
 		di := dist[idx[i]]
 		for j := 0; j < n; j++ {
 			K[i][j] = math.Exp(-params.Gamma * di[idx[j]])
 		}
 	}
+	m, _, err := solve(ctx, p, params, K)
+	return m, err
+}
+
+// trainKernel fits a model on the sub-kernel selected by idx from a
+// full kernel matrix. It additionally returns, for each support vector,
+// its row index in the full matrix, so cross validation can score
+// held-out samples by kernel lookup instead of recomputing exp(-γ·d).
+func trainKernel(ctx context.Context, p *Problem, params Params, kernel [][]float64, idx []int) (*Model, []int, error) {
+	n := len(p.X)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("svm: empty problem")
+	}
+	if idx == nil {
+		idx = identity(n)
+	}
+	K := newSquare(n)
+	for i := 0; i < n; i++ {
+		ki := kernel[idx[i]]
+		row := K[i]
+		for j := 0; j < n; j++ {
+			row[j] = ki[idx[j]]
+		}
+	}
+	m, sv, err := solve(ctx, p, params, K)
+	if err != nil {
+		return nil, nil, err
+	}
+	svIdx := make([]int, len(sv))
+	for i, t := range sv {
+		svIdx[i] = idx[t]
+	}
+	return m, svIdx, nil
+}
+
+func identity(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// newSquare allocates an n×n matrix backed by one contiguous buffer.
+func newSquare(n int) [][]float64 {
+	rows := make([][]float64, n)
+	buf := make([]float64, n*n)
+	for i := range rows {
+		rows[i] = buf[i*n : (i+1)*n]
+	}
+	return rows
+}
+
+// ctxCheckInterval is how many SMO iterations run between cancellation
+// polls; cheap enough to be invisible, frequent enough that training
+// honours a cancel within microseconds.
+const ctxCheckInterval = 1024
+
+// solve runs SMO with maximal-violating-pair selection on the dense
+// kernel matrix K and assembles the model. It returns the problem-row
+// indices of the support vectors alongside.
+//
+// We solve: min 1/2 αᵀQα - eᵀα, 0 ≤ α_i ≤ C_i, yᵀα = 0,
+// where Q_ij = y_i y_j K_ij. G is the gradient Qα - e.
+func solve(ctx context.Context, p *Problem, params Params, K [][]float64) (*Model, []int, error) {
+	n := len(p.X)
+	params = params.withDefaults(n)
 
 	y := make([]float64, n)
 	cN := make([]float64, n) // per-sample penalty
@@ -55,9 +139,6 @@ func TrainWithDist(p *Problem, params Params, dist [][]float64, idx []int) (*Mod
 		}
 	}
 
-	// SMO with maximal-violating-pair selection.
-	// We solve: min 1/2 αᵀQα - eᵀα, 0 ≤ α_i ≤ C_i, yᵀα = 0,
-	// where Q_ij = y_i y_j K_ij. G is the gradient Qα - e.
 	alpha := make([]float64, n)
 	G := make([]float64, n)
 	for i := range G {
@@ -66,6 +147,11 @@ func TrainWithDist(p *Problem, params Params, dist [][]float64, idx []int) (*Mod
 
 	iter := 0
 	for ; iter < params.MaxIter; iter++ {
+		if iter%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
 		// Select the maximal violating pair (i, j).
 		i, j := -1, -1
 		gmax, gmin := math.Inf(-1), math.Inf(1)
@@ -160,13 +246,15 @@ func TrainWithDist(p *Problem, params Params, dist [][]float64, idx []int) (*Mod
 	}
 
 	m := &Model{Gamma: params.Gamma, B: b, Iters: iter}
+	var sv []int
 	for t := 0; t < n; t++ {
 		if alpha[t] > 0 {
 			m.SV = append(m.SV, p.X[t])
 			m.Coef = append(m.Coef, alpha[t]*y[t])
+			sv = append(sv, t)
 		}
 	}
-	return m, nil
+	return m, sv, nil
 }
 
 func clamp(v, lo, hi float64) float64 {
