@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet lint race ci bench bench-svm bench-all bench-smoke bench-check experiments experiments-paper examples clean
+.PHONY: build test test-short vet lint race ci bench bench-svm bench-all bench-smoke bench-check fuzz-smoke experiments experiments-paper examples clean
 
 build:
 	$(GO) build ./...
@@ -47,7 +47,9 @@ ci: lint build race bench-check
 
 # Interpreter + campaign throughput benchmarks (the perf trajectory of
 # the execution engine), recorded machine-readably in BENCH_interp.json.
-BENCH_INTERP = BenchmarkInterpreter|BenchmarkInterpreterInstrumented|BenchmarkCampaignThroughput
+# BenchmarkDeadlockDetection records structural deadlock-detection
+# latency — the metric that replaced the former 10 s wall-clock wait.
+BENCH_INTERP = BenchmarkInterpreter|BenchmarkInterpreterInstrumented|BenchmarkCampaignThroughput|BenchmarkDeadlockDetection
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_INTERP)' -benchtime=2s . \
 		| $(GO) run ./cmd/bench2json -o BENCH_interp.json
@@ -78,6 +80,14 @@ bench-smoke:
 bench-check: bench-smoke
 	$(GO) run ./cmd/benchdiff -base BENCH_interp.json bench_smoke_interp.json
 	$(GO) run ./cmd/benchdiff -base BENCH_svm.json bench_smoke_svm.json
+
+# Short randomized-schedule fuzz of the simulated MPI runtime under
+# the race detector: random rank programs with random comm patterns
+# must keep outcome classes schedule-independent and clean/deadlock
+# results bit-identical (see FuzzMPISchedule). CI runs this as a
+# smoke; run it open-ended with a larger -fuzztime to go hunting.
+fuzz-smoke:
+	$(GO) test -run '^FuzzMPISchedule$$' -fuzz '^FuzzMPISchedule$$' -fuzztime 10s -race ./internal/interp
 
 # One benchmark per paper table/figure plus component and ablation
 # benches; writes bench_output.txt.

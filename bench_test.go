@@ -9,6 +9,7 @@ package ipas
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"ipas/internal/baseline"
 	"ipas/internal/core"
@@ -18,6 +19,7 @@ import (
 	"ipas/internal/features"
 	"ipas/internal/interp"
 	"ipas/internal/ir"
+	"ipas/internal/lang"
 	"ipas/internal/svm"
 	"ipas/internal/workloads"
 )
@@ -200,6 +202,38 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 			b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
 		})
 	}
+}
+
+// BenchmarkDeadlockDetection measures the latency of structural
+// deadlock detection: a 2-rank recv-recv deadlock run to completion.
+// The watchdog is set to an hour, so the measured time is pure
+// supervisor latency — before structural detection this scenario cost
+// a full wall-clock timeout (formerly 10 s) per occurrence.
+func BenchmarkDeadlockDetection(b *testing.B) {
+	m, err := lang.Compile(`
+func main() {
+	var rank int = mpi_rank();
+	var peer int = 1 - rank;
+	var v int = mpi_recv_i64(peer, 1);
+	mpi_send_i64(peer, 1, v);
+}
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := interp.Compile(m, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := interp.Config{Ranks: 2, Watchdog: time.Hour}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := interp.Run(p, cfg)
+		if res.Trap != interp.TrapDeadlock || res.Deadlock == nil {
+			b.Fatalf("trap = %v, want structural deadlock", res.Trap)
+		}
+	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)*1e6, "µs/detection")
 }
 
 // BenchmarkSciCompile measures front-end + mem2reg speed.

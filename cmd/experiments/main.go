@@ -97,9 +97,9 @@ func main() {
 // newProgressReporter returns a stage-aware progress callback: it logs
 // roughly every tenth of each campaign plus its completion, and flags
 // campaigns that finished with failed trials.
-func newProgressReporter() func(stage string, done, total, failed int) {
+func newProgressReporter() func(stage string, done, total, failed, deadlocked int) {
 	var mu sync.Mutex
-	return func(stage string, done, total, failed int) {
+	return func(stage string, done, total, failed, deadlocked int) {
 		step := total / 10
 		if step == 0 {
 			step = 1
@@ -115,11 +115,15 @@ func newProgressReporter() func(stage string, done, total, failed int) {
 		if strings.Contains(stage, "train") {
 			what = "grid points"
 		}
+		suffix := ""
+		if deadlocked > 0 {
+			suffix = fmt.Sprintf(", %d deadlocked", deadlocked)
+		}
 		if done == total && failed > 0 {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %d/%d %s, %d failed (excluded from proportions)\n",
-				stage, done, total, what, failed)
+			fmt.Fprintf(os.Stderr, "experiments: %s: %d/%d %s, %d failed (excluded from proportions)%s\n",
+				stage, done, total, what, failed, suffix)
 			return
 		}
-		fmt.Fprintf(os.Stderr, "experiments: %s: %d/%d %s\n", stage, done, total, what)
+		fmt.Fprintf(os.Stderr, "experiments: %s: %d/%d %s%s\n", stage, done, total, what, suffix)
 	}
 }

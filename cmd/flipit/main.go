@@ -96,9 +96,9 @@ func main() {
 		Journal:    journal,
 	}
 	if *progress {
-		c.Progress = func(done, total, failed int) {
+		c.Progress = func(done, total, failed, deadlocked int) {
 			if done%50 == 0 || done == total {
-				fmt.Fprintf(os.Stderr, "flipit: %d/%d trials (%d failed)\n", done, total, failed)
+				fmt.Fprintf(os.Stderr, "flipit: %d/%d trials (%d failed, %d deadlocked)\n", done, total, failed, deadlocked)
 			}
 		}
 	}
@@ -127,6 +127,15 @@ func main() {
 	for _, o := range []fault.Outcome{fault.OutcomeSymptom, fault.OutcomeDetected, fault.OutcomeMasked, fault.OutcomeSOC} {
 		p := res.Proportion(o)
 		fmt.Printf("  %-9s %6.2f%%  ± %.2f%% (95%%)\n", o, 100*p, 100*stats.MarginOfError95(p, res.Completed))
+	}
+	if res.Deadlocks > 0 {
+		fmt.Printf("  %d trial(s) deadlocked the job; first attribution:\n", res.Deadlocks)
+		for _, tr := range res.Trials {
+			if tr.Deadlock != "" {
+				fmt.Printf("    trial site %d bit %d index %d: %s\n", tr.Site, tr.Bit, tr.Index, tr.Deadlock)
+				break
+			}
+		}
 	}
 
 	if *funcs {

@@ -78,13 +78,17 @@ func main() {
 
 	controls := &core.CampaignControls{MaxRetries: *maxRetries, TrainWorkers: *trainWorkers}
 	if *progress {
-		controls.Progress = func(stage string, done, total, failed int) {
+		controls.Progress = func(stage string, done, total, failed, deadlocked int) {
 			if done%50 == 0 || done == total {
 				what := "trials"
 				if strings.Contains(stage, "train") {
 					what = "grid points"
 				}
-				fmt.Fprintf(os.Stderr, "ipas: %s: %d/%d %s (%d failed)\n", stage, done, total, what, failed)
+				extra := ""
+				if deadlocked > 0 {
+					extra = fmt.Sprintf(", %d deadlocked", deadlocked)
+				}
+				fmt.Fprintf(os.Stderr, "ipas: %s: %d/%d %s (%d failed%s)\n", stage, done, total, what, failed, extra)
 			}
 		}
 	}

@@ -1,9 +1,13 @@
 // Command irun executes a program (sci source or textual IR) on the
 // deterministic interpreter with the simulated MPI runtime.
 //
+// Exit status: 0 for a clean run, 1 for any trap, 3 for a structural
+// MPI deadlock (the per-rank attribution report is printed), 2 for a
+// usage error.
+//
 // Usage:
 //
-//	irun [-ranks N] [-heap MB] [-budget N] [-sites] prog.{sci,ir}
+//	irun [-ranks N] [-heap MB] [-budget N] [-watchdog D] [-sites] prog.{sci,ir}
 package main
 
 import (
@@ -21,10 +25,11 @@ func main() {
 	ranks := flag.Int("ranks", 1, "number of simulated MPI ranks")
 	heapMB := flag.Int64("heap", 64, "per-rank heap size in MiB")
 	budget := flag.Int64("budget", 0, "per-rank dynamic instruction budget (0 = unlimited)")
+	watchdog := flag.Duration("watchdog", 0, "defense-in-depth wall-clock bound per blocked MPI op (0 = default 60s); deadlocks are detected structurally and instantly regardless")
 	sites := flag.Bool("sites", false, "print the 10 hottest static instruction sites")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: irun [-ranks N] [-heap MB] [-budget N] [-sites] prog.{sci,ir}")
+		fmt.Fprintln(os.Stderr, "usage: irun [-ranks N] [-heap MB] [-budget N] [-watchdog D] [-sites] prog.{sci,ir}")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -56,11 +61,15 @@ func main() {
 		HeapBytes:  *heapMB << 20,
 		MaxInstrs:  *budget,
 		CountSites: *sites,
+		Watchdog:   *watchdog,
 	}
 	res := interp.Run(prog, cfg)
 
 	if res.Trap != interp.TrapNone {
 		fmt.Printf("trap: %v on rank %d (%s)\n", res.Trap, res.TrapRank, res.TrapMsg)
+	}
+	if res.Deadlock != nil {
+		fmt.Print(res.Deadlock.String())
 	}
 	fmt.Printf("dynamic instructions: total=%d makespan=%d per-rank=%v\n",
 		res.TotalDyn, res.MaxRankDyn, res.DynInstrs)
@@ -88,6 +97,9 @@ func main() {
 	}
 	if *sites {
 		printHotSites(m, res)
+	}
+	if res.Trap == interp.TrapDeadlock {
+		os.Exit(3)
 	}
 	if res.Trap != interp.TrapNone {
 		os.Exit(1)

@@ -28,8 +28,10 @@ type CampaignControls struct {
 	TrainWorkers int
 	// Progress, when non-nil, receives per-campaign progress: stage
 	// names the campaign ("collect", "eval IPAS-1", ...), done/total
-	// count trials, and failed counts infrastructure failures.
-	Progress func(stage string, done, total, failed int)
+	// count trials, failed counts infrastructure failures, and
+	// deadlocked counts trials whose injected fault hung the job
+	// (structural deadlock declared by the MPI rank supervisor).
+	Progress func(stage string, done, total, failed, deadlocked int)
 	// Checkpoint, when non-nil, supplies one trial journal per
 	// campaign so an interrupted workflow resumes from disk.
 	Checkpoint *Checkpoint
@@ -46,7 +48,7 @@ func (cc *CampaignControls) Apply(c *fault.Campaign, stage string) error {
 	c.Workers = cc.Workers
 	if cc.Progress != nil {
 		report := cc.Progress
-		c.Progress = func(done, total, failed int) { report(stage, done, total, failed) }
+		c.Progress = func(done, total, failed, deadlocked int) { report(stage, done, total, failed, deadlocked) }
 	}
 	if cc.Checkpoint != nil {
 		j, err := cc.Checkpoint.Journal(stage)
@@ -60,7 +62,8 @@ func (cc *CampaignControls) Apply(c *fault.Campaign, stage string) error {
 
 // SearchOptions renders the controls' training knobs as grid-search
 // options, routing per-grid-point progress into Progress under the
-// given stage name (training has no failed trials, so failed is 0).
+// given stage name (training has no failed or deadlocked trials, so
+// those counts are 0).
 func (cc *CampaignControls) SearchOptions(stage string) svm.SearchOptions {
 	if cc == nil {
 		return svm.SearchOptions{}
@@ -68,7 +71,7 @@ func (cc *CampaignControls) SearchOptions(stage string) svm.SearchOptions {
 	opts := svm.SearchOptions{Workers: cc.TrainWorkers}
 	if cc.Progress != nil {
 		report := cc.Progress
-		opts.Progress = func(done, total int) { report(stage, done, total, 0) }
+		opts.Progress = func(done, total int) { report(stage, done, total, 0, 0) }
 	}
 	return opts
 }

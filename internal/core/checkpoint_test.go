@@ -30,7 +30,7 @@ func TestCollectContextCheckpointResume(t *testing.T) {
 	cc1 := &CampaignControls{
 		Workers:    2,
 		Checkpoint: cp1,
-		Progress: func(stage string, done, total, failed int) {
+		Progress: func(stage string, done, total, failed, deadlocked int) {
 			if done >= 10 {
 				cancel()
 			}

@@ -251,8 +251,8 @@ func (s *Suite) optsFor(name string) core.Options {
 	scoped := *cc
 	if cc.Progress != nil {
 		report := cc.Progress
-		scoped.Progress = func(stage string, done, total, failed int) {
-			report(name+": "+stage, done, total, failed)
+		scoped.Progress = func(stage string, done, total, failed, deadlocked int) {
+			report(name+": "+stage, done, total, failed, deadlocked)
 		}
 	}
 	if cc.Checkpoint != nil {

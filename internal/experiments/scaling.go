@@ -57,8 +57,15 @@ func (s *Suite) Fig8() (*Table, error) {
 				return nil, err
 			}
 			if ru.Trap != interp.TrapNone || rp.Trap != interp.TrapNone {
-				return nil, fmt.Errorf("experiments: fig8 %s at %d ranks trapped: %v/%v (%s%s)",
-					name, ranks, ru.Trap, rp.Trap, ru.TrapMsg, rp.TrapMsg)
+				detail := ""
+				if ru.Deadlock != nil {
+					detail += "; unprotected " + ru.Deadlock.Summary()
+				}
+				if rp.Deadlock != nil {
+					detail += "; protected " + rp.Deadlock.Summary()
+				}
+				return nil, fmt.Errorf("experiments: fig8 %s at %d ranks trapped: %v/%v (%s%s)%s",
+					name, ranks, ru.Trap, rp.Trap, ru.TrapMsg, rp.TrapMsg, detail)
 			}
 			row = append(row, f2s(float64(rp.MaxRankDyn)/float64(ru.MaxRankDyn)))
 		}

@@ -1,0 +1,189 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ipas/internal/interp"
+	"ipas/internal/lang"
+)
+
+// A 2-rank program whose message count is computed, so bit flips on
+// rank 0 can corrupt it and hang the job: rank 0 derives n == 3 and
+// sends that many messages, rank 1 consumes exactly three and replies.
+// Flips that push n below 3 leave rank 1 waiting while rank 0 waits on
+// the ack — a structural deadlock the campaign must classify as a
+// symptom with a deterministic attribution string.
+const deadlockProg = `
+func main() {
+	var rank int = mpi_rank();
+	var n int = 12 / 4;
+	if (rank == 0) {
+		var s int = 0;
+		for (var i int = 0; i < n; i = i + 1) {
+			mpi_send_i64(1, 7, i * i);
+			s = s + i;
+		}
+		var ack int = mpi_recv_i64(1, 8);
+		out_i64(0, ack + s);
+	}
+	if (rank == 1) {
+		var acc int = 0;
+		for (var i int = 0; i < 3; i = i + 1) {
+			acc = acc + mpi_recv_i64(0, 7);
+		}
+		mpi_send_i64(0, 8, acc);
+	}
+}
+`
+
+func deadlockCampaign(seed int64, workers int, j *Journal) *Campaign {
+	m, err := lang.Compile(deadlockProg)
+	if err != nil {
+		panic(err)
+	}
+	p, err := Compile(m)
+	if err != nil {
+		panic(err)
+	}
+	verify := func(golden, faulty *interp.Result) bool {
+		return len(faulty.OutputI) == 1 && faulty.OutputI[0] == golden.OutputI[0]
+	}
+	return &Campaign{
+		Prog:    p,
+		Verify:  verify,
+		Config:  interp.Config{Ranks: 2},
+		Seed:    seed,
+		Workers: workers,
+		Journal: j,
+	}
+}
+
+const deadlockTrials = 60
+
+func TestCampaignClassifiesDeadlocks(t *testing.T) {
+	res, err := deadlockCampaign(11, 0, nil).Run(deadlockTrials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocks == 0 {
+		t.Fatal("no trial deadlocked — the corpus program should hang under some flips")
+	}
+	seen := 0
+	for _, tr := range res.Trials {
+		if tr.Deadlock == "" {
+			continue
+		}
+		seen++
+		if tr.Status != TrialCompleted {
+			t.Fatalf("deadlocked trial not completed: %+v", tr)
+		}
+		if tr.Outcome != OutcomeSymptom {
+			t.Fatalf("deadlock classified as %v, want symptom (the paper's hang class)", tr.Outcome)
+		}
+	}
+	if seen != res.Deadlocks {
+		t.Fatalf("Deadlocks = %d but %d trials carry attributions", res.Deadlocks, seen)
+	}
+}
+
+func TestCampaignDeadlocksWorkerInvariant(t *testing.T) {
+	// The deadlock outcomes — including every attribution string —
+	// must be bit-identical for any worker count.
+	ref, err := deadlockCampaign(11, 1, nil).Run(deadlockTrials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Deadlocks == 0 {
+		t.Fatal("reference campaign saw no deadlocks")
+	}
+	for _, workers := range []int{4, 0} {
+		res, err := deadlockCampaign(11, workers, nil).Run(deadlockTrials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref.Trials, res.Trials) {
+			t.Fatalf("trials differ between 1 and %d workers", workers)
+		}
+		if res.Deadlocks != ref.Deadlocks {
+			t.Fatalf("deadlock count %d with %d workers, want %d", res.Deadlocks, workers, ref.Deadlocks)
+		}
+	}
+}
+
+func TestCampaignDeadlocksSurviveResume(t *testing.T) {
+	// Cancel a journaled campaign partway, resume it, and require the
+	// final result — attribution strings included — to be identical to
+	// an uninterrupted run.
+	ref, err := deadlockCampaign(11, 2, nil).Run(deadlockTrials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Deadlocks == 0 {
+		t.Fatal("reference campaign saw no deadlocks")
+	}
+
+	path := filepath.Join(t.TempDir(), "trials.jsonl")
+	j1, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c1 := deadlockCampaign(11, 2, j1)
+	c1.Progress = func(done, total, failed, deadlocked int) {
+		if done >= deadlockTrials/3 {
+			cancel()
+		}
+	}
+	partial, err := c1.RunContext(ctx, deadlockTrials)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled campaign returned %v, want context.Canceled", err)
+	}
+	if partial.Pending == 0 {
+		t.Fatal("cancellation left nothing to resume")
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	resumed, err := deadlockCampaign(11, 2, j2).Run(deadlockTrials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref.Trials, resumed.Trials) {
+		t.Fatal("resumed trials differ from an uninterrupted run")
+	}
+	if resumed.Deadlocks != ref.Deadlocks {
+		t.Fatalf("resumed deadlock count %d, want %d", resumed.Deadlocks, ref.Deadlocks)
+	}
+}
+
+func TestProgressReportsDeadlocks(t *testing.T) {
+	var lastDone, lastDeadlocked int
+	c := deadlockCampaign(11, 1, nil)
+	c.Progress = func(done, total, failed, deadlocked int) {
+		if total != deadlockTrials {
+			t.Errorf("progress total = %d, want %d", total, deadlockTrials)
+		}
+		lastDone, lastDeadlocked = done, deadlocked
+	}
+	res, err := c.Run(deadlockTrials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastDone != deadlockTrials {
+		t.Fatalf("final progress done = %d, want %d", lastDone, deadlockTrials)
+	}
+	if lastDeadlocked != res.Deadlocks {
+		t.Fatalf("final progress deadlocked = %d, want %d", lastDeadlocked, res.Deadlocks)
+	}
+}

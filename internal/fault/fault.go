@@ -158,6 +158,12 @@ type Trial struct {
 	// residual run length for Masked/SOC (§2.1: duplication detects
 	// "close to the occurrence", enabling recent checkpoints).
 	Latency int64 `json:"latency"`
+	// Deadlock carries the rank supervisor's structural-deadlock
+	// attribution (one line, per-rank detail) when the injected fault
+	// hung the job. Empty for every other outcome. Deterministic: the
+	// report is a pure function of the program and plan, so resumed
+	// campaigns restore the identical string.
+	Deadlock string `json:"deadlock,omitempty"`
 	// Status partitions trials into completed / failed / pending.
 	Status TrialStatus `json:"status,omitempty"`
 	// Err is the last infrastructure error when Status is TrialFailed.
@@ -181,6 +187,10 @@ type CampaignResult struct {
 	Completed int
 	Failed    int
 	Pending   int
+	// Deadlocks counts completed trials whose injected fault hung the
+	// job (structural deadlock declared by the rank supervisor); each
+	// such trial carries the attribution in Trial.Deadlock.
+	Deadlocks int
 }
 
 // Proportion returns the fraction of completed trials with outcome o.
@@ -275,8 +285,9 @@ type Campaign struct {
 	Journal *Journal
 	// Progress, when non-nil, is invoked (serialized) after every
 	// finished trial with the number done so far (including restored
-	// ones), the total, and the infrastructure-failure count.
-	Progress func(done, total, failed int)
+	// ones), the total, the infrastructure-failure count, and the
+	// count of trials whose fault deadlocked the job.
+	Progress func(done, total, failed, deadlocked int)
 
 	// beforeTrial is a test hook called at the start of every trial
 	// attempt; panics it raises exercise the worker isolation path.
@@ -391,11 +402,15 @@ func (c *Campaign) RunContext(ctx context.Context, n int) (*CampaignResult, erro
 		mu         sync.Mutex
 		done       = restored
 		failed     = 0
+		deadlocked = 0
 		journalErr error
 	)
 	for _, tr := range out.Trials {
 		if tr.Status == TrialFailed {
 			failed++
+		}
+		if tr.Deadlock != "" {
+			deadlocked++
 		}
 	}
 	finish := func(t int, tr Trial) {
@@ -405,13 +420,16 @@ func (c *Campaign) RunContext(ctx context.Context, n int) (*CampaignResult, erro
 		if tr.Status == TrialFailed {
 			failed++
 		}
+		if tr.Deadlock != "" {
+			deadlocked++
+		}
 		if c.Journal != nil {
 			if err := c.Journal.record(t, tr); err != nil && journalErr == nil {
 				journalErr = err
 			}
 		}
 		if c.Progress != nil {
-			c.Progress(done, n, failed)
+			c.Progress(done, n, failed, deadlocked)
 		}
 	}
 
@@ -451,6 +469,9 @@ feed:
 		case TrialCompleted:
 			out.Completed++
 			out.Counts[out.Trials[t].Outcome]++
+			if out.Trials[t].Deadlock != "" {
+				out.Deadlocks++
+			}
 		case TrialFailed:
 			out.Failed++
 			errs = append(errs, fmt.Errorf("fault: trial %d failed after %d attempts: %s",
@@ -534,18 +555,28 @@ func trialFromResult(plan interp.FaultPlan, golden, res *interp.Result, verify V
 	switch {
 	case res.Trap == interp.TrapCancelled:
 		return Trial{}, errCancelled
+	case res.Trap == interp.TrapWatchdog:
+		// The defense-in-depth wall-clock watchdog fired. Genuine
+		// deadlocks are detected structurally (TrapDeadlock), so this
+		// is a harness malfunction or host overload: retry, never
+		// classify.
+		return Trial{}, fmt.Errorf("infrastructure watchdog expired (%s)", res.TrapMsg)
 	case !res.Injected && res.Trap == interp.TrapNone:
 		return Trial{}, fmt.Errorf("did not inject (index %d never reached)", plan.Index)
 	case !res.Injected:
 		return Trial{}, fmt.Errorf("pre-injection trap %v (%s)", res.Trap, res.TrapMsg)
 	}
-	return Trial{
+	tr := Trial{
 		Site:    res.InjectedSite,
 		Bit:     plan.Bit,
 		Index:   plan.Index,
 		Outcome: Classify(golden, res, verify),
 		Latency: res.InjectedRankDyn - res.InjectedAt,
-	}, nil
+	}
+	if res.Trap == interp.TrapDeadlock && res.Deadlock != nil {
+		tr.Deadlock = res.Deadlock.Summary()
+	}
+	return tr, nil
 }
 
 // Golden runs the program fault-free and returns the result.

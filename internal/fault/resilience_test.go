@@ -141,7 +141,7 @@ func TestCampaignCancelThenResumeBitIdentical(t *testing.T) {
 	defer cancel()
 	c1 := &Campaign{
 		Prog: p, Verify: verify, Seed: 21, Workers: 2, Journal: j1,
-		Progress: func(done, total, failed int) {
+		Progress: func(done, total, failed, deadlocked int) {
 			if done >= 10 {
 				cancel()
 			}

@@ -57,8 +57,11 @@ func main() {
 	}
 }
 
-// A receive blocked on a message that never arrives must unblock on
-// cancellation instead of waiting out the deadlock timeout.
+// A receive blocked on a message that is still (very) far away must
+// unblock on cancellation. Rank 1 busy-computes a long finite loop
+// before sending, so rank 0's recv is blocked-but-not-deadlocked (a
+// rank is still running, so the supervisor must NOT declare deadlock)
+// when the cancel lands.
 func TestRunContextCancelUnblocksRecv(t *testing.T) {
 	p := compileSci(t, `
 func main() {
@@ -66,6 +69,12 @@ func main() {
 	if (rank == 0) {
 		var got int = mpi_recv_i64(1, 5);
 		out_i64(0, got);
+	} else {
+		var s int = 0;
+		for (var i int = 0; i < 2000000000; i = i + 1) {
+			s = s + i % 7;
+		}
+		mpi_send_i64(0, 5, s);
 	}
 }
 `)
@@ -74,8 +83,11 @@ func main() {
 		time.Sleep(20 * time.Millisecond)
 		cancel()
 	}()
-	res := RunContext(ctx, p, Config{Ranks: 2, RecvTimeout: time.Hour})
+	res := RunContext(ctx, p, Config{Ranks: 2, Watchdog: time.Hour})
 	if res.Trap != TrapCancelled {
 		t.Fatalf("trap = %v (%s), want TrapCancelled", res.Trap, res.TrapMsg)
+	}
+	if res.Deadlock != nil {
+		t.Fatalf("supervisor declared deadlock %v while a rank was still running", res.Deadlock)
 	}
 }

@@ -98,6 +98,13 @@ const maxCallDepth = 4096
 
 // cancelPollPeriod is how many executed instructions pass between
 // cancellation polls (power of two; the poll is a non-blocking select).
+// Both loops poll only cancel — an infrastructure signal — and
+// deliberately never the job-abort channel: a compute-bound rank runs
+// on until it blocks in an MPI operation before observing an abort,
+// keeping
+// executed counts a pure function of the program rather than of how
+// quickly a peer's trap propagated (the supervisor makes the same
+// determinism argument for blocked operations; see supervisor.go).
 const cancelPollPeriod = 4096
 
 // run executes @main on this rank and returns the trap (TrapNone on

@@ -11,6 +11,14 @@ import (
 // reserved system tags, mirroring a tree-less gather+broadcast
 // implementation. If any rank traps, the job aborts (the paper's §4.4.1
 // relies on exactly this MPI default).
+//
+// Blocked operations are resolved in a FIXED priority order — message
+// delivery, structural deadlock, job abort, cancellation, watchdog —
+// never by Go's randomized select. Delivery outranking abort means a
+// live rank always drains whatever progress is available before it
+// observes the teardown, which keeps per-rank executed counts and
+// outputs deterministic; deadlock is declared structurally by the rank
+// supervisor (supervisor.go), never by a timer.
 type comm struct {
 	size  int
 	boxes [][]chan message // boxes[src][dst]
@@ -18,9 +26,14 @@ type comm struct {
 	// cancel, when non-nil, is the embedding context's Done channel;
 	// blocked MPI operations wake on it with TrapCancelled.
 	cancel <-chan struct{}
-	// recvTimeout bounds a blocking receive; expiry means the ranks
-	// have deadlocked (possible only under fault injection).
-	recvTimeout time.Duration
+	// watchdog bounds the wall-clock blocking of one MPI operation as
+	// defense in depth against supervisor bugs. Its expiry raises
+	// TrapWatchdog — an infrastructure error, never a modeled outcome:
+	// genuine deadlocks are detected structurally and instantly.
+	watchdog time.Duration
+	// sup is the rank supervisor: per-rank state tracking and
+	// structural deadlock declaration.
+	sup *supervisor
 }
 
 type message struct {
@@ -38,8 +51,8 @@ const (
 	tagResult int64 = -2
 )
 
-func newComm(size int, recvTimeout time.Duration, cancel <-chan struct{}) *comm {
-	c := &comm{size: size, done: make(chan struct{}), cancel: cancel, recvTimeout: recvTimeout}
+func newComm(size int, watchdog time.Duration, cancel <-chan struct{}) *comm {
+	c := &comm{size: size, done: make(chan struct{}), cancel: cancel, watchdog: watchdog}
 	c.boxes = make([][]chan message, size)
 	for s := 0; s < size; s++ {
 		c.boxes[s] = make([]chan message, size)
@@ -47,6 +60,7 @@ func newComm(size int, recvTimeout time.Duration, cancel <-chan struct{}) *comm 
 			c.boxes[s][d] = make(chan message, 4096)
 		}
 	}
+	c.sup = newSupervisor(c, size)
 	return c
 }
 
@@ -66,25 +80,51 @@ func (c *comm) checkPeer(r *rank, peer int64) int {
 	return int(peer)
 }
 
-// send delivers data to dst with an eager (buffered) protocol.
+// send delivers data to dst with an eager (buffered) protocol. The
+// non-blocking fast path gives delivery priority over every teardown
+// condition; a full mailbox takes the supervised blocked path.
 func (c *comm) send(r *rank, dst, tag int64, data []Val) {
 	d := c.checkPeer(r, dst)
+	box := c.boxes[r.id][d]
+	m := message{tag: tag, data: data}
 	select {
-	case c.boxes[r.id][d] <- message{tag: tag, data: data}:
-	case <-c.done:
-		panic(trapPanic{TrapAbort, "job aborted"})
+	case box <- m:
+		c.sup.sent(r.id, d)
+		return
 	default:
-		// Mailbox full: block with abort/cancel/deadlock detection.
-		t := time.NewTimer(c.recvTimeout)
-		defer t.Stop()
+	}
+	c.blockedSend(r, box, d, m)
+}
+
+// blockedSend parks a send whose mailbox is full under supervision.
+func (c *comm) blockedSend(r *rank, box chan message, peer int, m message) {
+	s := c.sup
+	s.block(r.id, opSend, peer, m.tag, r.executed)
+	what := fmt.Sprintf("send to %d tag %d blocked (mailbox full)", peer, m.tag)
+	wd := time.NewTimer(c.watchdog)
+	defer wd.Stop()
+	expired := false
+	for {
+		// Fixed priority: delivery first, then the terminal conditions.
 		select {
-		case c.boxes[r.id][d] <- message{tag: tag, data: data}:
+		case box <- m:
+			s.resumeSend(r.id, peer)
+			return
+		default:
+		}
+		c.checkTerminal(r, expired, what)
+		// Nothing is ready: park until any event, then re-resolve in
+		// priority order (Go's select picks randomly when several cases
+		// are ready; the loop re-check imposes the fixed order).
+		select {
+		case box <- m:
+			s.resumeSend(r.id, peer)
+			return
+		case <-s.deadlocked:
 		case <-c.done:
-			panic(trapPanic{TrapAbort, "job aborted"})
 		case <-c.cancel:
-			panic(trapPanic{TrapCancelled, "execution cancelled"})
-		case <-t.C:
-			panic(trapPanic{TrapDeadlock, "send blocked"})
+		case <-wd.C:
+			expired = true
 		}
 	}
 }
@@ -93,26 +133,14 @@ func (c *comm) send(r *rank, dst, tag int64, data []Val) {
 // and length must match (a mismatch is a runtime error, which becomes a
 // visible symptom).
 func (c *comm) recv(r *rank, src, tag int64, n int64) []Val {
-	s := c.checkPeer(r, src)
+	sp := c.checkPeer(r, src)
+	box := c.boxes[sp][r.id]
 	var m message
 	select {
-	case m = <-c.boxes[s][r.id]:
-	case <-c.done:
-		panic(trapPanic{TrapAbort, "job aborted"})
+	case m = <-box:
+		c.sup.received(sp, r.id)
 	default:
-		t := time.NewTimer(c.recvTimeout)
-		select {
-		case m = <-c.boxes[s][r.id]:
-			t.Stop()
-		case <-c.done:
-			t.Stop()
-			panic(trapPanic{TrapAbort, "job aborted"})
-		case <-c.cancel:
-			t.Stop()
-			panic(trapPanic{TrapCancelled, "execution cancelled"})
-		case <-t.C:
-			panic(trapPanic{TrapDeadlock, "recv blocked"})
-		}
+		m = c.blockedRecv(r, box, sp, tag)
 	}
 	if m.tag != tag {
 		panic(trapPanic{TrapAbort, fmt.Sprintf("MPI tag mismatch: want %d, got %d", tag, m.tag)})
@@ -121,6 +149,71 @@ func (c *comm) recv(r *rank, src, tag int64, n int64) []Val {
 		panic(trapPanic{TrapAbort, fmt.Sprintf("MPI length mismatch: want %d, got %d", n, len(m.data))})
 	}
 	return m.data
+}
+
+// blockedRecv parks a receive whose mailbox is empty under supervision.
+func (c *comm) blockedRecv(r *rank, box chan message, peer int, tag int64) message {
+	s := c.sup
+	s.block(r.id, opRecv, peer, tag, r.executed)
+	what := fmt.Sprintf("recv from %d tag %d blocked", peer, tag)
+	wd := time.NewTimer(c.watchdog)
+	defer wd.Stop()
+	expired := false
+	for {
+		select {
+		case m := <-box:
+			s.resumeRecv(r.id, peer)
+			return m
+		default:
+		}
+		c.checkTerminal(r, expired, what)
+		select {
+		case m := <-box:
+			s.resumeRecv(r.id, peer)
+			return m
+		case <-s.deadlocked:
+		case <-c.done:
+		case <-c.cancel:
+		case <-wd.C:
+			expired = true
+		}
+	}
+}
+
+// checkTerminal raises the trap for a blocked operation's terminal
+// conditions in the fixed priority order — structural deadlock, job
+// abort, cancellation, watchdog — after the caller has already given
+// message delivery its chance. It returns normally when the operation
+// should keep blocking. Each panic path marks the rank's terminal state
+// with the supervisor first, so a rank unwinding on an infrastructure
+// condition (cancel, watchdog) can never be mistaken for a quiescent
+// blocked rank by a later deadlock evaluation.
+func (c *comm) checkTerminal(r *rank, expired bool, what string) {
+	s := c.sup
+	select {
+	case <-s.deadlocked:
+		s.finish(r.id, TrapDeadlock)
+		panic(trapPanic{TrapDeadlock, "structural deadlock: " + what})
+	default:
+	}
+	select {
+	case <-c.done:
+		s.finish(r.id, TrapAbort)
+		panic(trapPanic{TrapAbort, "job aborted"})
+	default:
+	}
+	if c.cancel != nil {
+		select {
+		case <-c.cancel:
+			s.finish(r.id, TrapCancelled)
+			panic(trapPanic{TrapCancelled, "execution cancelled"})
+		default:
+		}
+	}
+	if expired {
+		s.finish(r.id, TrapWatchdog)
+		panic(trapPanic{TrapWatchdog, fmt.Sprintf("infrastructure watchdog expired after %v: %s", c.watchdog, what)})
+	}
 }
 
 // barrier blocks until every rank arrives.

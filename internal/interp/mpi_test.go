@@ -148,8 +148,10 @@ func main() {
 }
 
 func TestMPIDeadlockDetected(t *testing.T) {
-	// Both ranks receive first: classic deadlock; the watchdog must
-	// fire rather than hang the test.
+	// Both ranks receive first: classic deadlock. Detection is
+	// structural (the rank supervisor declares it the instant both
+	// ranks are blocked), so it must be instant even with an
+	// effectively infinite watchdog.
 	p := compileSci(t, `
 func main() {
 	var rank int = mpi_rank();
@@ -159,12 +161,27 @@ func main() {
 }
 `)
 	start := time.Now()
-	res := Run(p, Config{Ranks: 2, RecvTimeout: 200 * time.Millisecond})
-	if res.Trap != TrapDeadlock && res.Trap != TrapAbort {
+	res := Run(p, Config{Ranks: 2, Watchdog: time.Hour})
+	if res.Trap != TrapDeadlock {
 		t.Fatalf("trap = %v, want deadlock", res.Trap)
 	}
-	if time.Since(start) > 5*time.Second {
-		t.Fatal("watchdog too slow")
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("structural detection took %v — it must not wait on any timer", elapsed)
+	}
+	rep := res.Deadlock
+	if rep == nil {
+		t.Fatal("deadlock declared but Result.Deadlock is nil")
+	}
+	if len(rep.Blocked) != 2 || len(rep.Exited) != 0 {
+		t.Fatalf("report = %+v, want both ranks blocked, none exited", rep)
+	}
+	for i, b := range rep.Blocked {
+		if b.Rank != i || b.Op != "recv" || b.Peer != 1-i || b.Tag != 1 {
+			t.Fatalf("blocked[%d] = %+v, want rank %d recv from %d tag 1", i, b, i, 1-i)
+		}
+	}
+	if res.TrapRank != 0 {
+		t.Fatalf("trap rank = %d, want deterministic lowest blocked rank 0", res.TrapRank)
 	}
 }
 
@@ -184,7 +201,7 @@ func main() {
 	}
 }
 `)
-	res := Run(p, Config{Ranks: 2, RecvTimeout: 5 * time.Second})
+	res := Run(p, Config{Ranks: 2, Watchdog: 5 * time.Second})
 	if res.Trap != TrapDivZero {
 		t.Fatalf("trap = %v (rank %d), want div-by-zero from rank 1", res.Trap, res.TrapRank)
 	}

@@ -37,8 +37,13 @@ type Config struct {
 	Fault *FaultPlan
 	// CountSites enables per-site dynamic instruction counting.
 	CountSites bool
-	// RecvTimeout bounds blocked MPI operations (default 10s).
-	RecvTimeout time.Duration
+	// Watchdog bounds the wall-clock blocking of one MPI operation as
+	// defense in depth (default 60s). Deadlocks are detected
+	// structurally and instantly by the rank supervisor; the watchdog
+	// only fires on supervisor bugs or pathological host overload, and
+	// its TrapWatchdog is an infrastructure error, never a modeled
+	// outcome.
+	Watchdog time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -51,8 +56,8 @@ func (c Config) withDefaults() Config {
 	if c.StackBytes <= 0 {
 		c.StackBytes = 1 << 20
 	}
-	if c.RecvTimeout <= 0 {
-		c.RecvTimeout = 10 * time.Second
+	if c.Watchdog <= 0 {
+		c.Watchdog = 60 * time.Second
 	}
 	return c
 }
@@ -60,10 +65,19 @@ func (c Config) withDefaults() Config {
 // Result reports the outcome of a job execution.
 type Result struct {
 	// Trap is the first abnormal termination observed across ranks
-	// (TrapNone for a clean run), with the rank and message.
+	// (TrapNone for a clean run), with the rank and message. For
+	// TrapDeadlock the fields are derived deterministically from
+	// Deadlock (lowest blocked rank, report summary).
 	Trap     Trap
 	TrapRank int
 	TrapMsg  string
+
+	// Deadlock is the rank supervisor's structural-deadlock
+	// attribution, non-nil iff deadlock was declared. Its content is a
+	// pure function of the program and configuration (no wall-clock
+	// value enters), so it is bit-identical across runs, worker counts
+	// and checkpoint/resume.
+	Deadlock *DeadlockReport
 
 	// Injected reports whether the fault plan actually fired, on which
 	// static site, and after how many executed instructions on the
@@ -110,7 +124,7 @@ func Run(p *Program, cfg Config) *Result {
 func RunContext(ctx context.Context, p *Program, cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	cancel := ctx.Done()
-	c := newComm(cfg.Ranks, cfg.RecvTimeout, cancel)
+	c := newComm(cfg.Ranks, cfg.Watchdog, cancel)
 	ranks := make([]*rank, cfg.Ranks)
 	for i := range ranks {
 		r := &rank{
@@ -143,11 +157,6 @@ func RunContext(ctx context.Context, p *Program, cfg Config) *Result {
 		ranks[i] = r
 	}
 
-	type rankDone struct {
-		trap Trap
-		msg  string
-	}
-	outs := make([]rankDone, cfg.Ranks)
 	var mu sync.Mutex
 	res := &Result{InjectedSite: -1, TrapRank: -1}
 
@@ -157,7 +166,11 @@ func RunContext(ctx context.Context, p *Program, cfg Config) *Result {
 		go func(i int) {
 			defer wg.Done()
 			trap, msg := ranks[i].run()
-			outs[i] = rankDone{trap, msg}
+			// Tell the supervisor this rank terminated (idempotent —
+			// blocked ops mark their own trap before unwinding). A
+			// clean exit may complete the structural-deadlock
+			// condition for still-blocked peers.
+			c.sup.finish(i, trap)
 			if trap != TrapNone {
 				mu.Lock()
 				if res.Trap == TrapNone {
@@ -169,6 +182,18 @@ func RunContext(ctx context.Context, p *Program, cfg Config) *Result {
 		}(i)
 	}
 	wg.Wait()
+
+	// On deadlock, every blocked rank panicked TrapDeadlock
+	// concurrently and the first-recorded one won the race above;
+	// override the attribution deterministically from the report (the
+	// report itself is the unique final quiescent configuration).
+	if rep := c.sup.Report(); rep != nil {
+		res.Deadlock = rep
+		if res.Trap == TrapDeadlock {
+			res.TrapRank = rep.Blocked[0].Rank
+			res.TrapMsg = rep.Summary()
+		}
+	}
 
 	// Secondary aborts ("job aborted") on other ranks are consequences
 	// of the primary trap already recorded.

@@ -1,0 +1,319 @@
+package interp
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// This file implements the rank supervisor: deterministic, structural
+// deadlock detection for the simulated MPI runtime. The paper's §4.4.1
+// relies on MPI's abort-propagation default — any rank failure becomes
+// a job-level symptom — and a hang is exactly the failure mode that
+// does NOT produce a local trap. Deciding "these ranks are hung" with a
+// wall-clock timer makes the modeled TrapDeadlock outcome depend on
+// machine load, which violates the bit-identical-resume and
+// worker-invariance invariants every campaign layer builds on. The
+// supervisor instead tracks each rank's state and declares deadlock the
+// instant the job is provably stuck, with full per-rank attribution.
+
+// rankPhase is a rank's position in the supervision state machine:
+//
+//	running ──block──▶ blocked ──resume──▶ running
+//	running/blocked ──finish──▶ exited | trapped   (terminal)
+type rankPhase uint8
+
+const (
+	phaseRunning rankPhase = iota
+	phaseBlocked
+	phaseExited
+	phaseTrapped
+)
+
+// opKind classifies the MPI operation a rank is blocked in.
+type opKind uint8
+
+const (
+	opSend opKind = iota
+	opRecv
+)
+
+func (k opKind) String() string {
+	if k == opSend {
+		return "send"
+	}
+	return "recv"
+}
+
+// pendingOp describes the operation a blocked rank is parked on.
+type pendingOp struct {
+	kind     opKind
+	peer     int
+	tag      int64
+	executed int64 // rank's dynamic instruction count at block time
+}
+
+// RankBlock attributes one blocked rank inside a DeadlockReport.
+type RankBlock struct {
+	// Rank is the blocked rank's id.
+	Rank int `json:"rank"`
+	// Op is the blocked operation kind ("send" or "recv").
+	Op string `json:"op"`
+	// Peer is the operation's partner rank; Tag its message tag.
+	Peer int   `json:"peer"`
+	Tag  int64 `json:"tag"`
+	// MailboxFull marks a send parked on a full mailbox (the eager
+	// buffer to Peer is exhausted and no one drains it).
+	MailboxFull bool `json:"mailbox_full,omitempty"`
+	// Executed is the rank's dynamic instruction count when it blocked
+	// — deterministic, so reports are bit-identical across runs.
+	Executed int64 `json:"executed"`
+}
+
+// String renders one line of attribution, e.g.
+// "rank 2: recv from 0 tag 5 after 1042 instrs".
+func (b RankBlock) String() string {
+	dir := "from"
+	if b.Op == "send" {
+		dir = "to"
+	}
+	s := fmt.Sprintf("rank %d: %s %s %d tag %d after %d instrs", b.Rank, b.Op, dir, b.Peer, b.Tag, b.Executed)
+	if b.MailboxFull {
+		s += " (mailbox full)"
+	}
+	return s
+}
+
+// DeadlockReport is the structural-deadlock attribution produced by the
+// rank supervisor: every blocked rank with its pending operation, plus
+// the ranks that exited cleanly while peers still waited on them. Its
+// content is a pure function of the program and configuration — no
+// wall-clock value enters — so it is bit-identical across runs, worker
+// counts, and checkpoint/resume.
+type DeadlockReport struct {
+	Blocked []RankBlock `json:"blocked"`
+	Exited  []int       `json:"exited,omitempty"`
+}
+
+// Summary renders the report as a single line (journal- and
+// log-friendly), preserving the per-rank attribution.
+func (d *DeadlockReport) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "structural deadlock: %d rank(s) blocked", len(d.Blocked))
+	if len(d.Exited) > 0 {
+		fmt.Fprintf(&sb, ", %d exited", len(d.Exited))
+	}
+	for i, b := range d.Blocked {
+		if i == 0 {
+			sb.WriteString(" [")
+		} else {
+			sb.WriteString("; ")
+		}
+		sb.WriteString(b.String())
+	}
+	if len(d.Blocked) > 0 {
+		sb.WriteString("]")
+	}
+	return sb.String()
+}
+
+// String renders a multi-line human-readable report (the CLI format).
+func (d *DeadlockReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "deadlock report: %d rank(s) blocked, no operation can match\n", len(d.Blocked))
+	for _, b := range d.Blocked {
+		fmt.Fprintf(&sb, "  %s\n", b.String())
+	}
+	for _, r := range d.Exited {
+		fmt.Fprintf(&sb, "  rank %d: exited cleanly\n", r)
+	}
+	return sb.String()
+}
+
+// supervisor tracks every rank's phase and pending operation and
+// declares deadlock structurally: the instant no rank is running, at
+// least one is blocked, no rank has trapped, and no pending operation
+// can make progress. Every state transition that can complete the
+// quiescence condition re-evaluates it, so detection is immediate (no
+// timer is involved) and the declared configuration is the job's unique
+// final quiescent state — which is what makes the report deterministic.
+type supervisor struct {
+	c *comm
+	// deadlocked is closed exactly once, when deadlock is declared;
+	// blocked operations select on it.
+	deadlocked chan struct{}
+
+	mu      sync.Mutex
+	phase   []rankPhase
+	ops     []pendingOp
+	running int
+	trapped bool // a rank trapped: the abort path owns the outcome
+	report  *DeadlockReport
+	// inflight[s][d] counts messages sent from s to d and not yet
+	// received. The supervisor owns this accounting rather than
+	// reading channel lengths because Go hands a message directly to
+	// a parked receiver, bypassing the buffer: len(box) can read 0
+	// while a delivery is in flight to a rank that has not yet
+	// resumed, which would make a length-based progress check declare
+	// a false deadlock. Updates are mutex-protected and the blocked
+	// paths fold them into the same critical section as resume, so a
+	// woken-but-not-yet-resumed rank always still appears progressable
+	// to evaluate (see the soundness note there).
+	inflight [][]int
+}
+
+func newSupervisor(c *comm, size int) *supervisor {
+	s := &supervisor{
+		c:          c,
+		deadlocked: make(chan struct{}),
+		phase:      make([]rankPhase, size),
+		ops:        make([]pendingOp, size),
+		running:    size,
+		inflight:   make([][]int, size),
+	}
+	for i := range s.inflight {
+		s.inflight[i] = make([]int, size)
+	}
+	return s
+}
+
+// sent records a fast-path (non-blocked) message delivery from src to
+// dst. No re-evaluation: the sender is running, so the job is not
+// quiescent.
+func (s *supervisor) sent(src, dst int) {
+	s.mu.Lock()
+	s.inflight[src][dst]++
+	s.mu.Unlock()
+}
+
+// received records a fast-path (non-blocked) message consumption.
+func (s *supervisor) received(src, dst int) {
+	s.mu.Lock()
+	s.inflight[src][dst]--
+	s.mu.Unlock()
+}
+
+// block records that a rank is about to park on an MPI operation and
+// re-evaluates the deadlock condition.
+func (s *supervisor) block(rank int, kind opKind, peer int, tag, executed int64) {
+	s.mu.Lock()
+	s.phase[rank] = phaseBlocked
+	s.ops[rank] = pendingOp{kind: kind, peer: peer, tag: tag, executed: executed}
+	s.running--
+	s.evaluate()
+	s.mu.Unlock()
+}
+
+// resumeSend records that a blocked rank's send completed: the message
+// count and the phase change are one atomic step, so evaluate never
+// observes a delivered-but-unaccounted message.
+func (s *supervisor) resumeSend(rank, peer int) {
+	s.mu.Lock()
+	s.inflight[rank][peer]++
+	s.phase[rank] = phaseRunning
+	s.running++
+	s.mu.Unlock()
+}
+
+// resumeRecv records that a blocked rank's receive completed.
+func (s *supervisor) resumeRecv(rank, peer int) {
+	s.mu.Lock()
+	s.inflight[peer][rank]--
+	s.phase[rank] = phaseRunning
+	s.running++
+	s.mu.Unlock()
+}
+
+// finish records a rank's termination: a clean exit re-evaluates the
+// deadlock condition (peers may now be provably stuck waiting on the
+// exited rank); a trap suppresses any future declaration — the abort
+// path wakes the blocked peers and the primary trap is the outcome.
+// finish is idempotent: blocked operations mark their own trap before
+// unwinding, and the run loop marks every rank again once its goroutine
+// returns.
+func (s *supervisor) finish(rank int, trap Trap) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.phase[rank] {
+	case phaseExited, phaseTrapped:
+		return
+	case phaseRunning:
+		s.running--
+	}
+	if trap == TrapNone {
+		s.phase[rank] = phaseExited
+		s.evaluate()
+		return
+	}
+	s.phase[rank] = phaseTrapped
+	s.trapped = true
+}
+
+// Report returns the deadlock attribution, or nil if no deadlock was
+// declared.
+func (s *supervisor) Report() *DeadlockReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.report
+}
+
+// evaluate declares deadlock iff the job is structurally stuck. Called
+// with mu held on every transition that can complete quiescence.
+//
+// Soundness (no false declaration): a rank whose blocked operation has
+// completed at the channel but has not yet resumed always still looks
+// progressable here — a woken receiver's in-hand message is still
+// counted in inflight (decrement happens atomically with resume), and
+// a woken sender's consumed buffer slot is not yet counted (increment
+// happens atomically with resume), so its own inflight < cap. Fast-path
+// ops are performed by running ranks, and running > 0 short-circuits.
+//
+// Completeness: when the job is truly quiescent (every rank parked or
+// terminated, no wakes pending) inflight is exact, so the final
+// transition into that state — which always runs evaluate — declares.
+func (s *supervisor) evaluate() {
+	if s.report != nil || s.trapped || s.running > 0 {
+		return
+	}
+	blocked := 0
+	for r, ph := range s.phase {
+		if ph != phaseBlocked {
+			continue
+		}
+		blocked++
+		op := s.ops[r]
+		switch op.kind {
+		case opSend:
+			// A parked send completes iff buffer space exists (a recv
+			// drained the mailbox after the send parked).
+			if s.inflight[r][op.peer] < cap(s.c.boxes[r][op.peer]) {
+				return
+			}
+		case opRecv:
+			// A parked recv completes iff a message is in flight to it
+			// (buffered, or already handed off by the runtime).
+			if s.inflight[op.peer][r] > 0 {
+				return
+			}
+		}
+	}
+	if blocked == 0 {
+		return // every rank exited cleanly: normal termination
+	}
+	rep := &DeadlockReport{}
+	for r, ph := range s.phase {
+		switch ph {
+		case phaseBlocked:
+			op := s.ops[r]
+			rep.Blocked = append(rep.Blocked, RankBlock{
+				Rank: r, Op: op.kind.String(), Peer: op.peer, Tag: op.tag,
+				MailboxFull: op.kind == opSend,
+				Executed:    op.executed,
+			})
+		case phaseExited:
+			rep.Exited = append(rep.Exited, r)
+		}
+	}
+	s.report = rep
+	close(s.deadlocked)
+}

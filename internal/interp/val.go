@@ -104,14 +104,23 @@ const (
 	// TrapAbort is an explicit abort (failed runtime assertion, bad
 	// builtin argument, invalid MPI destination, ...).
 	TrapAbort
-	// TrapDeadlock is reported by the MPI watchdog when ranks stop
-	// making progress.
+	// TrapDeadlock is declared structurally by the rank supervisor
+	// (supervisor.go): every non-exited rank is blocked in an MPI
+	// operation and no pending operation can match. No wall-clock
+	// value is involved, so the outcome is deterministic.
 	TrapDeadlock
 	// TrapCancelled means the embedding Go context was cancelled (or
 	// its deadline expired) while the job ran. It is an infrastructure
 	// condition of the harness, not a modeled fault outcome: campaign
 	// layers must treat it as "trial not executed", never as a symptom.
 	TrapCancelled
+	// TrapWatchdog means the defense-in-depth wall-clock watchdog on a
+	// blocked MPI operation expired. Like TrapCancelled it is an
+	// infrastructure condition — genuine deadlocks are detected
+	// structurally and instantly, so an expiry indicates a supervisor
+	// bug or a pathologically overloaded host, and campaign layers
+	// must retry the trial, never classify it.
+	TrapWatchdog
 )
 
 var trapNames = map[Trap]string{
@@ -120,6 +129,7 @@ var trapNames = map[Trap]string{
 	TrapStackOverflow: "stack-overflow", TrapOOM: "out-of-memory",
 	TrapBudget: "instruction-budget (hang)", TrapDetected: "detected-by-duplication",
 	TrapAbort: "abort", TrapDeadlock: "deadlock", TrapCancelled: "cancelled",
+	TrapWatchdog: "watchdog (infrastructure)",
 }
 
 // String names the trap.
@@ -135,7 +145,7 @@ func (t Trap) String() string {
 // as opposed to a duplication detection.
 func (t Trap) IsSymptom() bool {
 	switch t {
-	case TrapNone, TrapDetected, TrapCancelled:
+	case TrapNone, TrapDetected, TrapCancelled, TrapWatchdog:
 		return false
 	}
 	return true

@@ -87,13 +87,16 @@ func TestFlipBitChangesValue(t *testing.T) {
 }
 
 func TestTrapStrings(t *testing.T) {
-	for tr := TrapNone; tr <= TrapDeadlock; tr++ {
+	for tr := TrapNone; tr <= TrapWatchdog; tr++ {
 		if tr.String() == "" {
 			t.Errorf("trap %d has empty name", tr)
 		}
 	}
 	if TrapNone.IsSymptom() || TrapDetected.IsSymptom() {
 		t.Error("none/detected are not symptoms")
+	}
+	if TrapCancelled.IsSymptom() || TrapWatchdog.IsSymptom() {
+		t.Error("cancelled/watchdog are infrastructure conditions, not symptoms")
 	}
 	for _, tr := range []Trap{TrapOOB, TrapNull, TrapDivZero, TrapBudget, TrapDeadlock, TrapAbort, TrapOOM, TrapStackOverflow, TrapUnaligned} {
 		if !tr.IsSymptom() {
