@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet lint race ci bench bench-svm bench-all bench-smoke bench-check fuzz-smoke experiments experiments-paper examples clean
+.PHONY: build test test-short vet lint race ci bench bench-svm bench-all bench-smoke bench-check chaos-smoke fuzz-smoke experiments experiments-paper examples clean
 
 build:
 	$(GO) build ./...
@@ -43,13 +43,15 @@ race:
 	$(GO) test -race -shuffle=on -timeout=30m ./...
 
 # What CI runs (see .github/workflows/ci.yml).
-ci: lint build race bench-check
+ci: lint build race chaos-smoke bench-check
 
 # Interpreter + campaign throughput benchmarks (the perf trajectory of
 # the execution engine), recorded machine-readably in BENCH_interp.json.
 # BenchmarkDeadlockDetection records structural deadlock-detection
 # latency — the metric that replaced the former 10 s wall-clock wait.
-BENCH_INTERP = BenchmarkInterpreter|BenchmarkInterpreterInstrumented|BenchmarkCampaignThroughput|BenchmarkDeadlockDetection
+# BenchmarkShardedCampaign tracks the sharded engine's overhead floor
+# (1 shard) and its scaling configuration (one shard per core).
+BENCH_INTERP = BenchmarkInterpreter|BenchmarkInterpreterInstrumented|BenchmarkCampaignThroughput|BenchmarkShardedCampaign|BenchmarkDeadlockDetection
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_INTERP)' -benchtime=2s . \
 		| $(GO) run ./cmd/bench2json -o BENCH_interp.json
@@ -80,6 +82,13 @@ bench-smoke:
 bench-check: bench-smoke
 	$(GO) run ./cmd/benchdiff -base BENCH_interp.json bench_smoke_interp.json
 	$(GO) run ./cmd/benchdiff -base BENCH_svm.json bench_smoke_svm.json
+
+# Chaos tests for the sharded campaign engine under the race detector:
+# mid-campaign kills, torn/corrupt/deleted shard journals, and injected
+# shard panics must all converge back to the bit-identical result (see
+# internal/fault/shard/chaos_test.go).
+chaos-smoke:
+	$(GO) test -race -shuffle=on -run 'Chaos' -timeout=10m ./internal/fault/...
 
 # Short randomized-schedule fuzz of the simulated MPI runtime under
 # the race detector: random rank programs with random comm patterns

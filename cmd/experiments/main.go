@@ -10,7 +10,8 @@
 //
 //	experiments [-run all|table3|table4|table5|table6|fig5|fig6|fig7|fig8|fig9]
 //	            [-quick|-paper] [-workloads CoMD,HPCCG,...] [-trials N] [-seed S]
-//	            [-deadline D] [-max-retries N] [-progress]
+//	            [-deadline D] [-max-retries N] [-shards K] [-shard-retries N]
+//	            [-progress]
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 
 	"ipas/internal/core"
 	"ipas/internal/experiments"
+	"ipas/internal/fault"
 )
 
 func main() {
@@ -36,7 +38,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "RNG seed")
 	csv := flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget for the whole suite (0 = none)")
-	maxRetries := flag.Int("max-retries", 2, "per-trial retries after infrastructure errors")
+	maxRetries := flag.Int("max-retries", 2, "per-trial retries after infrastructure errors (0 = none)")
+	shards := flag.Int("shards", 1, "failure-isolated shards per campaign; >1 selects the sharded engine (results are bit-identical)")
+	shardRetries := flag.Int("shard-retries", 2, "quarantine retries before a sick shard's remaining trials are failed (0 = none)")
 	trainWorkers := flag.Int("train-workers", 0, "concurrent grid-search workers for SVM training (0 = GOMAXPROCS; results are identical for any count)")
 	progress := flag.Bool("progress", false, "report per-campaign progress and error summaries on stderr")
 	flag.Parse()
@@ -65,7 +69,12 @@ func main() {
 		defer cancel()
 	}
 
-	controls := &core.CampaignControls{MaxRetries: *maxRetries, TrainWorkers: *trainWorkers}
+	controls := &core.CampaignControls{
+		MaxRetries:   fault.ExplicitRetries(*maxRetries),
+		TrainWorkers: *trainWorkers,
+		Shards:       *shards,
+		ShardRetries: fault.ExplicitRetries(*shardRetries),
+	}
 	if *progress {
 		controls.Progress = newProgressReporter()
 	}

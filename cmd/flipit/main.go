@@ -9,11 +9,18 @@
 // hit infrastructure errors are retried up to -max-retries times and
 // then reported without aborting the campaign.
 //
+// With -shards K (K > 1) the campaign runs on the sharded engine: the
+// trial space splits into K failure-isolated shards on a work-stealing
+// scheduler, -journal names a directory holding one journal per shard
+// plus the canonical merged.jsonl, and a shard that panics or expires
+// its watchdog is quarantined and retried (-shard-retries) without
+// touching its siblings. Results are bit-identical to -shards 1.
+//
 // Usage:
 //
 //	flipit [-workload NAME] [-input N] [-n TRIALS] [-seed S] [-funcs]
-//	       [-journal FILE [-resume]] [-deadline D] [-max-retries N]
-//	       [-workers N] [-progress]
+//	       [-journal FILE|DIR [-resume]] [-deadline D] [-max-retries N]
+//	       [-workers N] [-shards K] [-shard-retries N] [-progress]
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"syscall"
 
 	"ipas/internal/fault"
+	"ipas/internal/fault/shard"
 	"ipas/internal/stats"
 	"ipas/internal/workloads"
 )
@@ -40,8 +48,10 @@ func main() {
 	journalPath := flag.String("journal", "", "JSONL trial journal for checkpointing (enables resume)")
 	resume := flag.Bool("resume", false, "continue a campaign from an existing non-empty -journal")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget for the campaign (0 = none)")
-	maxRetries := flag.Int("max-retries", 2, "per-trial retries after infrastructure errors")
+	maxRetries := flag.Int("max-retries", 2, "per-trial retries after infrastructure errors (0 = none)")
 	workers := flag.Int("workers", 0, "concurrent trial workers (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 1, "failure-isolated campaign shards; >1 selects the sharded engine and makes -journal a directory")
+	shardRetries := flag.Int("shard-retries", 2, "quarantine retries before a sick shard's remaining trials are failed (0 = none)")
 	progress := flag.Bool("progress", false, "report trial progress on stderr")
 	flag.Parse()
 
@@ -69,7 +79,18 @@ func main() {
 	}
 
 	var journal *fault.Journal
-	if *journalPath != "" {
+	if *journalPath != "" && *shards > 1 {
+		// Sharded: -journal is a directory; the engine opens one
+		// journal per shard and validates ownership itself. Only the
+		// resume guard lives here.
+		if entries, err := os.ReadDir(*journalPath); err == nil && len(entries) > 0 {
+			if !*resume {
+				fatal(fmt.Errorf("shard journal dir %s already holds %d files; pass -resume to continue it (or use a fresh directory)",
+					*journalPath, len(entries)))
+			}
+			fmt.Fprintf(os.Stderr, "flipit: resuming from shard journals in %s\n", *journalPath)
+		}
+	} else if *journalPath != "" {
 		journal, err = fault.OpenJournal(*journalPath)
 		if err != nil {
 			fatal(err)
@@ -92,7 +113,7 @@ func main() {
 		Config:     spec.BaseConfig(1),
 		Seed:       *seed,
 		Workers:    *workers,
-		MaxRetries: *maxRetries,
+		MaxRetries: fault.ExplicitRetries(*maxRetries),
 		Journal:    journal,
 	}
 	if *progress {
@@ -103,13 +124,23 @@ func main() {
 		}
 	}
 
-	res, err := c.RunContext(ctx, *n)
+	var res *fault.CampaignResult
+	if *shards > 1 {
+		res, err = shard.Run(ctx, c, *n, shard.Options{
+			Shards:  *shards,
+			Workers: *workers,
+			Retries: fault.ExplicitRetries(*shardRetries),
+			Dir:     *journalPath,
+		})
+	} else {
+		res, err = c.RunContext(ctx, *n)
+	}
 	if res == nil {
 		fatal(err)
 	}
 	if ctx.Err() != nil {
 		fmt.Fprintf(os.Stderr, "flipit: interrupted (%v): %d/%d trials completed\n", ctx.Err(), res.Completed, *n)
-		if journal != nil {
+		if journal != nil || (*shards > 1 && *journalPath != "") {
 			fmt.Fprintf(os.Stderr, "flipit: checkpoint saved; rerun with -journal %s -resume to continue\n", *journalPath)
 		} else {
 			fmt.Fprintln(os.Stderr, "flipit: no -journal was set, so this partial progress is lost on exit")

@@ -9,11 +9,16 @@
 // -journal DIR -resume continues from the checkpoint and produces a
 // result identical to an uninterrupted run with the same parameters.
 //
+// With -shards K (K > 1) every campaign runs on the sharded engine
+// (failure-isolated shards on a work-stealing scheduler, one journal
+// per shard under DIR/<stage>.shards/); results stay bit-identical.
+//
 // Usage:
 //
 //	ipas [-workload NAME] [-input N] [-quick|-paper] [-samples N]
 //	     [-trials N] [-topn N] [-seed S]
-//	     [-journal DIR [-resume]] [-deadline D] [-max-retries N] [-progress]
+//	     [-journal DIR [-resume]] [-deadline D] [-max-retries N]
+//	     [-shards K] [-shard-retries N] [-progress]
 package main
 
 import (
@@ -48,7 +53,9 @@ func main() {
 	journalDir := flag.String("journal", "", "checkpoint directory: one JSONL trial journal per campaign stage")
 	resume := flag.Bool("resume", false, "continue an interrupted workflow from the -journal directory")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget for the workflow (0 = none)")
-	maxRetries := flag.Int("max-retries", 2, "per-trial retries after infrastructure errors")
+	maxRetries := flag.Int("max-retries", 2, "per-trial retries after infrastructure errors (0 = none)")
+	shards := flag.Int("shards", 1, "failure-isolated shards per campaign; >1 selects the sharded engine (results are bit-identical)")
+	shardRetries := flag.Int("shard-retries", 2, "quarantine retries before a sick shard's remaining trials are failed (0 = none)")
 	trainWorkers := flag.Int("train-workers", 0, "concurrent grid-search workers for SVM training (0 = GOMAXPROCS; results are identical for any count)")
 	progress := flag.Bool("progress", false, "report campaign and training progress on stderr")
 	flag.Parse()
@@ -76,7 +83,12 @@ func main() {
 		defer cancel()
 	}
 
-	controls := &core.CampaignControls{MaxRetries: *maxRetries, TrainWorkers: *trainWorkers}
+	controls := &core.CampaignControls{
+		MaxRetries:   fault.ExplicitRetries(*maxRetries),
+		TrainWorkers: *trainWorkers,
+		Shards:       *shards,
+		ShardRetries: fault.ExplicitRetries(*shardRetries),
+	}
 	if *progress {
 		controls.Progress = func(stage string, done, total, failed, deadlocked int) {
 			if done%50 == 0 || done == total {

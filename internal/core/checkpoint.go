@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"ipas/internal/fault"
+	"ipas/internal/fault/shard"
 	"ipas/internal/svm"
 )
 
@@ -21,7 +23,16 @@ type CampaignControls struct {
 	MaxRetries   int
 	RetryBackoff time.Duration
 	// Workers bounds concurrent trials per campaign (0 = GOMAXPROCS).
+	// Under sharding it bounds scheduler workers instead.
 	Workers int
+	// Shards, when > 1, runs each campaign on the sharded engine
+	// (internal/fault/shard): the trial space splits into this many
+	// failure-isolated shards on a work-stealing scheduler. Results
+	// are bit-identical to the single-loop engine for every value.
+	Shards int
+	// ShardRetries bounds shard-level quarantine retries (0 = default;
+	// fault.NoRetries = none). Only meaningful with Shards > 1.
+	ShardRetries int
 	// TrainWorkers bounds concurrent grid-point evaluations during SVM
 	// training (0 = GOMAXPROCS). Training results are bit-identical for
 	// any worker count.
@@ -58,6 +69,37 @@ func (cc *CampaignControls) Apply(c *fault.Campaign, stage string) error {
 		c.Journal = j
 	}
 	return nil
+}
+
+// Run executes the golden run plus n injection trials of campaign c
+// under the controls: on the single-loop engine by default, or on the
+// sharded engine when Shards > 1 — per-trial semantics, results, and
+// canonical journal bytes are identical either way. Each sharded stage
+// checkpoints into its own "<stage>.shards" directory (one journal per
+// shard plus the canonical merged journal) instead of a single
+// "<stage>.jsonl" file.
+func (cc *CampaignControls) Run(ctx context.Context, c *fault.Campaign, n int, stage string) (*fault.CampaignResult, error) {
+	if cc == nil || cc.Shards <= 1 {
+		if err := cc.Apply(c, stage); err != nil {
+			return nil, err
+		}
+		return c.RunContext(ctx, n)
+	}
+	c.MaxRetries = cc.MaxRetries
+	c.RetryBackoff = cc.RetryBackoff
+	opts := shard.Options{Shards: cc.Shards, Workers: cc.Workers, Retries: cc.ShardRetries}
+	if cc.Progress != nil {
+		report := cc.Progress
+		opts.Progress = func(done, total, failed, deadlocked int) { report(stage, done, total, failed, deadlocked) }
+	}
+	if cc.Checkpoint != nil {
+		dir, err := cc.Checkpoint.ShardDir(stage)
+		if err != nil {
+			return nil, err
+		}
+		opts.Dir = dir
+	}
+	return shard.Run(ctx, c, n, opts)
 }
 
 // SearchOptions renders the controls' training knobs as grid-search
@@ -147,6 +189,27 @@ func (c *Checkpoint) Journal(stage string) (*fault.Journal, error) {
 	}
 	c.open[stage] = j
 	return j, nil
+}
+
+// ShardDir returns (creating it) the per-shard journal directory for
+// the named campaign stage, under the same resume guard as Journal: a
+// directory that already holds journals is refused unless Resume is
+// set — the shard engine's own header fingerprints then reject any
+// journal that is not this exact campaign's.
+func (c *Checkpoint) ShardDir(stage string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dir := filepath.Join(c.Dir, stageFileName(stage)+".shards")
+	if !c.Resume {
+		if entries, err := os.ReadDir(dir); err == nil && len(entries) > 0 {
+			return "", fmt.Errorf("core: shard journal dir %s already holds %d files; pass resume to continue it (or use a fresh checkpoint dir)",
+				dir, len(entries))
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("core: creating shard journal dir: %w", err)
+	}
+	return dir, nil
 }
 
 // Close closes every journal the checkpoint opened. The files remain

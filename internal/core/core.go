@@ -119,10 +119,7 @@ func CollectContext(ctx context.Context, app *App, samples int, seed int64, cc *
 		Config: app.Config,
 		Seed:   seed,
 	}
-	if err := cc.Apply(campaign, "collect"); err != nil {
-		return nil, err
-	}
-	res, err := campaign.RunContext(ctx, samples)
+	res, err := cc.Run(ctx, campaign, samples, "collect")
 	if res == nil {
 		return nil, err
 	}

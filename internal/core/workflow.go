@@ -270,10 +270,7 @@ func buildVariant(ctx context.Context, app *App, data *TrainingData, policy Poli
 		Config: app.Config,
 		Seed:   opts.Seed + int64(cfgIdx) + 7919*int64(policy),
 	}
-	if err := opts.Controls.Apply(campaign, "eval "+v.Label()); err != nil {
-		return nil, err
-	}
-	cov, err := campaign.RunContext(ctx, opts.EvalTrials)
+	cov, err := opts.Controls.Run(ctx, campaign, opts.EvalTrials, "eval "+v.Label())
 	if cov == nil {
 		return nil, fmt.Errorf("core: evaluating %s: %w", v.Label(), err)
 	}

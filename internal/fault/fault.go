@@ -269,9 +269,11 @@ type Campaign struct {
 	Workers int
 	// MaxRetries bounds how many times a trial is re-executed after an
 	// infrastructure error — a worker panic, a trap raised before the
-	// fault injected, or a plan that never fired (default 2, so up to
-	// 3 attempts). After the budget is exhausted the trial is recorded
-	// as TrialFailed instead of aborting the campaign.
+	// fault injected, or a plan that never fired. Like Workers and
+	// HangFactor, the zero value selects the default
+	// (DefaultMaxRetries, so up to 3 attempts); to request zero
+	// retries set NoRetries. After the budget is exhausted the trial
+	// is recorded as TrialFailed instead of aborting the campaign.
 	MaxRetries int
 	// RetryBackoff is the base delay before re-running a failed trial;
 	// attempt k waits RetryBackoff << (k-1), and cancellation
@@ -294,6 +296,41 @@ type Campaign struct {
 	beforeTrial func(t, attempt int)
 }
 
+// Retry sentinels for Campaign.MaxRetries (and the analogous
+// shard-level knob in internal/fault/shard). The field follows the
+// Workers/HangFactor convention — zero means "default" — which would
+// otherwise leave no way to ask for zero retries.
+const (
+	// DefaultMaxRetries is the retry budget selected by a zero
+	// MaxRetries.
+	DefaultMaxRetries = 2
+	// NoRetries requests zero retries explicitly (any negative value
+	// is treated the same; this named sentinel is the documented one).
+	NoRetries = -1
+)
+
+// ExplicitRetries converts a literal retry count — as a user states it
+// on a CLI flag, where 0 means "no retries" — into a MaxRetries field
+// value, mapping 0 (and negatives) onto NoRetries so it is not
+// silently promoted to the default.
+func ExplicitRetries(n int) int {
+	if n <= 0 {
+		return NoRetries
+	}
+	return n
+}
+
+// retries resolves the MaxRetries convention into a concrete budget.
+func retries(maxRetries int) int {
+	switch {
+	case maxRetries < 0:
+		return 0
+	case maxRetries == 0:
+		return DefaultMaxRetries
+	}
+	return maxRetries
+}
+
 // Compile compiles a module for fault injection.
 func Compile(m *ir.Module) (*interp.Program, error) {
 	return interp.Compile(m, Injectable)
@@ -309,6 +346,130 @@ func (c *Campaign) Run(n int) (*CampaignResult, error) {
 // being charged a retry.
 var errCancelled = errors.New("fault: trial cancelled")
 
+// Prepared binds a campaign to its golden run: the immutable substrate
+// every trial executes against. The single-loop engine prepares and
+// runs in one call (RunContext); sharded engines (internal/fault/shard)
+// prepare once and execute disjoint trial-index ranges concurrently,
+// which is sound because Plans is a pure function of (Seed, trial
+// index) and RunTrial touches only shared-immutable state.
+type Prepared struct {
+	c *Campaign
+	// Golden is the fault-free reference result.
+	Golden *interp.Result
+	// Population is the injectable dynamic-instance count on rank 0 —
+	// the sampling population every plan draws from.
+	Population int64
+
+	budget     int64
+	maxRetries int
+	backoff    time.Duration
+}
+
+// Prepare performs the golden run and resolves the campaign's knobs,
+// returning the substrate trials execute against.
+//
+// The golden run carries no instrumentation, so it executes on the
+// interpreter's fast loop; that loop still counts injectable instances
+// (Result.Injectable) precisely because Prepare sizes the sampling
+// population from it. Armed trials run the full loop with the same
+// compile-time injectable predicate, so an Index drawn here names the
+// same dynamic instance there.
+func (c *Campaign) Prepare(ctx context.Context) (*Prepared, error) {
+	hang := c.HangFactor
+	if hang <= 0 {
+		hang = 10
+	}
+	golden := interp.RunContext(ctx, c.Prog, c.Config)
+	if golden.Trap == interp.TrapCancelled || ctx.Err() != nil {
+		return nil, fmt.Errorf("fault: golden run cancelled: %w", ctx.Err())
+	}
+	if golden.Trap != interp.TrapNone {
+		return nil, fmt.Errorf("fault: golden run trapped: %v (%s)", golden.Trap, golden.TrapMsg)
+	}
+	pop := golden.Injectable[0]
+	if pop == 0 {
+		return nil, fmt.Errorf("fault: program has no injectable dynamic instances")
+	}
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	return &Prepared{
+		c:          c,
+		Golden:     golden,
+		Population: pop,
+		budget:     golden.MaxRankDyn*hang + 1_000_000,
+		maxRetries: retries(c.MaxRetries),
+		backoff:    backoff,
+	}, nil
+}
+
+// Plans draws the campaign's first n fault plans up front so results
+// do not depend on worker scheduling — this is also what makes
+// checkpoint/resume bit-identical and sharding a pure index partition:
+// trial t's plan is a pure function of (Seed, t).
+func (p *Prepared) Plans(n int) []interp.FaultPlan {
+	rng := rand.New(rand.NewSource(p.c.Seed))
+	plans := make([]interp.FaultPlan, n)
+	for t := range plans {
+		plans[t] = interp.FaultPlan{Rank: 0, Index: rng.Int63n(p.Population), Bit: rng.Intn(64)}
+	}
+	return plans
+}
+
+// Meta fingerprints an n-trial campaign over this substrate for
+// journal validation.
+func (p *Prepared) Meta(n int) JournalMeta {
+	return JournalMeta{
+		Format: JournalFormat, Seed: p.c.Seed, Trials: n,
+		GoldenDyn: p.Golden.TotalDyn, Population: p.Population,
+	}
+}
+
+// NewResult allocates a result with one pending trial per plan.
+func (p *Prepared) NewResult(plans []interp.FaultPlan) *CampaignResult {
+	out := &CampaignResult{GoldenDyn: p.Golden.TotalDyn, Trials: make([]Trial, len(plans))}
+	for t := range out.Trials {
+		out.Trials[t] = Trial{Site: -1, Bit: plans[t].Bit, Index: plans[t].Index, Status: TrialPending}
+	}
+	return out
+}
+
+// RunTrial executes trial t under its plan with panic isolation and
+// bounded retry-with-backoff; a still-pending result means ctx was
+// cancelled. Safe for concurrent use: trials share only the immutable
+// golden result and program.
+func (p *Prepared) RunTrial(ctx context.Context, t int, plan interp.FaultPlan) Trial {
+	return p.c.runTrial(ctx, t, plan, p.Golden, p.budget, p.maxRetries, p.backoff)
+}
+
+// Finalize recomputes the status partition and outcome statistics from
+// Trials and returns the joined per-trial infrastructure errors (nil
+// when every trial completed). Engines call it once after execution
+// stops; it is idempotent.
+func (r *CampaignResult) Finalize() error {
+	r.Completed, r.Failed, r.Pending, r.Deadlocks = 0, 0, 0, 0
+	r.Counts = [NumOutcomes]int{}
+	var errs []error
+	for t := range r.Trials {
+		switch r.Trials[t].Status {
+		case TrialCompleted:
+			r.Completed++
+			r.Counts[r.Trials[t].Outcome]++
+			if r.Trials[t].Deadlock != "" {
+				r.Deadlocks++
+			}
+		case TrialFailed:
+			r.Failed++
+			errs = append(errs, fmt.Errorf("fault: trial %d failed after %d attempts: %s",
+				t, r.Trials[t].Attempts, r.Trials[t].Err))
+		case TrialPending:
+			r.Pending++
+		}
+	}
+	return errors.Join(errs...)
+}
+
 // RunContext executes the golden run plus n injection trials, honoring
 // ctx for cancellation and deadlines.
 //
@@ -322,52 +483,22 @@ var errCancelled = errors.New("fault: trial cancelled")
 //
 // A non-nil result always accounts for all n trials; inspect
 // Completed/Failed/Pending (or ErrorSummary) to see how the campaign
-// degraded.
+// degraded. For sharded, crash-tolerant execution of the same trial
+// space see internal/fault/shard.
 func (c *Campaign) RunContext(ctx context.Context, n int) (*CampaignResult, error) {
-	hang := c.HangFactor
-	if hang <= 0 {
-		hang = 10
+	p, err := c.Prepare(ctx)
+	if err != nil {
+		return nil, err
 	}
-	// The golden run carries no instrumentation, so it executes on the
-	// interpreter's fast loop; that loop still counts injectable
-	// instances (Result.Injectable) precisely because this line sizes
-	// the sampling population from it. Armed trials below run the full
-	// loop with the same compile-time injectable predicate, so Index
-	// drawn here names the same dynamic instance there.
-	golden := interp.RunContext(ctx, c.Prog, c.Config)
-	if golden.Trap == interp.TrapCancelled || ctx.Err() != nil {
-		return nil, fmt.Errorf("fault: golden run cancelled: %w", ctx.Err())
-	}
-	if golden.Trap != interp.TrapNone {
-		return nil, fmt.Errorf("fault: golden run trapped: %v (%s)", golden.Trap, golden.TrapMsg)
-	}
-	pop := golden.Injectable[0]
-	if pop == 0 {
-		return nil, fmt.Errorf("fault: program has no injectable dynamic instances")
-	}
-
-	// Draw the whole plan sequence up front so results do not depend
-	// on worker scheduling — this is also what makes checkpoint/resume
-	// bit-identical: trial t's plan is a pure function of (Seed, t).
-	rng := rand.New(rand.NewSource(c.Seed))
-	plans := make([]interp.FaultPlan, n)
-	for t := range plans {
-		plans[t] = interp.FaultPlan{Rank: 0, Index: rng.Int63n(pop), Bit: rng.Intn(64)}
-	}
-
-	out := &CampaignResult{GoldenDyn: golden.TotalDyn, Trials: make([]Trial, n)}
-	for t := range out.Trials {
-		out.Trials[t] = Trial{Site: -1, Bit: plans[t].Bit, Index: plans[t].Index, Status: TrialPending}
-	}
+	plans := p.Plans(n)
+	out := p.NewResult(plans)
 
 	// Resume: restore trials already journaled by a previous run of
 	// the same campaign (the journal header pins seed, trial count and
 	// the golden run's fingerprint, so restored plans line up).
 	restored := 0
 	if c.Journal != nil {
-		prev, err := c.Journal.begin(JournalMeta{
-			Seed: c.Seed, Trials: n, GoldenDyn: golden.TotalDyn, Population: pop,
-		})
+		prev, err := c.Journal.Begin(p.Meta(n))
 		if err != nil {
 			return nil, err
 		}
@@ -377,17 +508,6 @@ func (c *Campaign) RunContext(ctx context.Context, n int) (*CampaignResult, erro
 				restored++
 			}
 		}
-	}
-
-	maxRetries := c.MaxRetries
-	if maxRetries < 0 {
-		maxRetries = 0
-	} else if maxRetries == 0 {
-		maxRetries = 2
-	}
-	backoff := c.RetryBackoff
-	if backoff <= 0 {
-		backoff = 10 * time.Millisecond
 	}
 
 	workers := c.Workers
@@ -424,7 +544,7 @@ func (c *Campaign) RunContext(ctx context.Context, n int) (*CampaignResult, erro
 			deadlocked++
 		}
 		if c.Journal != nil {
-			if err := c.Journal.record(t, tr); err != nil && journalErr == nil {
+			if err := c.Journal.Record(t, tr); err != nil && journalErr == nil {
 				journalErr = err
 			}
 		}
@@ -440,7 +560,7 @@ func (c *Campaign) RunContext(ctx context.Context, n int) (*CampaignResult, erro
 		go func() {
 			defer wg.Done()
 			for t := range next {
-				tr := c.runTrial(ctx, t, plans[t], golden, golden.MaxRankDyn*hang+1_000_000, maxRetries, backoff)
+				tr := p.RunTrial(ctx, t, plans[t])
 				if tr.Status == TrialPending {
 					continue // cancelled mid-trial; re-run on resume
 				}
@@ -464,21 +584,8 @@ feed:
 	wg.Wait()
 
 	var errs []error
-	for t := range out.Trials {
-		switch out.Trials[t].Status {
-		case TrialCompleted:
-			out.Completed++
-			out.Counts[out.Trials[t].Outcome]++
-			if out.Trials[t].Deadlock != "" {
-				out.Deadlocks++
-			}
-		case TrialFailed:
-			out.Failed++
-			errs = append(errs, fmt.Errorf("fault: trial %d failed after %d attempts: %s",
-				t, out.Trials[t].Attempts, out.Trials[t].Err))
-		case TrialPending:
-			out.Pending++
-		}
+	if ferr := out.Finalize(); ferr != nil {
+		errs = append(errs, ferr)
 	}
 	if journalErr != nil {
 		errs = append(errs, fmt.Errorf("fault: journal write: %w", journalErr))

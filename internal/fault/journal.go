@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -25,6 +26,20 @@ type JournalMeta struct {
 	GoldenDyn int64  `json:"golden_dyn"`
 	// Population is the injectable dynamic-instance count on rank 0.
 	Population int64 `json:"population"`
+
+	// Shard header: the per-shard journals of a sharded campaign
+	// (internal/fault/shard) record which slice of the trial space
+	// they own. Shards is the total shard count, Shard this journal's
+	// index, and [ShardStart, ShardEnd) its trial-index range; Trials
+	// above stays the *whole* campaign's count, pinning the plan
+	// sequence the range indexes into. All four are zero — and
+	// omitted from the JSON, so pre-shard v1 journals parse and
+	// compare equal — in single-journal campaigns and in the merged
+	// journal.
+	Shards     int `json:"shards,omitempty"`
+	Shard      int `json:"shard,omitempty"`
+	ShardStart int `json:"shard_start,omitempty"`
+	ShardEnd   int `json:"shard_end,omitempty"`
 }
 
 // journalLine is one JSONL record: exactly one of Meta (first line) or
@@ -52,12 +67,36 @@ type Journal struct {
 	began    bool
 }
 
+// ErrJournalLocked reports that a journal file is already open in
+// another campaign (this process or another); OpenJournal wraps it.
+var ErrJournalLocked = errors.New("journal is locked by a concurrent campaign")
+
+// ErrJournalCorrupt reports structural damage beyond a torn tail — an
+// unknown format, a duplicate header, a body without a header. The
+// sharded engine treats a corrupt *shard* journal as "re-run that
+// shard"; a locked or foreign journal is never recoverable that way.
+var ErrJournalCorrupt = errors.New("journal is corrupt")
+
+// ErrCampaignMismatch reports that a journal's header pins a different
+// campaign than the one trying to drive it; Journal.Begin wraps it.
+// Callers distinguishing "foreign but valid journal" (hard error:
+// never clobber someone else's checkpoint) from "corrupt journal"
+// (recoverable: rebuild) test for it with errors.Is.
+var ErrCampaignMismatch = errors.New("journal belongs to a different campaign")
+
 // OpenJournal opens (or creates) the campaign journal at path and
-// loads every complete record already present.
+// loads every complete record already present. The file is held under
+// an exclusive advisory lock for the journal's lifetime, so two
+// concurrent campaigns can never interleave writes into one journal:
+// the second opener fails with ErrJournalLocked.
 func OpenJournal(path string) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("fault: opening journal: %w", err)
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fault: journal %s: %w (%v)", path, ErrJournalLocked, err)
 	}
 	j := &Journal{path: path, f: f, restored: map[int]Trial{}}
 	valid, err := j.load()
@@ -112,15 +151,15 @@ func (j *Journal) load() (int64, error) {
 		switch {
 		case rec.Meta != nil:
 			if rec.Meta.Format != JournalFormat {
-				return 0, fmt.Errorf("fault: journal %s: unknown format %q", j.path, rec.Meta.Format)
+				return 0, fmt.Errorf("fault: journal %s: %w: unknown format %q", j.path, ErrJournalCorrupt, rec.Meta.Format)
 			}
 			if j.meta != nil {
-				return 0, fmt.Errorf("fault: journal %s: duplicate meta header", j.path)
+				return 0, fmt.Errorf("fault: journal %s: %w: duplicate meta header", j.path, ErrJournalCorrupt)
 			}
 			j.meta = rec.Meta
 		case rec.Trial != nil:
 			if j.meta == nil {
-				return 0, fmt.Errorf("fault: journal %s: trial record before meta header", j.path)
+				return 0, fmt.Errorf("fault: journal %s: %w: trial record before meta header", j.path, ErrJournalCorrupt)
 			}
 			j.restored[rec.T] = *rec.Trial
 		}
@@ -139,11 +178,23 @@ func (j *Journal) Restored() int {
 // Path returns the journal's file path.
 func (j *Journal) Path() string { return j.path }
 
-// begin binds the journal to a campaign: a fresh journal writes the
+// Meta returns the header restored from an existing journal, or nil
+// for a fresh one (no header is written until Begin).
+func (j *Journal) Meta() *JournalMeta {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.meta == nil {
+		return nil
+	}
+	m := *j.meta
+	return &m
+}
+
+// Begin binds the journal to a campaign: a fresh journal writes the
 // meta header; an existing one verifies that it belongs to the same
-// campaign (same seed, trial count and golden-run fingerprint) and
-// hands back the restored trials.
-func (j *Journal) begin(meta JournalMeta) (map[int]Trial, error) {
+// campaign (same seed, trial count, golden-run fingerprint, and shard
+// header) and hands back the restored trials.
+func (j *Journal) Begin(meta JournalMeta) (map[int]Trial, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	meta.Format = JournalFormat
@@ -153,9 +204,10 @@ func (j *Journal) begin(meta JournalMeta) (map[int]Trial, error) {
 	if j.meta != nil {
 		if *j.meta != meta {
 			return nil, fmt.Errorf(
-				"fault: journal %s belongs to a different campaign (journal seed=%d trials=%d goldenDyn=%d pop=%d; campaign seed=%d trials=%d goldenDyn=%d pop=%d)",
-				j.path, j.meta.Seed, j.meta.Trials, j.meta.GoldenDyn, j.meta.Population,
-				meta.Seed, meta.Trials, meta.GoldenDyn, meta.Population)
+				"fault: journal %s: %w (journal seed=%d trials=%d goldenDyn=%d pop=%d shard=%d/%d; campaign seed=%d trials=%d goldenDyn=%d pop=%d shard=%d/%d)",
+				j.path, ErrCampaignMismatch,
+				j.meta.Seed, j.meta.Trials, j.meta.GoldenDyn, j.meta.Population, j.meta.Shard, j.meta.Shards,
+				meta.Seed, meta.Trials, meta.GoldenDyn, meta.Population, meta.Shard, meta.Shards)
 		}
 		j.began = true
 		return j.restored, nil
@@ -168,9 +220,9 @@ func (j *Journal) begin(meta JournalMeta) (map[int]Trial, error) {
 	return nil, nil
 }
 
-// record appends one finished trial and flushes it to the OS, so a
+// Record appends one finished trial and flushes it to the OS, so a
 // killed process loses at most the line being written.
-func (j *Journal) record(t int, tr Trial) error {
+func (j *Journal) Record(t int, tr Trial) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.w == nil {
@@ -192,6 +244,46 @@ func (j *Journal) append(rec journalLine) error {
 		return err
 	}
 	return j.w.Flush()
+}
+
+// WriteCanonical writes a complete campaign journal to path in
+// canonical form: the meta header followed by every non-pending trial
+// in trial-index order — byte-identical to the journal an
+// uninterrupted single-loop Campaign with Workers=1 writes. The write
+// is atomic (temp file + rename), so a crash mid-merge leaves either
+// the previous file or the complete new one, never a torn hybrid.
+func WriteCanonical(path string, meta JournalMeta, trials []Trial) error {
+	meta.Format = JournalFormat
+	var buf bytes.Buffer
+	write := func(rec journalLine) error {
+		data, err := json.Marshal(&rec)
+		if err != nil {
+			return err
+		}
+		buf.Write(data)
+		buf.WriteByte('\n')
+		return nil
+	}
+	if err := write(journalLine{Meta: &meta}); err != nil {
+		return fmt.Errorf("fault: writing canonical journal %s: %w", path, err)
+	}
+	for t := range trials {
+		if trials[t].Status == TrialPending {
+			continue
+		}
+		if err := write(journalLine{T: t, Trial: &trials[t]}); err != nil {
+			return fmt.Errorf("fault: writing canonical journal %s: %w", path, err)
+		}
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("fault: writing canonical journal: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fault: writing canonical journal: %w", err)
+	}
+	return nil
 }
 
 // Close flushes and closes the journal file. The journal stays on disk

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package fault
+
+import "os"
+
+// lockFile is a no-op off unix: advisory journal locking is
+// best-effort, and the header fingerprint (Journal.Begin) still
+// rejects cross-campaign mixing even without it.
+func lockFile(*os.File) error { return nil }

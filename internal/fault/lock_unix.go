@@ -1,0 +1,23 @@
+//go:build unix
+
+package fault
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockFile takes a non-blocking exclusive advisory lock on f, held
+// until the file is closed. flock locks attach to the open file
+// description, so a second OpenJournal on the same path conflicts even
+// within one process — exactly the property the journal needs: one
+// writer per file, whether the competitor is another process on a
+// shared filesystem or another campaign in this one.
+func lockFile(f *os.File) error {
+	for {
+		err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+		if err != syscall.EINTR {
+			return err
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+// scheduler is the work-stealing shard queue. Every worker owns a
+// deque seeded round-robin; a worker pops its own deque LIFO and, when
+// empty, steals the oldest entry from the fullest sibling (FIFO end),
+// so long-running shards migrate toward idle workers. Quarantined
+// shards re-enter their owner's deque after a backoff timer instead of
+// blocking a worker, which is what keeps one sick shard from poisoning
+// its siblings' throughput.
+//
+// Results never depend on which worker runs which shard — trials are
+// addressed by index and plans are pure functions of (Seed, index) —
+// so the scheduler is free to balance load arbitrarily.
+type scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	deques  [][]int // per-worker shard-index deques
+	pending int     // shards not yet terminal (queued, running, or in backoff)
+	stopped bool
+	timers  []*time.Timer
+}
+
+// newScheduler seeds `shards` shard indices round-robin across
+// `workers` deques.
+func newScheduler(workers, shards int) *scheduler {
+	s := &scheduler{deques: make([][]int, workers), pending: shards}
+	s.cond = sync.NewCond(&s.mu)
+	// Deal in reverse so each worker's LIFO pop yields its lowest
+	// shard first (cosmetic: journals and progress fill in order on an
+	// idle machine; correctness never depends on it).
+	for sh := shards - 1; sh >= 0; sh-- {
+		w := sh % workers
+		s.deques[w] = append(s.deques[w], sh)
+	}
+	return s
+}
+
+// next returns the next shard for worker w, blocking while every
+// runnable shard is elsewhere (executing or in quarantine backoff).
+// ok=false means the scheduler stopped or every shard reached a
+// terminal state.
+func (s *scheduler) next(w int) (shard int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.stopped || s.pending == 0 {
+			return 0, false
+		}
+		if d := s.deques[w]; len(d) > 0 {
+			shard = d[len(d)-1]
+			s.deques[w] = d[:len(d)-1]
+			return shard, true
+		}
+		victim, best := -1, 0
+		for v := range s.deques {
+			if v != w && len(s.deques[v]) > best {
+				victim, best = v, len(s.deques[v])
+			}
+		}
+		if victim >= 0 {
+			shard = s.deques[victim][0]
+			s.deques[victim] = s.deques[victim][1:]
+			return shard, true
+		}
+		s.cond.Wait()
+	}
+}
+
+// finish marks one shard terminal (completed, or quarantined for
+// good); when the last one lands, waiting workers drain and exit.
+func (s *scheduler) finish() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending--
+	if s.pending == 0 {
+		s.cond.Broadcast()
+	}
+}
+
+// requeue schedules a quarantined shard back onto worker w's deque
+// after the backoff delay. The worker is free the whole time — backoff
+// never occupies a scheduler slot.
+func (s *scheduler) requeue(w, shard int, delay time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return
+	}
+	t := time.AfterFunc(delay, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.stopped {
+			return
+		}
+		s.deques[w] = append(s.deques[w], shard)
+		s.cond.Broadcast()
+	})
+	s.timers = append(s.timers, t)
+}
+
+// stop aborts scheduling: waiting workers wake and exit, and pending
+// backoff timers are cancelled. Idempotent.
+func (s *scheduler) stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stopped = true
+	for _, t := range s.timers {
+		t.Stop()
+	}
+	s.timers = nil
+	s.cond.Broadcast()
+}
