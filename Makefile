@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet lint race ci bench bench-svm bench-all bench-smoke bench-check chaos-smoke fuzz-smoke experiments experiments-paper examples clean
+.PHONY: build test test-short vet lint race ci bench bench-svm bench-all bench-smoke bench-check chaos-smoke server-chaos-smoke fuzz-smoke experiments experiments-paper examples clean
 
 build:
 	$(GO) build ./...
@@ -43,7 +43,7 @@ race:
 	$(GO) test -race -shuffle=on -timeout=30m ./...
 
 # What CI runs (see .github/workflows/ci.yml).
-ci: lint build race chaos-smoke bench-check
+ci: lint build race chaos-smoke server-chaos-smoke bench-check
 
 # Interpreter + campaign throughput benchmarks (the perf trajectory of
 # the execution engine), recorded machine-readably in BENCH_interp.json.
@@ -89,6 +89,14 @@ bench-check: bench-smoke
 # internal/fault/shard/chaos_test.go).
 chaos-smoke:
 	$(GO) test -race -shuffle=on -run 'Chaos' -timeout=10m ./internal/fault/...
+
+# Chaos tests for the campaign coordinator under the race detector:
+# worker processes SIGKILLed mid-shard, dropped heartbeats, leases
+# expiring under slow workers, and a shard forced to retry exhaustion
+# must all converge to a merged journal bit-identical to a local
+# single-loop run (see internal/campaign/chaos_test.go).
+server-chaos-smoke:
+	$(GO) test -race -shuffle=on -run 'TestServerChaos' -timeout=10m ./internal/campaign
 
 # Short randomized-schedule fuzz of the simulated MPI runtime under
 # the race detector: random rank programs with random comm patterns

@@ -6,12 +6,16 @@
 // stderr together with error summaries for campaigns that degraded
 // (some trials failed infrastructure-side and were excluded).
 //
+// With -remote URL every workflow's collection campaign is dispatched
+// to a campaignd coordinator and executed by its worker fleet; the
+// remaining stages run locally. Results stay bit-identical.
+//
 // Usage:
 //
 //	experiments [-run all|table3|table4|table5|table6|fig5|fig6|fig7|fig8|fig9]
 //	            [-quick|-paper] [-workloads CoMD,HPCCG,...] [-trials N] [-seed S]
 //	            [-deadline D] [-max-retries N] [-shards K] [-shard-retries N]
-//	            [-progress]
+//	            [-watchdog D] [-remote URL] [-progress]
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"sync"
 	"syscall"
 
+	"ipas/internal/campaign"
 	"ipas/internal/core"
 	"ipas/internal/experiments"
 	"ipas/internal/fault"
@@ -41,6 +46,8 @@ func main() {
 	maxRetries := flag.Int("max-retries", 2, "per-trial retries after infrastructure errors (0 = none)")
 	shards := flag.Int("shards", 1, "failure-isolated shards per campaign; >1 selects the sharded engine (results are bit-identical)")
 	shardRetries := flag.Int("shard-retries", 2, "quarantine retries before a sick shard's remaining trials are failed (0 = none)")
+	watchdog := flag.Duration("watchdog", 0, "per-MPI-op wall-clock watchdog in every campaign (0 = interpreter default)")
+	remote := flag.String("remote", "", "campaignd coordinator URL; dispatch each workflow's collection campaign there")
 	trainWorkers := flag.Int("train-workers", 0, "concurrent grid-search workers for SVM training (0 = GOMAXPROCS; results are identical for any count)")
 	progress := flag.Bool("progress", false, "report per-campaign progress and error summaries on stderr")
 	flag.Parse()
@@ -74,6 +81,12 @@ func main() {
 		TrainWorkers: *trainWorkers,
 		Shards:       *shards,
 		ShardRetries: fault.ExplicitRetries(*shardRetries),
+		Watchdog:     *watchdog,
+	}
+	if *remote != "" {
+		// The suite scopes a per-workload RemoteSpec onto these
+		// controls (collection campaigns only; see Suite.optsFor).
+		controls.Remote = &campaign.Client{Base: *remote}
 	}
 	if *progress {
 		controls.Progress = newProgressReporter()

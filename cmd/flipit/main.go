@@ -16,11 +16,18 @@
 // its watchdog is quarantined and retried (-shard-retries) without
 // touching its siblings. Results are bit-identical to -shards 1.
 //
+// With -remote URL the campaign is submitted to a campaignd
+// coordinator instead of running in-process: the coordinator shards the
+// trial space across its ipas-worker fleet under leases and journals
+// every acked trial durably, and the result printed here is
+// bit-identical to the local run with the same seed.
+//
 // Usage:
 //
 //	flipit [-workload NAME] [-input N] [-n TRIALS] [-seed S] [-funcs]
 //	       [-journal FILE|DIR [-resume]] [-deadline D] [-max-retries N]
-//	       [-workers N] [-shards K] [-shard-retries N] [-progress]
+//	       [-workers N] [-shards K] [-shard-retries N] [-watchdog D]
+//	       [-remote URL] [-progress]
 package main
 
 import (
@@ -32,7 +39,9 @@ import (
 	"os/signal"
 	"sort"
 	"syscall"
+	"time"
 
+	"ipas/internal/campaign"
 	"ipas/internal/fault"
 	"ipas/internal/fault/shard"
 	"ipas/internal/stats"
@@ -52,6 +61,8 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent trial workers (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 1, "failure-isolated campaign shards; >1 selects the sharded engine and makes -journal a directory")
 	shardRetries := flag.Int("shard-retries", 2, "quarantine retries before a sick shard's remaining trials are failed (0 = none)")
+	watchdog := flag.Duration("watchdog", 0, "per-MPI-op wall-clock watchdog (0 = interpreter default)")
+	remote := flag.String("remote", "", "campaignd coordinator URL; submit the campaign there instead of running locally")
 	progress := flag.Bool("progress", false, "report trial progress on stderr")
 	flag.Parse()
 
@@ -76,6 +87,10 @@ func main() {
 	prog, err := fault.Compile(m)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *remote != "" && *journalPath != "" {
+		fatal(errors.New("-remote and -journal are mutually exclusive: remote campaigns journal durably on the coordinator"))
 	}
 
 	var journal *fault.Journal
@@ -107,10 +122,12 @@ func main() {
 		fatal(fmt.Errorf("-resume requires -journal"))
 	}
 
+	cfg := spec.BaseConfig(1)
+	cfg.Watchdog = *watchdog
 	c := &fault.Campaign{
 		Prog:       prog,
 		Verify:     spec.Verify,
-		Config:     spec.BaseConfig(1),
+		Config:     cfg,
 		Seed:       *seed,
 		Workers:    *workers,
 		MaxRetries: fault.ExplicitRetries(*maxRetries),
@@ -125,14 +142,29 @@ func main() {
 	}
 
 	var res *fault.CampaignResult
-	if *shards > 1 {
+	switch {
+	case *remote != "":
+		res, err = submitRemote(ctx, *remote, campaign.Spec{
+			Workload:   *name,
+			Input:      *input,
+			Trials:     *n,
+			Seed:       *seed,
+			Shards:     *shards,
+			Ranks:      1,
+			MaxRetries: fault.ExplicitRetries(*maxRetries),
+			Watchdog:   *watchdog,
+		}, *progress)
+		if err == nil && res.Failed > 0 {
+			err = errors.New(res.ErrorSummary())
+		}
+	case *shards > 1:
 		res, err = shard.Run(ctx, c, *n, shard.Options{
 			Shards:  *shards,
 			Workers: *workers,
 			Retries: fault.ExplicitRetries(*shardRetries),
 			Dir:     *journalPath,
 		})
-	} else {
+	default:
 		res, err = c.RunContext(ctx, *n)
 	}
 	if res == nil {
@@ -210,6 +242,37 @@ func main() {
 	if ctx.Err() != nil {
 		os.Exit(130)
 	}
+}
+
+// submitRemote dispatches the campaign to a campaignd coordinator and
+// polls it to completion. The coordinator's workers run the identical
+// plan sequence, so the returned result is bit-identical to a local
+// run with the same flags.
+func submitRemote(ctx context.Context, url string, spec campaign.Spec, progress bool) (*fault.CampaignResult, error) {
+	client := &campaign.Client{Base: url}
+	sub, status, err := client.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case 200:
+		fmt.Fprintf(os.Stderr, "flipit: coordinator resumed campaign %s (%d trials restored)\n", sub.ID, sub.Restored)
+	case 202:
+		fmt.Fprintf(os.Stderr, "flipit: coordinator recovered campaign %s (corrupt shard journals %v re-run)\n", sub.ID, sub.RecoveredShards)
+	default:
+		fmt.Fprintf(os.Stderr, "flipit: campaign %s submitted to %s\n", sub.ID, url)
+	}
+	var onProgress func(campaign.Progress)
+	if progress {
+		last := -1
+		onProgress = func(p campaign.Progress) {
+			if p.Done != last {
+				last = p.Done
+				fmt.Fprintf(os.Stderr, "flipit: %d/%d trials (%d failed, %d deadlocked)\n", p.Done, p.Trials, p.Failed, p.Deadlocked)
+			}
+		}
+	}
+	return client.WaitResult(ctx, sub.ID, time.Second, onProgress)
 }
 
 func fatal(err error) {

@@ -13,12 +13,21 @@
 // (failure-isolated shards on a work-stealing scheduler, one journal
 // per shard under DIR/<stage>.shards/); results stay bit-identical.
 //
+// With -remote URL the collection campaign — the workflow's dominant
+// fault-injection cost, and the one stage expressible as a
+// self-contained campaign spec — is dispatched to a campaignd
+// coordinator and executed by its worker fleet; every other stage
+// (training, protection, per-variant evaluation of protected modules,
+// which do not round-trip through source text) runs locally. Results
+// stay bit-identical to a fully local run.
+//
 // Usage:
 //
 //	ipas [-workload NAME] [-input N] [-quick|-paper] [-samples N]
 //	     [-trials N] [-topn N] [-seed S]
 //	     [-journal DIR [-resume]] [-deadline D] [-max-retries N]
-//	     [-shards K] [-shard-retries N] [-progress]
+//	     [-shards K] [-shard-retries N] [-watchdog D] [-remote URL]
+//	     [-progress]
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"time"
 
 	"ipas"
+	"ipas/internal/campaign"
 	"ipas/internal/core"
 	"ipas/internal/fault"
 	"ipas/internal/ir"
@@ -56,6 +66,8 @@ func main() {
 	maxRetries := flag.Int("max-retries", 2, "per-trial retries after infrastructure errors (0 = none)")
 	shards := flag.Int("shards", 1, "failure-isolated shards per campaign; >1 selects the sharded engine (results are bit-identical)")
 	shardRetries := flag.Int("shard-retries", 2, "quarantine retries before a sick shard's remaining trials are failed (0 = none)")
+	watchdog := flag.Duration("watchdog", 0, "per-MPI-op wall-clock watchdog in every campaign (0 = interpreter default)")
+	remote := flag.String("remote", "", "campaignd coordinator URL; dispatch the collection campaign there")
 	trainWorkers := flag.Int("train-workers", 0, "concurrent grid-search workers for SVM training (0 = GOMAXPROCS; results are identical for any count)")
 	progress := flag.Bool("progress", false, "report campaign and training progress on stderr")
 	flag.Parse()
@@ -88,6 +100,21 @@ func main() {
 		TrainWorkers: *trainWorkers,
 		Shards:       *shards,
 		ShardRetries: fault.ExplicitRetries(*shardRetries),
+		Watchdog:     *watchdog,
+	}
+	if *remote != "" {
+		// Only the collection campaign is spec-expressible (it runs the
+		// unmodified workload); protected-variant evaluations cannot
+		// round-trip through source text, so they degrade gracefully to
+		// local execution.
+		wl, in := *name, *input
+		controls.Remote = &campaign.Client{Base: *remote}
+		controls.RemoteSpec = func(stage string) *campaign.Spec {
+			if stage != "collect" {
+				return nil
+			}
+			return &campaign.Spec{Workload: wl, Input: in, Ranks: 1}
+		}
 	}
 	if *progress {
 		controls.Progress = func(stage string, done, total, failed, deadlocked int) {

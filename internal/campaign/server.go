@@ -1,0 +1,848 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ipas/internal/fault"
+	"ipas/internal/fault/shard"
+	"ipas/internal/interp"
+)
+
+// Options configures a coordinator.
+type Options struct {
+	// Dir is the root journal directory; each campaign owns Dir/<id>/
+	// with the same per-shard layout the in-process sharded engine uses
+	// (shard-0000.jsonl, ..., merged.jsonl on completion), so a
+	// coordinator restart — or a plain local `-shards` run pointed at
+	// the campaign's directory — resumes from the same files.
+	Dir string
+	// LeaseTTL bounds how long a worker may hold a shard without
+	// heartbeating (default 15s). An expired lease requeues the shard.
+	LeaseTTL time.Duration
+	// Backoff is the base quarantine delay after a failed or expired
+	// lease: requeue k waits Backoff << (k-1) (default 1s).
+	Backoff time.Duration
+	// Retries bounds shard quarantine retries, following the
+	// fault.MaxRetries convention (0 = fault.DefaultMaxRetries,
+	// fault.NoRetries = none). After the budget is exhausted the
+	// shard's unexecuted trials are recorded as TrialFailed and its
+	// siblings continue.
+	Retries int
+	// FsyncEvery is the per-shard journal durability interval between
+	// acks (fault.Journal.SetFsyncEvery). Independent of it, the
+	// coordinator always fsyncs before acknowledging a segment: an
+	// acked trial is on stable storage.
+	FsyncEvery int
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// lease is one worker's time-bounded claim on one shard.
+type lease struct {
+	id      string
+	st      *state
+	shard   int
+	worker  string
+	expires time.Time
+}
+
+// state is one admitted campaign.
+type state struct {
+	id    string
+	spec  Spec
+	n, k  int
+	dir   string
+	meta  fault.JournalMeta // campaign-wide (merged-journal) header
+	plans []interp.FaultPlan
+	res   *fault.CampaignResult
+	sm    *shard.StateMachine
+
+	journals     []*fault.Journal
+	backoffUntil []time.Time
+	leaseOf      []*lease
+
+	restored  int   // trials recovered from durable journals on admit
+	recovered []int // shards whose corrupt journal was deleted on admit
+	hadPrior  bool  // any durable trial or merged journal existed
+	complete  bool
+	finalErr  error // merged-journal write failure, surfaced in Progress
+}
+
+// Server is the campaign coordinator: it admits specs, restores their
+// durable journals, and dispatches shards to workers under leases. One
+// mutex serializes all campaign and lease state; journal appends happen
+// under it too, which keeps the ack-after-durable contract trivially
+// correct (the response is not written until the fsync returned).
+type Server struct {
+	opts    Options
+	ttl     time.Duration
+	backoff time.Duration
+	retries int
+	mux     *http.ServeMux
+	now     func() time.Time // test hook; never influences report content
+
+	mu        sync.Mutex
+	campaigns map[string]*state
+	ids       []string // sorted campaign IDs: deterministic grant order
+	leases    map[string]*lease
+	leaseSeq  int
+	closed    bool
+
+	stopSweep chan struct{}
+	sweepDone chan struct{}
+}
+
+// New returns a coordinator rooted at opts.Dir and starts its lease
+// sweeper. Close releases both.
+func New(opts Options) (*Server, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("campaign: coordinator needs a journal directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: creating journal root: %w", err)
+	}
+	s := &Server{
+		opts:      opts,
+		ttl:       opts.LeaseTTL,
+		backoff:   opts.Backoff,
+		retries:   opts.Retries,
+		now:       time.Now,
+		campaigns: map[string]*state{},
+		leases:    map[string]*lease{},
+		stopSweep: make(chan struct{}),
+		sweepDone: make(chan struct{}),
+	}
+	if s.ttl <= 0 {
+		s.ttl = 15 * time.Second
+	}
+	if s.backoff <= 0 {
+		s.backoff = time.Second
+	}
+	switch {
+	case s.retries < 0:
+		s.retries = 0
+	case s.retries == 0:
+		s.retries = fault.DefaultMaxRetries
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /api/v1/campaigns", s.handleSubmit)
+	s.mux.HandleFunc("GET /api/v1/campaigns", s.handleList)
+	s.mux.HandleFunc("GET /api/v1/campaigns/{id}", s.handleProgress)
+	s.mux.HandleFunc("GET /api/v1/campaigns/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /api/v1/campaigns/{id}/journal", s.handleJournal)
+	s.mux.HandleFunc("POST /api/v1/leases", s.handleAcquire)
+	s.mux.HandleFunc("POST /api/v1/leases/{lease}/heartbeat", s.handleHeartbeat)
+	s.mux.HandleFunc("POST /api/v1/leases/{lease}/records", s.handleRecords)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})
+	go s.sweeper()
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the lease sweeper and closes every open journal. In-
+// flight campaigns stay durable on disk: a new coordinator on the same
+// directory (or a local sharded run on Dir/<id>) resumes them.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for _, st := range s.campaigns {
+		closeJournals(st)
+	}
+	s.mu.Unlock()
+	close(s.stopSweep)
+	<-s.sweepDone
+	return nil
+}
+
+// sweeper expires leases whose holders stopped heartbeating. Handlers
+// also expire lazily, so the sweeper only bounds how long a fully idle
+// coordinator sits on a dead lease.
+func (s *Server) sweeper() {
+	defer close(s.sweepDone)
+	ivl := max(s.ttl/4, 10*time.Millisecond)
+	t := time.NewTicker(ivl)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopSweep:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			if !s.closed {
+				s.expireLeasesLocked(s.now())
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// ---- admission ----
+
+// handleSubmit admits a campaign spec. The HTTP status classifies the
+// admission: 201 fresh, 200 resumed from durable journals (torn tails
+// truncated silently), 202 resumed with corrupt shard journals deleted
+// and those shards requeued, 409 when the campaign directory belongs to
+// a different campaign, 423 when another process holds a journal lock.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding spec: %v", err)
+		return
+	}
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id := spec.ID()
+
+	// Build and golden-run outside the lock: Prepare is the expensive
+	// step and needs no coordinator state. A concurrent duplicate
+	// submission wastes one golden run and then converges below.
+	c, err := spec.Build()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	prep, err := c.Prepare(r.Context())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "preparing campaign: %v", err)
+		return
+	}
+	meta := prep.Meta(spec.Trials)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		httpError(w, http.StatusServiceUnavailable, "coordinator is shutting down")
+		return
+	}
+	if st := s.campaigns[id]; st != nil {
+		// Already admitted. A name-pinned spec whose content drifted
+		// from the admitted campaign is a mismatch, not a resume.
+		if st.meta != meta {
+			httpError(w, http.StatusConflict, "campaign %s: %v", id, fault.ErrCampaignMismatch)
+			return
+		}
+		writeJSON(w, http.StatusOK, SubmitResponse{
+			ID: id, Status: statusOf(st), Restored: st.restored, RecoveredShards: st.recovered,
+		})
+		return
+	}
+
+	st, err := s.admitLocked(id, spec, prep, meta)
+	if err != nil {
+		switch {
+		case errors.Is(err, fault.ErrCampaignMismatch):
+			httpError(w, http.StatusConflict, "campaign %s: %v", id, err)
+		case errors.Is(err, fault.ErrJournalLocked):
+			httpError(w, http.StatusLocked, "campaign %s: %v", id, err)
+		default:
+			httpError(w, http.StatusInternalServerError, "campaign %s: %v", id, err)
+		}
+		return
+	}
+	status := http.StatusCreated
+	switch {
+	case len(st.recovered) > 0:
+		status = http.StatusAccepted
+	case st.hadPrior:
+		status = http.StatusOK
+	}
+	s.logf("campaign %s admitted: %d trials, %d shards, %d restored, %d shard journals recovered",
+		id, st.n, st.k, st.restored, len(st.recovered))
+	writeJSON(w, status, SubmitResponse{
+		ID: id, Status: statusOf(st), Restored: st.restored, RecoveredShards: st.recovered,
+	})
+}
+
+// admitLocked registers a campaign and restores its journal directory,
+// mirroring the in-process engine's recovery rules: torn tails are
+// truncated on open, a corrupt shard journal is deleted and its shard
+// re-run, a valid journal of a different campaign is never clobbered.
+func (s *Server) admitLocked(id string, spec Spec, prep *fault.Prepared, meta fault.JournalMeta) (*state, error) {
+	plans := prep.Plans(spec.Trials)
+	st := &state{
+		id:           id,
+		spec:         spec,
+		n:            spec.Trials,
+		k:            spec.Shards,
+		dir:          filepath.Join(s.opts.Dir, id),
+		meta:         meta,
+		plans:        plans,
+		res:          prep.NewResult(plans),
+		sm:           shard.NewStateMachine(spec.Shards),
+		journals:     make([]*fault.Journal, spec.Shards),
+		backoffUntil: make([]time.Time, spec.Shards),
+		leaseOf:      make([]*lease, spec.Shards),
+	}
+	if err := os.MkdirAll(st.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("creating campaign dir: %w", err)
+	}
+	if err := s.restoreMergedLocked(st); err != nil {
+		return nil, err
+	}
+	for sh := 0; sh < st.k; sh++ {
+		if err := s.openShardJournalLocked(st, sh); err != nil {
+			closeJournals(st)
+			return nil, err
+		}
+	}
+	for t := range st.res.Trials {
+		if st.res.Trials[t].Status != fault.TrialPending {
+			st.restored++
+		}
+	}
+	// Shards whose whole range is already durable owe no execution.
+	for sh := 0; sh < st.k; sh++ {
+		if st.settledIn(sh) == rangeLen(st.n, st.k, sh) {
+			st.sm.Settle(sh)
+		}
+	}
+	s.campaigns[id] = st
+	s.ids = append(s.ids, id)
+	sort.Strings(s.ids)
+	s.maybeCompleteLocked(st)
+	return st, nil
+}
+
+// restoreMergedLocked loads a completed prior run's merged journal,
+// with the in-process engine's recovery split: corrupt → delete and
+// rebuild from shard journals, foreign → hard mismatch error.
+func (s *Server) restoreMergedLocked(st *state) error {
+	path := shard.MergedJournalPath(st.dir)
+	if _, err := os.Stat(path); err != nil {
+		return nil
+	}
+	j, err := fault.OpenJournal(path)
+	if err != nil {
+		if errors.Is(err, fault.ErrJournalCorrupt) {
+			return os.Remove(path)
+		}
+		return err
+	}
+	prev, err := j.Begin(st.meta)
+	closeErr := j.Close()
+	if err != nil {
+		if errors.Is(err, fault.ErrCampaignMismatch) {
+			return err
+		}
+		return os.Remove(path)
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	for t, tr := range prev {
+		if t >= 0 && t < st.n && tr.Status != fault.TrialPending {
+			st.res.Trials[t] = tr
+			st.hadPrior = true
+		}
+	}
+	return nil
+}
+
+// openShardJournalLocked opens shard sh's journal, restoring its trials
+// and classifying damage: corrupt → delete, recreate, and report the
+// shard as recovered (it re-runs from scratch); a valid journal of a
+// different campaign → mismatch error; held lock → locked error.
+func (s *Server) openShardJournalLocked(st *state, sh int) error {
+	path := filepath.Join(st.dir, shard.JournalName(sh))
+	lo, hi := shard.Range(st.n, st.k, sh)
+	meta := st.meta
+	meta.Shards, meta.Shard, meta.ShardStart, meta.ShardEnd = st.k, sh, lo, hi
+	for recreated := false; ; recreated = true {
+		j, err := fault.OpenJournal(path)
+		if err != nil {
+			if errors.Is(err, fault.ErrJournalCorrupt) && !recreated {
+				if err := os.Remove(path); err != nil {
+					return err
+				}
+				st.recovered = append(st.recovered, sh)
+				continue
+			}
+			return err
+		}
+		prev, err := j.Begin(meta)
+		if err != nil {
+			j.Close()
+			if errors.Is(err, fault.ErrCampaignMismatch) {
+				if sameCampaignDifferentSharding(path, st.meta) {
+					return fmt.Errorf(
+						"journal %s was written with a different shard partition; resubmit with the original shard count or use a fresh campaign name (%w)",
+						path, err)
+				}
+				return err
+			}
+			if !recreated {
+				if err := os.Remove(path); err != nil {
+					return err
+				}
+				st.recovered = append(st.recovered, sh)
+				continue
+			}
+			return err
+		}
+		j.SetFsyncEvery(s.opts.FsyncEvery)
+		st.journals[sh] = j
+		for t, tr := range prev {
+			if t >= lo && t < hi && tr.Status != fault.TrialPending {
+				st.res.Trials[t] = tr
+				st.hadPrior = true
+			}
+		}
+		return nil
+	}
+}
+
+// sameCampaignDifferentSharding reports whether the journal at path
+// belongs to this campaign but was partitioned differently.
+func sameCampaignDifferentSharding(path string, meta fault.JournalMeta) bool {
+	j, err := fault.OpenJournal(path)
+	if err != nil {
+		return false
+	}
+	defer j.Close()
+	m := j.Meta()
+	if m == nil {
+		return false
+	}
+	return m.Seed == meta.Seed && m.Trials == meta.Trials &&
+		m.GoldenDyn == meta.GoldenDyn && m.Population == meta.Population
+}
+
+// ---- lease dispatch ----
+
+// handleAcquire grants the next runnable shard to a worker (200), or
+// reports none available (204). Grant order is deterministic: campaigns
+// by sorted ID, shards by index.
+func (s *Server) handleAcquire(w http.ResponseWriter, r *http.Request) {
+	var req AcquireRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding acquire request: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		httpError(w, http.StatusServiceUnavailable, "coordinator is shutting down")
+		return
+	}
+	now := s.now()
+	s.expireLeasesLocked(now)
+	for _, id := range s.ids {
+		st := s.campaigns[id]
+		if st.complete {
+			continue
+		}
+		s.requeueElapsedLocked(st, now)
+		for sh := 0; sh < st.k; sh++ {
+			if st.sm.State(sh) != shard.StateQueued {
+				continue
+			}
+			attempt := st.sm.Acquire(sh)
+			s.leaseSeq++
+			l := &lease{
+				id:      fmt.Sprintf("L%06d", s.leaseSeq),
+				st:      st,
+				shard:   sh,
+				worker:  req.Worker,
+				expires: now.Add(s.ttl),
+			}
+			s.leases[l.id] = l
+			st.leaseOf[sh] = l
+			lo, hi := shard.Range(st.n, st.k, sh)
+			grant := LeaseGrant{
+				Lease:    l.id,
+				Campaign: st.id,
+				Spec:     st.spec,
+				Shard:    sh,
+				Shards:   st.k,
+				Lo:       lo,
+				Hi:       hi,
+				Attempt:  attempt,
+				TTL:      s.ttl,
+				Meta:     st.meta,
+				Settled:  st.settledIndices(sh),
+			}
+			s.logf("lease %s: shard %d/%d of %s -> worker %q (attempt %d)", l.id, sh, st.k, st.id, req.Worker, attempt)
+			writeJSON(w, http.StatusOK, grant)
+			return
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleHeartbeat extends a live lease (204) or reports it gone (410):
+// the worker must abandon the shard, which another lease now owns or
+// will own.
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("lease")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	s.expireLeasesLocked(now)
+	l := s.leases[id]
+	if l == nil {
+		httpError(w, http.StatusGone, "lease %s is no longer held", id)
+		return
+	}
+	l.expires = now.Add(s.ttl)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleRecords ingests a journal segment for a leased shard. Records
+// are journaled and fsynced before the acknowledgment is written, so an
+// acked trial survives coordinator power loss; re-sent records for
+// already-settled trials ack idempotently without re-journaling.
+func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("lease")
+	var seg Segment
+	if err := json.NewDecoder(r.Body).Decode(&seg); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding segment: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	s.expireLeasesLocked(now)
+	l := s.leases[id]
+	if l == nil {
+		httpError(w, http.StatusGone, "lease %s is no longer held", id)
+		return
+	}
+	st := l.st
+	lo, hi := shard.Range(st.n, st.k, l.shard)
+	for _, rec := range seg.Records {
+		if rec.T < lo || rec.T >= hi {
+			httpError(w, http.StatusBadRequest, "record for trial %d is outside lease %s's range [%d,%d)", rec.T, id, lo, hi)
+			return
+		}
+		if rec.Trial.Status == fault.TrialPending {
+			httpError(w, http.StatusBadRequest, "record for trial %d is pending; segments carry settled trials only", rec.T)
+			return
+		}
+	}
+	acked := 0
+	for _, rec := range seg.Records {
+		if st.res.Trials[rec.T].Status != fault.TrialPending {
+			acked++ // idempotent re-send
+			continue
+		}
+		st.res.Trials[rec.T] = rec.Trial
+		if err := st.journals[l.shard].Record(rec.T, rec.Trial); err != nil {
+			httpError(w, http.StatusInternalServerError, "journaling trial %d: %v", rec.T, err)
+			return
+		}
+		acked++
+	}
+	if acked > 0 {
+		// The durable-ack contract: fsync before the response exists.
+		if err := st.journals[l.shard].Sync(); err != nil {
+			httpError(w, http.StatusInternalServerError, "syncing journal: %v", err)
+			return
+		}
+	}
+	l.expires = now.Add(s.ttl) // a progressing worker is a live worker
+
+	switch {
+	case seg.Fail != "":
+		s.releaseLocked(l, seg.Fail, now)
+	case seg.Done:
+		if st.settledIn(l.shard) != hi-lo {
+			httpError(w, http.StatusBadRequest, "lease %s closed with %d/%d trials settled", id, st.settledIn(l.shard), hi-lo)
+			return
+		}
+		delete(s.leases, l.id)
+		st.leaseOf[l.shard] = nil
+		st.sm.Complete(l.shard)
+		s.logf("lease %s: shard %d/%d of %s complete", l.id, l.shard, st.k, st.id)
+		s.maybeCompleteLocked(st)
+	}
+	writeJSON(w, http.StatusOK, SegmentResponse{Acked: acked})
+}
+
+// expireLeasesLocked revokes every lease whose holder missed its TTL,
+// quarantining (or terminally failing) the shard exactly as an
+// explicit worker failure would.
+func (s *Server) expireLeasesLocked(now time.Time) {
+	for _, l := range s.leases {
+		if !l.expires.After(now) {
+			s.releaseLocked(l, "lease expired (missed heartbeat)", now)
+		}
+	}
+}
+
+// requeueElapsedLocked makes quarantined shards whose backoff delay has
+// passed runnable again.
+func (s *Server) requeueElapsedLocked(st *state, now time.Time) {
+	for sh := 0; sh < st.k; sh++ {
+		if st.sm.State(sh) == shard.StateBackoff && !st.backoffUntil[sh].After(now) {
+			st.sm.Requeue(sh)
+		}
+	}
+}
+
+// releaseLocked ends a lease on failure (expiry or an explicit worker
+// surrender): within the retry budget the shard is quarantined with
+// exponential backoff; beyond it the shard terminally fails and its
+// unexecuted trials are recorded as TrialFailed — siblings never
+// notice. The cause string must be deterministic (no wall-clock, no
+// worker identity): it lands verbatim in TrialFailed records.
+func (s *Server) releaseLocked(l *lease, cause string, now time.Time) {
+	delete(s.leases, l.id)
+	st := l.st
+	if st.leaseOf[l.shard] != l {
+		return // an older revoked lease racing its replacement
+	}
+	st.leaseOf[l.shard] = nil
+	attempt := st.sm.Attempts(l.shard)
+	if attempt > s.retries {
+		s.failShardLocked(st, l.shard, attempt, cause)
+		st.sm.Fail(l.shard)
+		s.logf("lease %s: shard %d/%d of %s failed after %d attempts: %s", l.id, l.shard, st.k, st.id, attempt, cause)
+		s.maybeCompleteLocked(st)
+		return
+	}
+	st.sm.Quarantine(l.shard)
+	st.backoffUntil[l.shard] = now.Add(s.backoff << (attempt - 1))
+	s.logf("lease %s: shard %d/%d of %s quarantined (attempt %d): %s", l.id, l.shard, st.k, st.id, attempt, cause)
+}
+
+// failShardLocked records a terminally quarantined shard's unexecuted
+// trials as TrialFailed, with the same message shape as the in-process
+// engine. Trials settled by earlier attempts keep their real results.
+func (s *Server) failShardLocked(st *state, sh, attempts int, cause string) {
+	lo, hi := shard.Range(st.n, st.k, sh)
+	msg := fmt.Sprintf("shard %d/%d quarantined after %d attempts: %s", sh, st.k, attempts, cause)
+	for t := lo; t < hi; t++ {
+		if st.res.Trials[t].Status != fault.TrialPending {
+			continue
+		}
+		tr := fault.Trial{
+			Site: -1, Bit: st.plans[t].Bit, Index: st.plans[t].Index,
+			Status: fault.TrialFailed, Err: msg, Attempts: attempts,
+		}
+		st.res.Trials[t] = tr
+		// Best-effort journaling: the verdict is re-derived on resume
+		// if it never reached disk.
+		if j := st.journals[sh]; j != nil {
+			j.Record(t, tr)
+		}
+	}
+	if j := st.journals[sh]; j != nil {
+		j.Sync()
+	}
+}
+
+// maybeCompleteLocked finalizes a campaign once every shard is
+// terminal: the canonical merged journal — byte-identical to a local
+// Workers=1 run over the same surviving trial set — is written
+// atomically and the shard journals are closed.
+func (s *Server) maybeCompleteLocked(st *state) {
+	if st.complete || !st.sm.AllTerminal() {
+		return
+	}
+	st.res.Finalize()
+	if err := fault.WriteCanonical(shard.MergedJournalPath(st.dir), st.meta, st.res.Trials); err != nil {
+		st.finalErr = err
+		s.logf("campaign %s: writing merged journal: %v", st.id, err)
+	}
+	closeJournals(st)
+	st.complete = true
+	s.logf("campaign %s complete: %d/%d trials completed, %d failed", st.id, st.res.Completed, st.n, st.res.Failed)
+}
+
+// ---- inspection ----
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]CampaignSummary, 0, len(s.ids))
+	for _, id := range s.ids {
+		st := s.campaigns[id]
+		done, failed := 0, 0
+		for t := range st.res.Trials {
+			if st.res.Trials[t].Status != fault.TrialPending {
+				done++
+			}
+			if st.res.Trials[t].Status == fault.TrialFailed {
+				failed++
+			}
+		}
+		out = append(out, CampaignSummary{ID: id, Status: statusOf(st), Trials: st.n, Done: done, Failed: failed})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.campaigns[r.PathValue("id")]
+	if st == nil {
+		httpError(w, http.StatusNotFound, "unknown campaign %q", r.PathValue("id"))
+		return
+	}
+	s.expireLeasesLocked(s.now())
+	writeJSON(w, http.StatusOK, s.progressLocked(st))
+}
+
+func (s *Server) progressLocked(st *state) Progress {
+	st.res.Finalize()
+	p := Progress{
+		ID:         st.id,
+		Status:     statusOf(st),
+		Trials:     st.n,
+		Done:       st.res.Completed + st.res.Failed,
+		Completed:  st.res.Completed,
+		Failed:     st.res.Failed,
+		Pending:    st.res.Pending,
+		Deadlocked: st.res.Deadlocks,
+		Counts:     st.res.Counts,
+		GoldenDyn:  st.res.GoldenDyn,
+		Shards:     make([]ShardStatus, st.k),
+	}
+	if summary := st.res.ErrorSummary(); summary != "" && st.res.Failed > 0 {
+		p.Errors = summary
+	}
+	if st.finalErr != nil {
+		p.Errors = strings.TrimSpace(p.Errors + " merged journal: " + st.finalErr.Error())
+	}
+	for sh := 0; sh < st.k; sh++ {
+		lo, hi := shard.Range(st.n, st.k, sh)
+		ss := ShardStatus{
+			State:    st.sm.State(sh).String(),
+			Attempts: st.sm.Attempts(sh),
+			Lo:       lo,
+			Hi:       hi,
+			Settled:  st.settledIn(sh),
+		}
+		if l := st.leaseOf[sh]; l != nil {
+			ss.Worker = l.worker
+		}
+		p.Shards[sh] = ss
+	}
+	return p
+}
+
+// handleResult returns the finalized campaign result, or 425 while
+// shards are still outstanding.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.campaigns[r.PathValue("id")]
+	if st == nil {
+		httpError(w, http.StatusNotFound, "unknown campaign %q", r.PathValue("id"))
+		return
+	}
+	if !st.complete {
+		httpError(w, http.StatusTooEarly, "campaign %s is still running", st.id)
+		return
+	}
+	writeJSON(w, http.StatusOK, ResultResponse{ID: st.id, GoldenDyn: st.res.GoldenDyn, Trials: st.res.Trials})
+}
+
+// handleJournal streams the canonical merged journal's bytes, or 425
+// while the campaign is still running.
+func (s *Server) handleJournal(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	st := s.campaigns[r.PathValue("id")]
+	if st == nil {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, "unknown campaign %q", r.PathValue("id"))
+		return
+	}
+	if !st.complete {
+		s.mu.Unlock()
+		httpError(w, http.StatusTooEarly, "campaign %s is still running", st.id)
+		return
+	}
+	path := shard.MergedJournalPath(st.dir)
+	s.mu.Unlock()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "reading merged journal: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	w.Write(data)
+}
+
+// ---- helpers ----
+
+func statusOf(st *state) string {
+	if st.complete {
+		return "complete"
+	}
+	return "running"
+}
+
+// settledIn counts shard sh's settled trials.
+func (st *state) settledIn(sh int) int {
+	lo, hi := shard.Range(st.n, st.k, sh)
+	n := 0
+	for t := lo; t < hi; t++ {
+		if st.res.Trials[t].Status != fault.TrialPending {
+			n++
+		}
+	}
+	return n
+}
+
+// settledIndices lists shard sh's settled trial indices in order.
+func (st *state) settledIndices(sh int) []int {
+	lo, hi := shard.Range(st.n, st.k, sh)
+	var out []int
+	for t := lo; t < hi; t++ {
+		if st.res.Trials[t].Status != fault.TrialPending {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func rangeLen(n, k, sh int) int {
+	lo, hi := shard.Range(n, k, sh)
+	return hi - lo
+}
+
+func closeJournals(st *state) {
+	for i, j := range st.journals {
+		if j != nil {
+			j.Close()
+			st.journals[i] = nil
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), status)
+}

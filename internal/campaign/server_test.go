@@ -1,0 +1,541 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ipas/internal/fault"
+	"ipas/internal/fault/shard"
+)
+
+// testSource mirrors the fault package's shared test program: 32
+// pseudo-random floats reduced to one sqrt-of-sum-of-squares output,
+// verified bit-exactly so any corruption is SOC.
+const testSource = `
+func main() {
+	var n int = 32;
+	var a *float = malloc_f64(n);
+	var seed int = 77;
+	for (var i int = 0; i < n; i = i + 1) {
+		seed = (seed * 1103515245 + 12345) % 2147483648;
+		a[i] = float(seed % 100) / 7.0;
+	}
+	var s float = 0.0;
+	for (var i int = 0; i < n; i = i + 1) {
+		s = s + a[i] * a[i];
+	}
+	out_f64(0, sqrt(s));
+}
+`
+
+var errInjected = errors.New("injected shard failure")
+
+func testSpec(name string, trials, shards int, seed int64) Spec {
+	s := Spec{Name: name, Source: testSource, Verifier: "exact", Trials: trials, Seed: seed, Shards: shards}
+	s.Normalize()
+	return s
+}
+
+// newTestServer starts a coordinator over httptest and returns a
+// client bound to its URL.
+func newTestServer(t *testing.T, opts Options) *Client {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	if opts.LeaseTTL == 0 {
+		opts.LeaseTTL = 5 * time.Second
+	}
+	if opts.Backoff == 0 {
+		opts.Backoff = time.Millisecond
+	}
+	srv, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+	return &Client{Base: hs.URL}
+}
+
+// startWorker runs an in-process worker until test cleanup.
+func startWorker(t *testing.T, client *Client, cfg func(*Worker)) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	w := &Worker{Server: client.Base, Name: "test-worker", Poll: 10 * time.Millisecond}
+	if cfg != nil {
+		cfg(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+}
+
+// localReference runs the spec's campaign on the local single-loop
+// engine with Workers=1 and a journal: the ground truth every remote
+// configuration must reproduce bit for bit.
+func localReference(t *testing.T, spec Spec) (*fault.CampaignResult, []byte) {
+	t.Helper()
+	c, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ref.jsonl")
+	j, err := fault.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Journal = j
+	c.Workers = 1
+	res, err := c.RunContext(context.Background(), spec.Trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, data
+}
+
+func assertSameTrials(t *testing.T, got, want *fault.CampaignResult) {
+	t.Helper()
+	if len(got.Trials) != len(want.Trials) {
+		t.Fatalf("trial counts differ: %d vs %d", len(got.Trials), len(want.Trials))
+	}
+	for i := range got.Trials {
+		if got.Trials[i] != want.Trials[i] {
+			t.Fatalf("trial %d differs:\n  got  %+v\n  want %+v", i, got.Trials[i], want.Trials[i])
+		}
+	}
+	if got.Counts != want.Counts || got.GoldenDyn != want.GoldenDyn {
+		t.Fatalf("statistics differ: %+v vs %+v", got, want)
+	}
+}
+
+// waitComplete polls the coordinator until the campaign completes.
+func waitComplete(t *testing.T, client *Client, id string) *fault.CampaignResult {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := client.WaitResult(ctx, id, 20*time.Millisecond, nil)
+	if err != nil {
+		t.Fatalf("campaign %s did not complete: %v", id, err)
+	}
+	return res
+}
+
+// A remote campaign executed by workers must reproduce the local
+// single-loop engine's result and canonical journal bit for bit.
+func TestServerCampaignMatchesLocalReference(t *testing.T) {
+	spec := testSpec("", 20, 4, 42)
+	want, wantBytes := localReference(t, spec)
+
+	client := newTestServer(t, Options{})
+	sub, status, err := client.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusCreated {
+		t.Fatalf("fresh submit returned HTTP %d, want 201", status)
+	}
+	startWorker(t, client, nil)
+	startWorker(t, client, nil)
+
+	res := waitComplete(t, client, sub.ID)
+	assertSameTrials(t, res, want)
+	got, err := client.MergedJournal(context.Background(), sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantBytes) {
+		t.Fatalf("merged journal differs from the local reference (%d vs %d bytes)", len(got), len(wantBytes))
+	}
+
+	p, err := client.Progress(context.Background(), sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Status != "complete" || p.Completed != spec.Trials || p.Failed != 0 {
+		t.Fatalf("progress after completion: %+v", p)
+	}
+
+	// Resubmitting the identical spec converges on the completed
+	// campaign instead of re-running anything.
+	sub2, status, err := client.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK || sub2.Status != "complete" || sub2.ID != sub.ID {
+		t.Fatalf("resubmit: HTTP %d, %+v", status, sub2)
+	}
+}
+
+// Result and journal fetches before completion answer 425 (mapped to
+// ErrNotComplete), never a partial result.
+func TestServerResultTooEarly(t *testing.T) {
+	client := newTestServer(t, Options{})
+	sub, _, err := client.Submit(context.Background(), testSpec("early", 4, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Result(context.Background(), sub.ID); !errors.Is(err, ErrNotComplete) {
+		t.Fatalf("Result before completion: %v, want ErrNotComplete", err)
+	}
+	if _, err := client.MergedJournal(context.Background(), sub.ID); !errors.Is(err, ErrNotComplete) {
+		t.Fatalf("MergedJournal before completion: %v, want ErrNotComplete", err)
+	}
+	p, err := client.Progress(context.Background(), sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Status != "running" || p.Pending != 4 {
+		t.Fatalf("progress of an idle campaign: %+v", p)
+	}
+}
+
+// copyDir clones a journal directory tree so each pathology case
+// mutilates its own copy.
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		s, d := filepath.Join(src, e.Name()), filepath.Join(dst, e.Name())
+		if e.IsDir() {
+			copyDir(t, s, d)
+			continue
+		}
+		data, err := os.ReadFile(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(d, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// The coordinator classifies journal-directory damage on admission with
+// distinct HTTP statuses — clean resume 200, torn tail truncated 200,
+// corrupt shard journal deleted and its shard reassigned 202, foreign
+// campaign 409, locked journal 423 — and every recoverable case still
+// converges to the byte-identical merged journal.
+func TestServerJournalPathologies(t *testing.T) {
+	spec := testSpec("patho", 12, 3, 9)
+	want, wantBytes := localReference(t, spec)
+
+	// Seed a completed campaign directory to mutilate.
+	seedRoot := t.TempDir()
+	client := newTestServer(t, Options{Dir: seedRoot})
+	sub, _, err := client.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startWorker(t, client, nil)
+	waitComplete(t, client, sub.ID)
+
+	shard0 := func(root string) string { return filepath.Join(root, sub.ID, shard.JournalName(0)) }
+	merged := func(root string) string { return shard.MergedJournalPath(filepath.Join(root, sub.ID)) }
+
+	for _, tc := range []struct {
+		name       string
+		mutilate   func(t *testing.T, root string)
+		wantStatus int
+		recovered  bool // shard 0 reported recovered
+		runWorker  bool // campaign needs execution to converge
+	}{
+		{
+			name:       "clean resume of a complete campaign",
+			mutilate:   func(t *testing.T, root string) {},
+			wantStatus: http.StatusOK,
+		},
+		{
+			name: "torn tail truncated silently",
+			mutilate: func(t *testing.T, root string) {
+				if err := os.Remove(merged(root)); err != nil {
+					t.Fatal(err)
+				}
+				path := shard0(root)
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lines := bytes.Split(bytes.TrimRight(data, "\n"), []byte("\n"))
+				last := lines[len(lines)-1]
+				torn := append(bytes.Join(lines[:len(lines)-1], []byte("\n")), '\n')
+				torn = append(torn, last[:len(last)/2]...) // no newline: torn
+				if err := os.WriteFile(path, torn, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantStatus: http.StatusOK,
+			runWorker:  true,
+		},
+		{
+			name: "corrupt shard journal deleted and reassigned",
+			mutilate: func(t *testing.T, root string) {
+				if err := os.Remove(merged(root)); err != nil {
+					t.Fatal(err)
+				}
+				bogus := []byte(`{"meta":{"format":"bogus"}}` + "\n")
+				if err := os.WriteFile(shard0(root), bogus, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantStatus: http.StatusAccepted,
+			recovered:  true,
+			runWorker:  true,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			root := t.TempDir()
+			copyDir(t, seedRoot, root)
+			tc.mutilate(t, root)
+			client := newTestServer(t, Options{Dir: root})
+			sub2, status, err := client.Submit(context.Background(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if status != tc.wantStatus {
+				t.Fatalf("submit returned HTTP %d, want %d", status, tc.wantStatus)
+			}
+			if tc.recovered != (len(sub2.RecoveredShards) > 0) {
+				t.Fatalf("recovered shards %v, want recovered=%v", sub2.RecoveredShards, tc.recovered)
+			}
+			if tc.runWorker {
+				startWorker(t, client, nil)
+			}
+			res := waitComplete(t, client, sub2.ID)
+			assertSameTrials(t, res, want)
+			got, err := client.MergedJournal(context.Background(), sub2.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, wantBytes) {
+				t.Fatal("merged journal differs from the local reference after recovery")
+			}
+		})
+	}
+
+	t.Run("foreign campaign rejected 409", func(t *testing.T) {
+		root := t.TempDir()
+		copyDir(t, seedRoot, root)
+		client := newTestServer(t, Options{Dir: root})
+		foreign := testSpec("patho", 12, 3, 10) // same name, different seed
+		_, status, err := client.Submit(context.Background(), foreign)
+		if status != http.StatusConflict {
+			t.Fatalf("foreign spec returned HTTP %d, want 409", status)
+		}
+		if !errors.Is(err, fault.ErrCampaignMismatch) {
+			t.Fatalf("foreign spec error %v, want ErrCampaignMismatch", err)
+		}
+	})
+
+	t.Run("locked journal rejected 423", func(t *testing.T) {
+		root := t.TempDir()
+		copyDir(t, seedRoot, root)
+		holder, err := fault.OpenJournal(shard0(root))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer holder.Close()
+		client := newTestServer(t, Options{Dir: root})
+		_, status, err := client.Submit(context.Background(), spec)
+		if status != http.StatusLocked {
+			t.Fatalf("locked journal returned HTTP %d, want 423", status)
+		}
+		if !errors.Is(err, fault.ErrJournalLocked) {
+			t.Fatalf("locked journal error %v, want ErrJournalLocked", err)
+		}
+	})
+}
+
+// A worker that stops heartbeating loses its lease: heartbeats and
+// record posts answer 410 Gone, the shard requeues with an attempt
+// charged, and a healthy worker still converges to the byte-identical
+// result.
+func TestServerLeaseExpiryRequeuesShard(t *testing.T) {
+	spec := testSpec("expiry", 6, 2, 5)
+	want, wantBytes := localReference(t, spec)
+
+	client := newTestServer(t, Options{LeaseTTL: 60 * time.Millisecond, Backoff: time.Millisecond})
+	sub, _, err := client.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Acquire a lease by hand and never heartbeat (a heartbeat would
+	// extend it); watch the shard lose its holder via progress instead.
+	grant := acquireRaw(t, client.Base)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("lease never expired")
+		}
+		p, err := client.Progress(context.Background(), sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Shards[grant.Shard].Worker == "" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := postStatus(t, client.Base, "/api/v1/leases/"+grant.Lease+"/heartbeat", struct{}{}); got != http.StatusGone {
+		t.Fatalf("heartbeat on an expired lease returned HTTP %d, want 410", got)
+	}
+	if got := postStatus(t, client.Base, "/api/v1/leases/"+grant.Lease+"/records", Segment{Done: true}); got != http.StatusGone {
+		t.Fatalf("records on an expired lease returned HTTP %d, want 410", got)
+	}
+
+	startWorker(t, client, nil)
+	res := waitComplete(t, client, sub.ID)
+	assertSameTrials(t, res, want)
+	got, err := client.MergedJournal(context.Background(), sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantBytes) {
+		t.Fatal("merged journal differs from the local reference after a lease expiry")
+	}
+	p, err := client.Progress(context.Background(), sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards[grant.Shard].Attempts < 2 {
+		t.Fatalf("expired shard %d shows %d attempts, want >= 2", grant.Shard, p.Shards[grant.Shard].Attempts)
+	}
+}
+
+// A shard whose every attempt fails exhausts its quarantine budget and
+// fails alone: its unexecuted trials carry the deterministic quarantine
+// message while sibling shards complete bit-identically.
+func TestServerQuarantineExhaustionFailsShardAlone(t *testing.T) {
+	spec := testSpec("exhaust", 12, 4, 8)
+	want, wantBytes := localReference(t, spec)
+	const sick = 1
+
+	client := newTestServer(t, Options{Retries: fault.ExplicitRetries(1), Backoff: time.Millisecond})
+	sub, _, err := client.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startWorker(t, client, func(w *Worker) {
+		w.BeforeTrial = func(campaign string, sh, trial int) error {
+			if sh == sick {
+				return errInjected
+			}
+			return nil
+		}
+	})
+
+	res := waitComplete(t, client, sub.ID)
+	lo, hi := shard.Range(spec.Trials, spec.Shards, sick)
+	if res.Failed != hi-lo {
+		t.Fatalf("%d trials failed, want the sick shard's %d", res.Failed, hi-lo)
+	}
+	wantErr := "shard 1/4 quarantined after 2 attempts: injected shard failure"
+	for tr := 0; tr < spec.Trials; tr++ {
+		if tr >= lo && tr < hi {
+			if res.Trials[tr].Status != fault.TrialFailed || res.Trials[tr].Err != wantErr {
+				t.Fatalf("sick-shard trial %d: %+v, want Err %q", tr, res.Trials[tr], wantErr)
+			}
+			continue
+		}
+		if res.Trials[tr] != want.Trials[tr] {
+			t.Fatalf("sibling trial %d differs:\n  got  %+v\n  want %+v", tr, res.Trials[tr], want.Trials[tr])
+		}
+	}
+
+	// The merged journal matches the reference byte for byte outside the
+	// failed shard's lines: same header, same surviving trial records.
+	got, err := client.MergedJournal(context.Background(), sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertJournalLinesMatch(t, got, wantBytes, func(trial int) bool { return trial >= lo && trial < hi })
+}
+
+// assertJournalLinesMatch compares two canonical journals line by line,
+// skipping trial lines the skip predicate excuses. Line 0 is the meta
+// header; body line i carries trial i-1 in canonical order.
+func assertJournalLinesMatch(t *testing.T, got, want []byte, skip func(trial int) bool) {
+	t.Helper()
+	gl := bytes.Split(bytes.TrimRight(got, "\n"), []byte("\n"))
+	wl := bytes.Split(bytes.TrimRight(want, "\n"), []byte("\n"))
+	if len(gl) != len(wl) {
+		t.Fatalf("journal line counts differ: %d vs %d", len(gl), len(wl))
+	}
+	for i := range gl {
+		if i > 0 && skip(i-1) {
+			continue
+		}
+		if !bytes.Equal(gl[i], wl[i]) {
+			t.Fatalf("journal line %d differs:\n  got  %s\n  want %s", i, gl[i], wl[i])
+		}
+	}
+}
+
+// acquireRaw grabs one lease over raw HTTP, without worker machinery.
+func acquireRaw(t *testing.T, base string) LeaseGrant {
+	t.Helper()
+	body, err := json.Marshal(AcquireRequest{Worker: "raw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/api/v1/leases", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("acquire returned HTTP %d", resp.StatusCode)
+	}
+	var grant LeaseGrant
+	if err := json.NewDecoder(resp.Body).Decode(&grant); err != nil {
+		t.Fatal(err)
+	}
+	return grant
+}
+
+func postStatus(t *testing.T, base, path string, v any) int {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}

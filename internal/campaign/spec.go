@@ -1,0 +1,219 @@
+// Package campaign turns the sharded fault-injection engine into a
+// service: a coordinator (cmd/campaignd) accepts campaign specs over
+// HTTP/JSON, partitions the trial space with the deterministic
+// shard.Range, and hands shards to remote workers (cmd/ipas-worker)
+// under time-bounded leases. Workers stream finished trials back as
+// journal segments; the coordinator acknowledges a segment only after
+// it is durable on disk, so a SIGKILLed or partitioned worker is
+// replaced without losing an acked trial, and the completed campaign's
+// merged journal is byte-identical to a local single-loop run.
+//
+// Shard lifecycle (queued → running → backoff → queued ... →
+// done/failed) is the shared shard.StateMachine the in-process
+// scheduler also drives; this package adds leases, heartbeats, and
+// durable acks on top. All requeue, backoff, and quarantine decisions
+// are deterministic given the order of events — no report content ever
+// depends on the wall clock.
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"ipas/internal/fault"
+	"ipas/internal/interp"
+	"ipas/internal/lang"
+	"ipas/internal/workloads"
+)
+
+// Spec describes one campaign as submitted to the coordinator. It must
+// be self-contained: both the coordinator and every worker rebuild the
+// identical campaign from it (program, verifier, configuration, plan
+// sequence), which is what makes remote trials bit-identical to local
+// ones. A spec names either a built-in workload (Workload + Input) or
+// an inline sci program (Source + a named Verifier).
+type Spec struct {
+	// Name, when set, pins the campaign ID (and its journal directory)
+	// to a stable, human-chosen key; otherwise the ID is a content
+	// hash of the spec, so identical resubmissions converge on the
+	// same campaign and different campaigns can never collide.
+	Name string `json:"name,omitempty"`
+
+	// Workload / Input select a built-in evaluation workload
+	// (workloads.Get): its module, verification routine, and base
+	// configuration.
+	Workload string `json:"workload,omitempty"`
+	Input    int    `json:"input,omitempty"`
+
+	// Source is an inline sci program, the alternative to Workload;
+	// Verifier names its output check ("exact": every output must
+	// equal the golden run's bit for bit).
+	Source   string `json:"source,omitempty"`
+	Verifier string `json:"verifier,omitempty"`
+
+	// Trials and Seed pin the plan sequence (trial t's fault plan is a
+	// pure function of (Seed, t)).
+	Trials int   `json:"trials"`
+	Seed   int64 `json:"seed"`
+
+	// Shards partitions the trial space (default 1, capped at Trials).
+	Shards int `json:"shards,omitempty"`
+
+	// Ranks / HangFactor / MaxRetries mirror the fault.Campaign fields
+	// (zero values select the same defaults).
+	Ranks      int   `json:"ranks,omitempty"`
+	HangFactor int64 `json:"hang_factor,omitempty"`
+	MaxRetries int   `json:"max_retries,omitempty"`
+
+	// Watchdog bounds each blocked MPI op's wall-clock time on workers
+	// (interp.Config.Watchdog; 0 = the interpreter's 60s default).
+	Watchdog time.Duration `json:"watchdog_ns,omitempty"`
+}
+
+// Normalize fills derivable defaults in place (shard count bounds).
+func (s *Spec) Normalize() {
+	if s.Shards <= 0 {
+		s.Shards = 1
+	}
+	if s.Trials > 0 && s.Shards > s.Trials {
+		s.Shards = s.Trials
+	}
+	if s.Workload != "" && s.Input == 0 {
+		s.Input = 1
+	}
+}
+
+// Validate rejects specs the coordinator could not execute.
+func (s *Spec) Validate() error {
+	if s.Trials <= 0 {
+		return fmt.Errorf("campaign: spec needs trials > 0 (got %d)", s.Trials)
+	}
+	switch {
+	case s.Workload != "" && s.Source != "":
+		return fmt.Errorf("campaign: spec sets both workload %q and an inline source; pick one", s.Workload)
+	case s.Workload != "":
+		if _, err := workloads.Get(s.Workload, max(s.Input, 1)); err != nil {
+			return fmt.Errorf("campaign: %w", err)
+		}
+	case s.Source != "":
+		if _, err := lookupVerifier(s.Verifier); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("campaign: spec names neither a workload nor an inline source")
+	}
+	return nil
+}
+
+// ID returns the campaign's stable identifier: the sanitized Name when
+// set, otherwise a content hash of the normalized spec.
+func (s *Spec) ID() string {
+	if s.Name != "" {
+		return sanitizeID(s.Name)
+	}
+	data, _ := json.Marshal(s)
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Build compiles the spec into an executable campaign. Coordinator and
+// workers both call it; because compilation, SiteID assignment, and
+// plan drawing are deterministic, every party agrees on the campaign's
+// fingerprint (fault.Prepared.Meta) or refuses to proceed.
+func (s *Spec) Build() (*fault.Campaign, error) {
+	var (
+		verify fault.Verifier
+		cfg    interp.Config
+		src    string
+	)
+	switch {
+	case s.Workload != "":
+		ws, err := workloads.Get(s.Workload, s.Input)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		verify = ws.Verify
+		cfg = ws.BaseConfig(max(s.Ranks, 1))
+		src = ws.Source
+	case s.Source != "":
+		v, err := lookupVerifier(s.Verifier)
+		if err != nil {
+			return nil, err
+		}
+		verify = v
+		cfg = interp.Config{Ranks: max(s.Ranks, 1)}
+		src = s.Source
+	default:
+		return nil, fmt.Errorf("campaign: spec names neither a workload nor an inline source")
+	}
+	m, err := lang.Compile(src)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: compiling spec program: %w", err)
+	}
+	prog, err := fault.Compile(m)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	cfg.Watchdog = s.Watchdog
+	return &fault.Campaign{
+		Prog:       prog,
+		Verify:     verify,
+		Config:     cfg,
+		Seed:       s.Seed,
+		HangFactor: s.HangFactor,
+		MaxRetries: s.MaxRetries,
+	}, nil
+}
+
+// lookupVerifier resolves a named output check for inline programs.
+// Verifiers must be named, not serialized: both sides of the protocol
+// need the identical routine.
+func lookupVerifier(name string) (fault.Verifier, error) {
+	switch name {
+	case "", "exact":
+		return exactVerifier, nil
+	}
+	return nil, fmt.Errorf("campaign: unknown verifier %q (inline sources support: exact)", name)
+}
+
+// exactVerifier accepts a faulty run only when every output equals the
+// golden run's bit for bit — the strictest check, and the right
+// default for custom programs whose tolerance nobody has stated.
+func exactVerifier(golden, faulty *interp.Result) bool {
+	if len(faulty.OutputF) != len(golden.OutputF) || len(faulty.OutputI) != len(golden.OutputI) {
+		return false
+	}
+	for i := range golden.OutputF {
+		if faulty.OutputF[i] != golden.OutputF[i] {
+			return false
+		}
+	}
+	for i := range golden.OutputI {
+		if faulty.OutputI[i] != golden.OutputI[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sanitizeID maps a user-chosen campaign name onto a safe directory /
+// URL path segment.
+func sanitizeID(name string) string {
+	var sb strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('-')
+		}
+	}
+	if sb.Len() == 0 {
+		return "campaign"
+	}
+	return sb.String()
+}

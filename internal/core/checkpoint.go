@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"ipas/internal/campaign"
 	"ipas/internal/fault"
 	"ipas/internal/fault/shard"
 	"ipas/internal/svm"
@@ -37,6 +38,22 @@ type CampaignControls struct {
 	// training (0 = GOMAXPROCS). Training results are bit-identical for
 	// any worker count.
 	TrainWorkers int
+	// Watchdog, when > 0, bounds each blocked MPI operation's
+	// wall-clock time (interp.Config.Watchdog) in every campaign the
+	// workflow runs; 0 keeps the interpreter's default.
+	Watchdog time.Duration
+	// Remote, when non-nil together with RemoteSpec, dispatches
+	// eligible campaigns to a campaignd coordinator instead of running
+	// them in-process.
+	Remote *campaign.Client
+	// RemoteSpec renders a stage as a remote campaign spec, or nil to
+	// run that stage locally (graceful degradation: stages a spec
+	// cannot express — protected variants do not round-trip through
+	// source text — just stay in-process). The returned spec names the
+	// program (workload/input/ranks or inline source); Run fills
+	// trials, seed, sharding, retry, and watchdog knobs so remote
+	// trials are bit-identical to local ones.
+	RemoteSpec func(stage string) *campaign.Spec
 	// Progress, when non-nil, receives per-campaign progress: stage
 	// names the campaign ("collect", "eval IPAS-1", ...), done/total
 	// count trials, failed counts infrastructure failures, and
@@ -57,6 +74,9 @@ func (cc *CampaignControls) Apply(c *fault.Campaign, stage string) error {
 	c.MaxRetries = cc.MaxRetries
 	c.RetryBackoff = cc.RetryBackoff
 	c.Workers = cc.Workers
+	if cc.Watchdog > 0 {
+		c.Config.Watchdog = cc.Watchdog
+	}
 	if cc.Progress != nil {
 		report := cc.Progress
 		c.Progress = func(done, total, failed, deadlocked int) { report(stage, done, total, failed, deadlocked) }
@@ -79,6 +99,11 @@ func (cc *CampaignControls) Apply(c *fault.Campaign, stage string) error {
 // shard plus the canonical merged journal) instead of a single
 // "<stage>.jsonl" file.
 func (cc *CampaignControls) Run(ctx context.Context, c *fault.Campaign, n int, stage string) (*fault.CampaignResult, error) {
+	if cc != nil && cc.Remote != nil && cc.RemoteSpec != nil {
+		if spec := cc.RemoteSpec(stage); spec != nil {
+			return cc.runRemote(ctx, c, spec, n, stage)
+		}
+	}
 	if cc == nil || cc.Shards <= 1 {
 		if err := cc.Apply(c, stage); err != nil {
 			return nil, err
@@ -87,6 +112,9 @@ func (cc *CampaignControls) Run(ctx context.Context, c *fault.Campaign, n int, s
 	}
 	c.MaxRetries = cc.MaxRetries
 	c.RetryBackoff = cc.RetryBackoff
+	if cc.Watchdog > 0 {
+		c.Config.Watchdog = cc.Watchdog
+	}
 	opts := shard.Options{Shards: cc.Shards, Workers: cc.Workers, Retries: cc.ShardRetries}
 	if cc.Progress != nil {
 		report := cc.Progress
@@ -100,6 +128,46 @@ func (cc *CampaignControls) Run(ctx context.Context, c *fault.Campaign, n int, s
 		opts.Dir = dir
 	}
 	return shard.Run(ctx, c, n, opts)
+}
+
+// runRemote dispatches one campaign to the coordinator and polls it to
+// completion. The partial spec from RemoteSpec names the program; the
+// controls and campaign fill every knob that pins the plan sequence and
+// per-trial behavior, so the coordinator's workers reproduce the local
+// engine's trials bit for bit.
+func (cc *CampaignControls) runRemote(ctx context.Context, c *fault.Campaign, spec *campaign.Spec, n int, stage string) (*fault.CampaignResult, error) {
+	s := *spec
+	s.Trials = n
+	s.Seed = c.Seed
+	s.HangFactor = c.HangFactor
+	s.MaxRetries = cc.MaxRetries
+	s.Watchdog = cc.Watchdog
+	if s.Shards == 0 {
+		s.Shards = max(cc.Shards, 1)
+	}
+	s.Normalize()
+	sub, _, err := cc.Remote.Submit(ctx, s)
+	if err != nil {
+		return nil, fmt.Errorf("core: submitting %s to coordinator: %w", stage, err)
+	}
+	var onProgress func(campaign.Progress)
+	if cc.Progress != nil {
+		report := cc.Progress
+		onProgress = func(p campaign.Progress) { report(stage, p.Done, p.Trials, p.Failed, p.Deadlocked) }
+	}
+	res, err := cc.Remote.WaitResult(ctx, sub.ID, 0, onProgress)
+	if err != nil {
+		return nil, fmt.Errorf("core: waiting for %s (campaign %s): %w", stage, sub.ID, err)
+	}
+	if cc.Progress != nil {
+		cc.Progress(stage, res.Completed+res.Failed, len(res.Trials), res.Failed, res.Deadlocks)
+	}
+	// Match the local engines' contract: per-trial infrastructure
+	// failures come back as a joined error beside the complete result.
+	if err := res.Finalize(); err != nil {
+		return res, err
+	}
+	return res, nil
 }
 
 // SearchOptions renders the controls' training knobs as grid-search

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 
+	"ipas/internal/campaign"
 	"ipas/internal/core"
 	"ipas/internal/svm"
 	"ipas/internal/workloads"
@@ -257,6 +258,19 @@ func (s *Suite) optsFor(name string) core.Options {
 	}
 	if cc.Checkpoint != nil {
 		scoped.Checkpoint = cc.Checkpoint.Sub(name)
+	}
+	if cc.Remote != nil && cc.RemoteSpec == nil {
+		// Dispatch each workflow's collection campaign — the suite's
+		// dominant injection cost on the unmodified workload — to the
+		// coordinator; every other stage (training, protected-variant
+		// evaluation) stays local because protected modules do not
+		// round-trip through a campaign spec.
+		scoped.RemoteSpec = func(stage string) *campaign.Spec {
+			if stage != "collect" {
+				return nil
+			}
+			return &campaign.Spec{Workload: name, Input: 1, Ranks: 1}
+		}
 	}
 	opts.Controls = &scoped
 	return opts

@@ -1,0 +1,109 @@
+package fault
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// durabilityJournal records n trials under the given fsync policy and
+// returns the journal plus its on-disk bytes after Close.
+func durabilityRun(t *testing.T, fsyncEvery, n int) (syncs int, data []byte) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trials.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetFsyncEvery(fsyncEvery)
+	if _, err := j.Begin(JournalMeta{Seed: 9, Trials: n, GoldenDyn: 100, Population: 50}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := j.Record(i, Trial{Site: i, Bit: i % 64, Index: int64(i), Latency: int64(10 * i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j.syncs, data
+}
+
+// The durability policy changes only when bytes reach stable storage,
+// never which bytes: every policy writes identical journals, and the
+// fsync accounting matches the configured checkpoint interval.
+func TestJournalDurabilityPolicy(t *testing.T) {
+	const n = 7
+	baseSyncs, baseBytes := durabilityRun(t, 0, n)
+	if baseSyncs != 0 {
+		t.Fatalf("buffered journal issued %d fsyncs, want 0", baseSyncs)
+	}
+	for _, tc := range []struct {
+		every, wantSyncs int
+	}{
+		// Per trial: one fsync per appended line (meta header + 7
+		// trials); nothing left unsynced for Close.
+		{1, n + 1},
+		// Interval 3: 8 lines fsync at 3 and 6, Close syncs the tail.
+		{3, 3},
+		// Interval larger than the journal: only Close syncs.
+		{100, 1},
+	} {
+		syncs, data := durabilityRun(t, tc.every, n)
+		if syncs != tc.wantSyncs {
+			t.Errorf("fsyncEvery=%d issued %d fsyncs, want %d", tc.every, syncs, tc.wantSyncs)
+		}
+		if !bytes.Equal(data, baseBytes) {
+			t.Errorf("fsyncEvery=%d journal bytes differ from the buffered journal", tc.every)
+		}
+	}
+}
+
+// Sync forces buffered records to disk on demand (the coordinator
+// calls it before acknowledging a worker's segment), and a synced
+// journal still resumes exactly.
+func TestJournalExplicitSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trials.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := JournalMeta{Seed: 4, Trials: 2, GoldenDyn: 10, Population: 5}
+	if _, err := j.Begin(meta); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(0, Trial{Site: 3, Bit: 2, Index: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if j.syncs != 1 {
+		t.Fatalf("explicit Sync issued %d fsyncs, want 1", j.syncs)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	prev, err := j2.Begin(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prev) != 1 || prev[0].Site != 3 {
+		t.Fatalf("restored %v, want the synced trial", prev)
+	}
+	if err := j2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -59,12 +59,15 @@ type journalLine struct {
 type Journal struct {
 	path string
 
-	mu       sync.Mutex
-	f        *os.File
-	w        *bufio.Writer
-	meta     *JournalMeta
-	restored map[int]Trial
-	began    bool
+	mu        sync.Mutex
+	f         *os.File
+	w         *bufio.Writer
+	meta      *JournalMeta
+	restored  map[int]Trial
+	began     bool
+	fsyncEach int // fsync every N appended records; 0 = never (buffered)
+	sinceSync int
+	syncs     int // fsyncs issued (tests assert the policy's accounting)
 }
 
 // ErrJournalLocked reports that a journal file is already open in
@@ -96,7 +99,9 @@ func OpenJournal(path string) (*Journal, error) {
 	}
 	if err := lockFile(f); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("fault: journal %s: %w (%v)", path, ErrJournalLocked, err)
+		return nil, fmt.Errorf(
+			"fault: journal %s: %w: another worker, campaign, or CLI in this or another process holds it; stop that run or point this one at a different journal path (%v)",
+			path, ErrJournalLocked, err)
 	}
 	j := &Journal{path: path, f: f, restored: map[int]Trial{}}
 	valid, err := j.load()
@@ -220,8 +225,57 @@ func (j *Journal) Begin(meta JournalMeta) (map[int]Trial, error) {
 	return nil, nil
 }
 
-// Record appends one finished trial and flushes it to the OS, so a
-// killed process loses at most the line being written.
+// SetFsyncEvery selects the journal's durability policy: how many
+// appended records may accumulate before the journal forces them to
+// stable storage with fsync.
+//
+//	n == 0  buffered (default): every record is flushed to the OS, so
+//	        a killed process loses at most the line being written, but
+//	        host power loss can lose recent records.
+//	n == 1  per trial: fsync after every record — a record handed back
+//	        to the caller is on stable storage.
+//	n > 1   per checkpoint interval: fsync every n records and on
+//	        Sync/Close — amortizes the fsync cost, bounding power-loss
+//	        exposure to the last n records.
+//
+// Local campaigns keep the buffered default (a crashed process resumes
+// from its own disk cache anyway); the campaign coordinator syncs
+// before acknowledging worker segments, so an acked trial survives
+// host power loss.
+func (j *Journal) SetFsyncEvery(n int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	j.fsyncEach = n
+	j.sinceSync = 0
+}
+
+// Sync flushes buffered records and forces them to stable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.w == nil {
+		return fmt.Errorf("fault: journal %s: closed", j.path)
+	}
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	return j.fsync()
+}
+
+// fsync forces the file to stable storage; callers hold j.mu and have
+// flushed the buffer.
+func (j *Journal) fsync() error {
+	j.sinceSync = 0
+	j.syncs++
+	return j.f.Sync()
+}
+
+// Record appends one finished trial and flushes it to the OS (and, per
+// the SetFsyncEvery policy, to stable storage), so a killed process
+// loses at most the line being written.
 func (j *Journal) Record(t int, tr Trial) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -243,7 +297,16 @@ func (j *Journal) append(rec journalLine) error {
 	if err := j.w.WriteByte('\n'); err != nil {
 		return err
 	}
-	return j.w.Flush()
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	if j.fsyncEach > 0 {
+		j.sinceSync++
+		if j.sinceSync >= j.fsyncEach {
+			return j.fsync()
+		}
+	}
+	return nil
 }
 
 // WriteCanonical writes a complete campaign journal to path in
@@ -295,6 +358,11 @@ func (j *Journal) Close() error {
 		return nil
 	}
 	err := j.w.Flush()
+	if j.fsyncEach > 0 && j.sinceSync > 0 {
+		if serr := j.fsync(); err == nil {
+			err = serr
+		}
+	}
 	if cerr := j.f.Close(); err == nil {
 		err = cerr
 	}

@@ -1,0 +1,108 @@
+//go:build unix
+
+package fault
+
+import (
+	"bufio"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// lockHelperEnv tells a re-executed test binary to act as the
+// lock-holding peer process instead of running the test suite.
+const lockHelperEnv = "IPAS_TEST_HOLD_JOURNAL"
+
+// TestMain lets this test binary double as the cross-process lock
+// helper: when lockHelperEnv names a journal path, the process opens
+// it, announces the held lock on stdout, and holds it until stdin
+// closes (or a deadline passes).
+func TestMain(m *testing.M) {
+	if path := os.Getenv(lockHelperEnv); path != "" {
+		j, err := OpenJournal(path)
+		if err != nil {
+			os.Stdout.WriteString("ERR " + err.Error() + "\n")
+			os.Exit(1)
+		}
+		os.Stdout.WriteString("LOCKED\n")
+		// Hold the lock until the parent closes our stdin (or a safety
+		// deadline, so an orphaned helper cannot outlive its test run).
+		done := make(chan struct{})
+		go func() {
+			buf := make([]byte, 1)
+			for {
+				if _, err := os.Stdin.Read(buf); err != nil {
+					close(done)
+					return
+				}
+			}
+		}()
+		select {
+		case <-done:
+		case <-time.After(time.Minute):
+		}
+		j.Close()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// A journal held by another PROCESS — a remote worker streaming into a
+// coordinator directory while a local CLI opens the same file, or two
+// workers colliding on one shard directory — must fail fast with
+// ErrJournalLocked and an actionable message, exactly like the
+// in-process (per-OFD) case lock_test.go covers.
+func TestJournalLockRejectsCrossProcessOpener(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard-0000.jsonl")
+
+	helper := exec.Command(os.Args[0], "-test.run=^$")
+	helper.Env = append(os.Environ(), lockHelperEnv+"="+path)
+	stdin, err := helper.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout, err := helper.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := helper.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		stdin.Close()
+		helper.Wait()
+	}()
+
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "LOCKED") {
+		t.Fatalf("helper process did not take the lock: %q (%v)", line, err)
+	}
+
+	_, err = OpenJournal(path)
+	if err == nil {
+		t.Fatal("opened a journal locked by another process")
+	}
+	if !errors.Is(err, ErrJournalLocked) {
+		t.Fatalf("cross-process opener failed with %v, want ErrJournalLocked", err)
+	}
+	for _, want := range []string{path, "another worker", "different journal path"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("lock error %q is not actionable: missing %q", err, want)
+		}
+	}
+
+	// Releasing the helper's lock makes the journal usable again.
+	stdin.Close()
+	if err := helper.Wait(); err != nil {
+		t.Fatalf("helper exited with %v", err)
+	}
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("journal stayed locked after the holder exited: %v", err)
+	}
+	j.Close()
+}

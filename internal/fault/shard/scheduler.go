@@ -13,6 +13,12 @@ import (
 // blocking a worker, which is what keeps one sick shard from poisoning
 // its siblings' throughput.
 //
+// Shard lifecycle and quarantine accounting live in the shared
+// StateMachine (state.go) — the same machine the campaign
+// coordinator's lease registry drives — serialized under the
+// scheduler's lock; the deques and backoff timers are this engine's
+// own dispatch mechanics.
+//
 // Results never depend on which worker runs which shard — trials are
 // addressed by index and plans are pure functions of (Seed, index) —
 // so the scheduler is free to balance load arbitrarily.
@@ -20,7 +26,7 @@ type scheduler struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	deques  [][]int // per-worker shard-index deques
-	pending int     // shards not yet terminal (queued, running, or in backoff)
+	sm      *StateMachine
 	stopped bool
 	timers  []*time.Timer
 }
@@ -28,7 +34,7 @@ type scheduler struct {
 // newScheduler seeds `shards` shard indices round-robin across
 // `workers` deques.
 func newScheduler(workers, shards int) *scheduler {
-	s := &scheduler{deques: make([][]int, workers), pending: shards}
+	s := &scheduler{deques: make([][]int, workers), sm: NewStateMachine(shards)}
 	s.cond = sync.NewCond(&s.mu)
 	// Deal in reverse so each worker's LIFO pop yields its lowest
 	// shard first (cosmetic: journals and progress fill in order on an
@@ -40,21 +46,21 @@ func newScheduler(workers, shards int) *scheduler {
 	return s
 }
 
-// next returns the next shard for worker w, blocking while every
-// runnable shard is elsewhere (executing or in quarantine backoff).
-// ok=false means the scheduler stopped or every shard reached a
-// terminal state.
-func (s *scheduler) next(w int) (shard int, ok bool) {
+// next returns the next shard for worker w together with its 1-based
+// attempt number, blocking while every runnable shard is elsewhere
+// (executing or in quarantine backoff). ok=false means the scheduler
+// stopped or every shard reached a terminal state.
+func (s *scheduler) next(w int) (shard, attempt int, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
-		if s.stopped || s.pending == 0 {
-			return 0, false
+		if s.stopped || s.sm.AllTerminal() {
+			return 0, 0, false
 		}
 		if d := s.deques[w]; len(d) > 0 {
 			shard = d[len(d)-1]
 			s.deques[w] = d[:len(d)-1]
-			return shard, true
+			return shard, s.sm.Acquire(shard), true
 		}
 		victim, best := -1, 0
 		for v := range s.deques {
@@ -65,29 +71,43 @@ func (s *scheduler) next(w int) (shard int, ok bool) {
 		if victim >= 0 {
 			shard = s.deques[victim][0]
 			s.deques[victim] = s.deques[victim][1:]
-			return shard, true
+			return shard, s.sm.Acquire(shard), true
 		}
 		s.cond.Wait()
 	}
 }
 
-// finish marks one shard terminal (completed, or quarantined for
-// good); when the last one lands, waiting workers drain and exit.
-func (s *scheduler) finish() {
+// finish marks one shard done; when the last shard turns terminal,
+// waiting workers drain and exit.
+func (s *scheduler) finish(shard int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.pending--
-	if s.pending == 0 {
+	s.sm.Complete(shard)
+	if s.sm.AllTerminal() {
 		s.cond.Broadcast()
 	}
 }
 
-// requeue schedules a quarantined shard back onto worker w's deque
-// after the backoff delay. The worker is free the whole time — backoff
-// never occupies a scheduler slot.
+// fail marks one shard terminally quarantined (retry budget
+// exhausted).
+func (s *scheduler) fail(shard int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sm.Fail(shard)
+	if s.sm.AllTerminal() {
+		s.cond.Broadcast()
+	}
+}
+
+// requeue quarantines a shard and schedules it back onto worker w's
+// deque after the backoff delay. The worker is free the whole time —
+// backoff never occupies a scheduler slot. The shard stays in
+// StateBackoff while queued; the eventual pop re-acquires it directly
+// (Backoff → Running), so the deque entry is the requeue.
 func (s *scheduler) requeue(w, shard int, delay time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sm.Quarantine(shard)
 	if s.stopped {
 		return
 	}

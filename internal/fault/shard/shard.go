@@ -143,7 +143,6 @@ func Run(ctx context.Context, c *fault.Campaign, n int, opts Options) (*fault.Ca
 		opts:     opts,
 		meta:     prep.Meta(n),
 		journals: make([]*fault.Journal, k),
-		attempts: make([]int, k),
 	}
 	if e.opts.Progress == nil {
 		e.opts.Progress = c.Progress
@@ -203,21 +202,20 @@ func Run(ctx context.Context, c *fault.Campaign, n int, opts Options) (*fault.Ca
 		go func(w int) {
 			defer wg.Done()
 			for {
-				sh, ok := sched.next(w)
+				sh, attempt, ok := sched.next(w)
 				if !ok {
 					return
 				}
-				attempt := e.bumpAttempt(sh)
 				err := e.runShard(ctx, sh, attempt)
 				switch {
 				case err == nil:
-					sched.finish()
+					sched.finish(sh)
 				case errors.Is(err, errCancelled):
 					// The scheduler is stopping; the shard stays
 					// non-terminal and resumes from its journal.
 				case attempt > retries:
 					e.failShard(sh, attempt, err)
-					sched.finish()
+					sched.fail(sh)
 				default:
 					sched.requeue(w, sh, backoff<<(attempt-1))
 				}
@@ -268,7 +266,6 @@ type engine struct {
 	deadlocked int
 	journals   []*fault.Journal
 	jerr       error
-	attempts   []int
 }
 
 // runShard executes one attempt of shard sh: every not-yet-settled
@@ -315,14 +312,6 @@ func (e *engine) settled(t int) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.out.Trials[t].Status != fault.TrialPending
-}
-
-// bumpAttempt increments and returns shard sh's 1-based attempt count.
-func (e *engine) bumpAttempt(sh int) int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.attempts[sh]++
-	return e.attempts[sh]
 }
 
 // record lands one finished trial: result slot, shard journal, and
