@@ -29,7 +29,9 @@ type Options struct {
 	// heartbeating (default 15s). An expired lease requeues the shard.
 	LeaseTTL time.Duration
 	// Backoff is the base quarantine delay after a failed or expired
-	// lease: requeue k waits Backoff << (k-1) (default 1s).
+	// lease: requeue k waits Backoff << (k-1), clamped to an hour so an
+	// arbitrarily large retry budget cannot overflow the shift
+	// (default 1s).
 	Backoff time.Duration
 	// Retries bounds shard quarantine retries, following the
 	// fault.MaxRetries convention (0 = fault.DefaultMaxRetries,
@@ -67,6 +69,8 @@ type state struct {
 	sm    *shard.StateMachine
 
 	journals     []*fault.Journal
+	jmu          []sync.Mutex // per-shard journal I/O; see Server's locking notes
+	failedShard  []bool       // guarded by jmu[sh]: shard terminally failed, journal retired
 	backoffUntil []time.Time
 	leaseOf      []*lease
 
@@ -79,9 +83,17 @@ type state struct {
 
 // Server is the campaign coordinator: it admits specs, restores their
 // durable journals, and dispatches shards to workers under leases. One
-// mutex serializes all campaign and lease state; journal appends happen
-// under it too, which keeps the ack-after-durable contract trivially
-// correct (the response is not written until the fsync returned).
+// mutex (mu) serializes campaign and lease state, but the hot path's
+// journal appends and fsyncs run outside it under a per-shard journal
+// lock (state.jmu), so one slow fsync never holds up heartbeats or
+// sibling shards' segments. The durable-ack contract survives the
+// split because it is ordered, not locked: a segment is journaled and
+// fsynced first, and only then — back under mu, with the lease
+// re-validated — settled in memory and acknowledged.
+//
+// Lock order: mu before jmu, never the reverse. The only paths that
+// hold both are rare and cold (terminal shard failure, journal close
+// on completion); phase-2 segment I/O holds jmu alone.
 type Server struct {
 	opts    Options
 	ttl     time.Duration
@@ -296,6 +308,8 @@ func (s *Server) admitLocked(id string, spec Spec, prep *fault.Prepared, meta fa
 		res:          prep.NewResult(plans),
 		sm:           shard.NewStateMachine(spec.Shards),
 		journals:     make([]*fault.Journal, spec.Shards),
+		jmu:          make([]sync.Mutex, spec.Shards),
+		failedShard:  make([]bool, spec.Shards),
 		backoffUntil: make([]time.Time, spec.Shards),
 		leaseOf:      make([]*lease, spec.Shards),
 	}
@@ -513,10 +527,16 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// handleRecords ingests a journal segment for a leased shard. Records
-// are journaled and fsynced before the acknowledgment is written, so an
-// acked trial survives coordinator power loss; re-sent records for
-// already-settled trials ack idempotently without re-journaling.
+// handleRecords ingests a journal segment for a leased shard. The
+// durable-ack contract is strictly ordered: fresh records are journaled
+// and fsynced first, and only then settled in memory and acknowledged.
+// A failed journal write therefore leaves the trial pending on the
+// coordinator, so the worker's retry re-journals it instead of hitting
+// the idempotent-resend path and collecting a durable ack for a record
+// that never reached disk. Re-sent records for already-settled trials
+// ack idempotently without re-journaling. The fsync runs outside the
+// coordinator mutex — under the shard's journal lock — so a slow disk
+// never blocks heartbeats or other shards' segments.
 func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("lease")
 	var seg Segment
@@ -524,46 +544,92 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "decoding segment: %v", err)
 		return
 	}
+
+	// Phase 1, coordinator lock: validate the lease and the segment,
+	// and snapshot which records are not yet settled.
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	now := s.now()
-	s.expireLeasesLocked(now)
+	s.expireLeasesLocked(s.now())
 	l := s.leases[id]
 	if l == nil {
+		s.mu.Unlock()
 		httpError(w, http.StatusGone, "lease %s is no longer held", id)
 		return
 	}
-	st := l.st
-	lo, hi := shard.Range(st.n, st.k, l.shard)
+	st, sh := l.st, l.shard
+	lo, hi := shard.Range(st.n, st.k, sh)
 	for _, rec := range seg.Records {
 		if rec.T < lo || rec.T >= hi {
+			s.mu.Unlock()
 			httpError(w, http.StatusBadRequest, "record for trial %d is outside lease %s's range [%d,%d)", rec.T, id, lo, hi)
 			return
 		}
 		if rec.Trial.Status == fault.TrialPending {
+			s.mu.Unlock()
 			httpError(w, http.StatusBadRequest, "record for trial %d is pending; segments carry settled trials only", rec.T)
 			return
 		}
 	}
+	var fresh []Record
+	for _, rec := range seg.Records {
+		if st.res.Trials[rec.T].Status == fault.TrialPending {
+			fresh = append(fresh, rec)
+		}
+	}
+	j := st.journals[sh]
+	s.mu.Unlock()
+
+	// Phase 2, shard journal lock only: make the fresh records durable.
+	// failedShard fences zombie leases — once a shard terminally fails,
+	// a late segment may not append after the TrialFailed records and
+	// flip the journal's last-wins restore against the in-memory
+	// verdicts.
+	if len(fresh) > 0 {
+		st.jmu[sh].Lock()
+		retired := st.failedShard[sh] || j == nil
+		var jerr error
+		if !retired {
+			for _, rec := range fresh {
+				if jerr = j.Record(rec.T, rec.Trial); jerr != nil {
+					break
+				}
+			}
+			if jerr == nil {
+				// The durable-ack contract: fsync before the response exists.
+				jerr = j.Sync()
+			}
+		}
+		st.jmu[sh].Unlock()
+		if retired {
+			httpError(w, http.StatusGone, "lease %s: shard %d is no longer accepting records", id, sh)
+			return
+		}
+		if jerr != nil {
+			httpError(w, http.StatusInternalServerError, "journaling segment for lease %s: %v", id, jerr)
+			return
+		}
+	}
+
+	// Phase 3, coordinator lock: the records are durable — settle them
+	// in memory and run the lease bookkeeping.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	s.expireLeasesLocked(now)
+	if s.leases[id] != l {
+		// The lease died while the segment was being made durable. The
+		// records are on disk; the shard's next attempt re-derives them
+		// deterministically (or a restart's restore recovers them), so
+		// dropping the in-memory settle keeps memory and journal
+		// convergent.
+		httpError(w, http.StatusGone, "lease %s is no longer held", id)
+		return
+	}
 	acked := 0
 	for _, rec := range seg.Records {
-		if st.res.Trials[rec.T].Status != fault.TrialPending {
-			acked++ // idempotent re-send
-			continue
-		}
-		st.res.Trials[rec.T] = rec.Trial
-		if err := st.journals[l.shard].Record(rec.T, rec.Trial); err != nil {
-			httpError(w, http.StatusInternalServerError, "journaling trial %d: %v", rec.T, err)
-			return
+		if st.res.Trials[rec.T].Status == fault.TrialPending {
+			st.res.Trials[rec.T] = rec.Trial
 		}
 		acked++
-	}
-	if acked > 0 {
-		// The durable-ack contract: fsync before the response exists.
-		if err := st.journals[l.shard].Sync(); err != nil {
-			httpError(w, http.StatusInternalServerError, "syncing journal: %v", err)
-			return
-		}
 	}
 	l.expires = now.Add(s.ttl) // a progressing worker is a live worker
 
@@ -627,8 +693,25 @@ func (s *Server) releaseLocked(l *lease, cause string, now time.Time) {
 		return
 	}
 	st.sm.Quarantine(l.shard)
-	st.backoffUntil[l.shard] = now.Add(s.backoff << (attempt - 1))
+	st.backoffUntil[l.shard] = now.Add(backoffDelay(s.backoff, attempt))
 	s.logf("lease %s: shard %d/%d of %s quarantined (attempt %d): %s", l.id, l.shard, st.k, st.id, attempt, cause)
+}
+
+// maxShardBackoff bounds a quarantined shard's requeue delay.
+const maxShardBackoff = time.Hour
+
+// backoffDelay computes the quarantine delay after failed attempt k:
+// base << (k-1), clamped to maxShardBackoff. The clamp is what keeps an
+// arbitrary retry budget safe — an unchecked shift overflows
+// time.Duration into a zero, negative, or wrapped-tiny delay, which
+// would land backoffUntil in the past and turn quarantine into a hot
+// requeue loop. Doubling below the clamp can never overflow.
+func backoffDelay(base time.Duration, attempt int) time.Duration {
+	d := base
+	for k := 1; k < attempt && d < maxShardBackoff; k++ {
+		d <<= 1
+	}
+	return min(d, maxShardBackoff)
 }
 
 // failShardLocked records a terminally quarantined shard's unexecuted
@@ -637,6 +720,17 @@ func (s *Server) releaseLocked(l *lease, cause string, now time.Time) {
 func (s *Server) failShardLocked(st *state, sh, attempts int, cause string) {
 	lo, hi := shard.Range(st.n, st.k, sh)
 	msg := fmt.Sprintf("shard %d/%d quarantined after %d attempts: %s", sh, st.k, attempts, cause)
+	// Taking the shard journal lock (mu → jmu, the cold direction)
+	// retires the journal: a zombie lease's segment that was mid-fsync
+	// either finished before this point — those trials are pending in
+	// memory (its settle was refused) and are overwritten below, after
+	// its records in the journal — or observes failedShard and is
+	// refused. Either way nothing appends after these TrialFailed
+	// records, so the journal's last-wins restore always agrees with
+	// the in-memory verdicts.
+	st.jmu[sh].Lock()
+	defer st.jmu[sh].Unlock()
+	st.failedShard[sh] = true
 	for t := lo; t < hi; t++ {
 		if st.res.Trials[t].Status != fault.TrialPending {
 			continue

@@ -483,6 +483,119 @@ func TestServerQuarantineExhaustionFailsShardAlone(t *testing.T) {
 	assertJournalLinesMatch(t, got, wantBytes, func(trial int) bool { return trial >= lo && trial < hi })
 }
 
+// A journal write failure must not leave a phantom in-memory settle:
+// the coordinator answers 500 with the trial still pending, so the
+// worker's retry of the same segment is re-journaled — never answered
+// with an idempotent durable ack for a record that missed the disk.
+func TestServerJournalFailureLeavesTrialPending(t *testing.T) {
+	srv, err := New(Options{Dir: t.TempDir(), LeaseTTL: time.Minute, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+	client := &Client{Base: hs.URL}
+	sub, _, err := client.Submit(context.Background(), testSpec("jfail", 4, 2, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grant := acquireRaw(t, client.Base)
+
+	// Make every append to the leased shard's journal fail by closing
+	// the file underneath the coordinator.
+	srv.mu.Lock()
+	srv.campaigns[sub.ID].journals[grant.Shard].Close()
+	srv.mu.Unlock()
+
+	seg := Segment{Records: []Record{{T: grant.Lo, Trial: fault.Trial{
+		Site: -1, Status: fault.TrialFailed, Err: "synthetic", Attempts: 1,
+	}}}}
+	for attempt := 1; attempt <= 2; attempt++ {
+		if got := postStatus(t, client.Base, "/api/v1/leases/"+grant.Lease+"/records", seg); got != http.StatusInternalServerError {
+			t.Fatalf("segment post %d with a failing journal returned HTTP %d, want 500 (phantom settle acked without a durable write)", attempt, got)
+		}
+	}
+	p, err := client.Progress(context.Background(), sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards[grant.Shard].Settled != 0 || p.Done != 0 {
+		t.Fatalf("unjournaled records settled in memory: %+v", p)
+	}
+}
+
+// Quarantine backoff must stay positive and bounded for any attempt
+// count: an unclamped shift would overflow into a zero or negative
+// delay and turn quarantine into a hot requeue loop.
+func TestBackoffDelayClamped(t *testing.T) {
+	prev := time.Duration(0)
+	for attempt := 1; attempt <= 200; attempt++ {
+		d := backoffDelay(time.Second, attempt)
+		if d <= 0 || d > maxShardBackoff {
+			t.Fatalf("backoffDelay(1s, %d) = %v, want within (0, %v]", attempt, d, maxShardBackoff)
+		}
+		if d < prev {
+			t.Fatalf("backoffDelay(1s, %d) = %v shrank below %v", attempt, d, prev)
+		}
+		prev = d
+	}
+	if got := backoffDelay(time.Second, 3); got != 4*time.Second {
+		t.Fatalf("backoffDelay(1s, 3) = %v, want 4s", got)
+	}
+	if got := backoffDelay(time.Second, 100); got != maxShardBackoff {
+		t.Fatalf("backoffDelay(1s, 100) = %v, want the %v clamp", got, maxShardBackoff)
+	}
+	if got := backoffDelay(2*time.Hour, 1); got != maxShardBackoff {
+		t.Fatalf("backoffDelay(2h, 1) = %v, want the %v clamp", got, maxShardBackoff)
+	}
+}
+
+// A long-lived worker whose cached campaign ID is reused for a new
+// spec (a coordinator restarted on a cleaned directory pins the same
+// name to different content) must rebuild from the grant's spec
+// instead of surrendering every lease for that ID into terminal
+// shard failure.
+func TestWorkerRebuildsStaleCampaignCache(t *testing.T) {
+	specA := testSpec("pinned", 6, 2, 21)
+	specB := testSpec("pinned", 6, 2, 22) // same campaign ID, different fingerprint
+	wantB, _ := localReference(t, specB)
+
+	w := &Worker{Name: "long-lived"}
+	run := func(spec Spec) *fault.CampaignResult {
+		client := newTestServer(t, Options{Retries: fault.ExplicitRetries(1)})
+		sub, _, err := client.Submit(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Server = client.Base
+		deadline := time.Now().Add(time.Minute)
+		for {
+			if _, err := client.Result(context.Background(), sub.ID); err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("campaign %s did not complete", sub.ID)
+			}
+			if worked, _ := w.RunOne(context.Background()); !worked {
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+		return waitComplete(t, client, sub.ID)
+	}
+
+	if res := run(specA); res.Failed != 0 {
+		t.Fatalf("first campaign failed %d trials", res.Failed)
+	}
+	resB := run(specB)
+	if resB.Failed != 0 {
+		t.Fatalf("reused campaign ID failed %d trials: the worker kept surrendering on its stale cache", resB.Failed)
+	}
+	assertSameTrials(t, resB, wantB)
+}
+
 // assertJournalLinesMatch compares two canonical journals line by line,
 // skipping trial lines the skip predicate excuses. Line 0 is the meta
 // header; body line i carries trial i-1 in canonical order.

@@ -135,11 +135,31 @@ func (w *Worker) prepare(ctx context.Context, grant LeaseGrant) (*workerCampaign
 	return wc, nil
 }
 
+// evict drops a cached campaign, but only if wc is still the cached
+// entry (a concurrent rebuild may have replaced it already).
+func (w *Worker) evict(id string, wc *workerCampaign) {
+	w.mu.Lock()
+	if w.cache[id] == wc {
+		delete(w.cache, id)
+	}
+	w.mu.Unlock()
+}
+
 // runLease executes one leased shard: trials in index order, one
 // durable-acked segment per trial, a heartbeat goroutine keeping the
 // lease alive, and a final Done (or Fail) segment closing it.
 func (w *Worker) runLease(ctx context.Context, grant LeaseGrant) error {
 	wc, err := w.prepare(ctx, grant)
+	if err == nil && wc.meta != grant.Meta {
+		// The cached build may belong to an older campaign that reused
+		// this ID (a coordinator restarted on a cleaned directory pins
+		// the same name to a new spec). Surrendering forever on a stale
+		// cache would drive the shard through quarantine to terminal
+		// failure, so evict and rebuild once from the grant's spec
+		// before concluding the builds genuinely disagree.
+		w.evict(grant.Campaign, wc)
+		wc, err = w.prepare(ctx, grant)
+	}
 	if err != nil {
 		// The spec does not build or golden-run here; surrendering
 		// with a deterministic cause lets the coordinator quarantine.
