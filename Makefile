@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet lint race ci bench bench-svm bench-all bench-smoke bench-check chaos-smoke server-chaos-smoke fuzz-smoke experiments experiments-paper examples clean
+.PHONY: build test test-short vet lint race ci bench bench-svm bench-all bench-smoke bench-check bench-compose compose-smoke chaos-smoke server-chaos-smoke fuzz-smoke experiments experiments-paper examples clean
 
 build:
 	$(GO) build ./...
@@ -43,7 +43,7 @@ race:
 	$(GO) test -race -shuffle=on -timeout=30m ./...
 
 # What CI runs (see .github/workflows/ci.yml).
-ci: lint build race chaos-smoke server-chaos-smoke bench-check
+ci: lint build race chaos-smoke server-chaos-smoke bench-check compose-smoke
 
 # Interpreter + campaign throughput benchmarks (the perf trajectory of
 # the execution engine), recorded machine-readably in BENCH_interp.json.
@@ -82,6 +82,24 @@ bench-smoke:
 bench-check: bench-smoke
 	$(GO) run ./cmd/benchdiff -base BENCH_interp.json bench_smoke_interp.json
 	$(GO) run ./cmd/benchdiff -base BENCH_svm.json bench_smoke_svm.json
+
+# Sectioned-campaign differential smoke (what CI runs): the composed
+# whole-program distribution must agree with a monolithic campaign on
+# the two fastest workloads, incremental re-analysis accounting must be
+# exact (internal/compose/differential_test.go), and the analytic
+# trial-count advantage is regenerated and diffed against the
+# checked-in BENCH_compose.json — the counts are exact and
+# machine-independent, so the benchdiff gate catches any allocation
+# that balloons. Regenerate the reference with `make bench-compose`.
+compose-smoke:
+	$(GO) test -race -shuffle=on -count=1 -timeout=10m \
+		-run 'TestDifferentialComposedVsMonolithic/(FFT|IS)|TestIncrementalReanalysis' ./internal/compose
+	$(GO) run ./cmd/composebench -o bench_smoke_compose.json
+	$(GO) run ./cmd/benchdiff -base BENCH_compose.json -min-ns 1 bench_smoke_compose.json
+
+# Regenerate the checked-in sectioned-vs-monolithic trial-count report.
+bench-compose:
+	$(GO) run ./cmd/composebench -o BENCH_compose.json
 
 # Chaos tests for the sharded campaign engine under the race detector:
 # mid-campaign kills, torn/corrupt/deleted shard journals, and injected
@@ -126,4 +144,4 @@ examples:
 	$(GO) run ./examples/mpiscaling
 
 clean:
-	rm -f bench_output.txt test_output.txt bench_smoke_interp.json bench_smoke_svm.json
+	rm -f bench_output.txt test_output.txt bench_smoke_interp.json bench_smoke_svm.json bench_smoke_compose.json

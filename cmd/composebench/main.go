@@ -1,0 +1,112 @@
+// Command composebench records the sectioned campaign's trial-count
+// advantage over a monolithic campaign at equal site coverage, for
+// every evaluation workload. Both counts are analytic — the sectioned
+// total is the per-section allocation Σ_s ceil(coverage·P_s/Dmin_s)
+// and the monolithic equivalent is ceil(coverage·P/Dmin) with the
+// global minimum site depth — so the numbers are exact, deterministic,
+// and machine-independent, which makes them safe to gate tightly.
+//
+// The output is a bench2json-format report (BENCH_compose.json when
+// checked in): each workload contributes a sectioned-trials and a
+// monolithic-equivalent entry, with the count stored as ns_per_op so
+// cmd/benchdiff can gate it — a sectioned allocation that balloons
+// past the tolerance fails CI like any other perf regression. The
+// command itself additionally enforces the headline claim: the
+// aggregate reduction must be at least -min-reduction (default 5×).
+//
+// Usage:
+//
+//	composebench [-o BENCH_compose.json] [-coverage N] [-max-per-section N] [-min-reduction X]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"ipas/internal/fault"
+	"ipas/internal/workloads"
+)
+
+type benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+type report struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	Package    string      `json:"pkg,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	coverage := flag.Int("coverage", 1, "coverage factor: expected injections per exercised site")
+	maxPerSection := flag.Int("max-per-section", 0, "cap on any one section's trial budget (0 = uncapped)")
+	minReduction := flag.Float64("min-reduction", 5, "fail unless aggregate monolithic/sectioned trial ratio reaches this")
+	flag.Parse()
+
+	rep := report{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, Package: "ipas/cmd/composebench"}
+	var totalSec, totalMono int64
+	for _, name := range workloads.Names {
+		spec, err := workloads.Get(name, 1)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := spec.Compile()
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := fault.Compile(m)
+		if err != nil {
+			fatal(err)
+		}
+		c := &fault.Campaign{
+			Prog: prog, Verify: spec.Verify, Config: spec.BaseConfig(1), Seed: 1,
+			Sections: true, Coverage: *coverage, MaxPerSection: *maxPerSection,
+		}
+		prep, err := c.Prepare(context.Background())
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		sp := prep.SectionPlan()
+		totalSec += int64(sp.Total)
+		totalMono += sp.MonoTrials
+		rep.Benchmarks = append(rep.Benchmarks,
+			benchmark{Name: "ComposeSectionedTrials/" + name, Iterations: 1, NsPerOp: float64(sp.Total)},
+			benchmark{Name: "ComposeMonoEquivalent/" + name, Iterations: 1, NsPerOp: float64(sp.MonoTrials)},
+		)
+		fmt.Fprintf(os.Stderr, "composebench: %-6s %6d sectioned vs %10d monolithic-equivalent trials (%.0fx)\n",
+			name, sp.Total, sp.MonoTrials, float64(sp.MonoTrials)/float64(sp.Total))
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+	} else {
+		os.Stdout.Write(data)
+	}
+
+	ratio := float64(totalMono) / float64(totalSec)
+	fmt.Fprintf(os.Stderr, "composebench: aggregate %d sectioned vs %d monolithic-equivalent trials (%.0fx reduction)\n",
+		totalSec, totalMono, ratio)
+	if ratio < *minReduction {
+		fatal(fmt.Errorf("aggregate trial reduction %.2fx is below the required %.1fx", ratio, *minReduction))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "composebench:", err)
+	os.Exit(1)
+}

@@ -50,6 +50,9 @@ func main() {
 	remote := flag.String("remote", "", "campaignd coordinator URL; dispatch each workflow's collection campaign there")
 	trainWorkers := flag.Int("train-workers", 0, "concurrent grid-search workers for SVM training (0 = GOMAXPROCS; results are identical for any count)")
 	progress := flag.Bool("progress", false, "report per-campaign progress and error summaries on stderr")
+	sections := flag.Bool("sections", false, "run each campaign sectioned: stratify trials over IR sections with per-section budgets and fingerprint-keyed journals")
+	sectionCoverage := flag.Int("coverage", 1, "sectioned coverage factor: expected injections per exercised site per section")
+	maxPerSection := flag.Int("max-per-section", 0, "cap on any one section's trial budget (0 = engine default)")
 	flag.Parse()
 
 	params := experiments.Quick()
@@ -77,11 +80,14 @@ func main() {
 	}
 
 	controls := &core.CampaignControls{
-		MaxRetries:   fault.ExplicitRetries(*maxRetries),
-		TrainWorkers: *trainWorkers,
-		Shards:       *shards,
-		ShardRetries: fault.ExplicitRetries(*shardRetries),
-		Watchdog:     *watchdog,
+		MaxRetries:      fault.ExplicitRetries(*maxRetries),
+		TrainWorkers:    *trainWorkers,
+		Shards:          *shards,
+		ShardRetries:    fault.ExplicitRetries(*shardRetries),
+		Watchdog:        *watchdog,
+		Sections:        *sections,
+		SectionCoverage: *sectionCoverage,
+		MaxPerSection:   *maxPerSection,
 	}
 	if *remote != "" {
 		// The suite scopes a per-workload RemoteSpec onto these

@@ -22,12 +22,21 @@
 // every acked trial durably, and the result printed here is
 // bit-identical to the local run with the same seed.
 //
+// With -sections the trial space stratifies over IR sections
+// (outermost loop nests and the straight-line runs between them): each
+// section gets its own budget from -coverage, the whole-program
+// distribution is composed by population weighting, and -journal names
+// a directory of per-section journals keyed by content fingerprint —
+// re-running after a program edit re-injects only the sections whose
+// IR changed.
+//
 // Usage:
 //
 //	flipit [-workload NAME] [-input N] [-n TRIALS] [-seed S] [-funcs]
 //	       [-journal FILE|DIR [-resume]] [-deadline D] [-max-retries N]
 //	       [-workers N] [-shards K] [-shard-retries N] [-watchdog D]
 //	       [-remote URL] [-progress]
+//	       [-sections [-coverage N] [-max-per-section N]]
 package main
 
 import (
@@ -42,6 +51,7 @@ import (
 	"time"
 
 	"ipas/internal/campaign"
+	"ipas/internal/compose"
 	"ipas/internal/fault"
 	"ipas/internal/fault/shard"
 	"ipas/internal/stats"
@@ -64,6 +74,9 @@ func main() {
 	watchdog := flag.Duration("watchdog", 0, "per-MPI-op wall-clock watchdog (0 = interpreter default)")
 	remote := flag.String("remote", "", "campaignd coordinator URL; submit the campaign there instead of running locally")
 	progress := flag.Bool("progress", false, "report trial progress on stderr")
+	sections := flag.Bool("sections", false, "sectioned campaign: stratify the trial space over IR sections and compose the whole-program distribution; -n is ignored (the per-section allocation sets the budget) and -journal names a directory of fingerprint-keyed per-section journals reused incrementally across program edits")
+	coverage := flag.Int("coverage", 1, "sectioned coverage factor: expected injections per exercised site per section")
+	maxPerSection := flag.Int("max-per-section", 0, "cap on any one section's trial budget (0 = engine default)")
 	flag.Parse()
 
 	// Ctrl-C / SIGTERM cancels the campaign; completed trials are
@@ -93,8 +106,17 @@ func main() {
 		fatal(errors.New("-remote and -journal are mutually exclusive: remote campaigns journal durably on the coordinator"))
 	}
 
+	if *sections && *shards > 1 && *remote == "" {
+		fatal(errors.New("-sections runs its own per-section worker pool locally; drop -shards (a -remote coordinator shards sectioned campaigns itself)"))
+	}
+
 	var journal *fault.Journal
-	if *journalPath != "" && *shards > 1 {
+	if *sections && *journalPath != "" {
+		// Sectioned: -journal is a directory of per-section journals
+		// keyed by content fingerprint. Reuse is always incremental —
+		// unchanged sections restore, changed ones rebuild — so there
+		// is no -resume guard to trip.
+	} else if *journalPath != "" && *shards > 1 {
 		// Sharded: -journal is a directory; the engine opens one
 		// journal per shard and validates ownership itself. Only the
 		// resume guard lives here.
@@ -133,6 +155,9 @@ func main() {
 		MaxRetries: fault.ExplicitRetries(*maxRetries),
 		Journal:    journal,
 	}
+	if *sections {
+		c.Sections, c.Coverage, c.MaxPerSection = true, *coverage, *maxPerSection
+	}
 	if *progress {
 		c.Progress = func(done, total, failed, deadlocked int) {
 			if done%50 == 0 || done == total {
@@ -141,10 +166,13 @@ func main() {
 		}
 	}
 
-	var res *fault.CampaignResult
+	var (
+		res    *fault.CampaignResult
+		secRes *fault.SectionResult
+	)
 	switch {
 	case *remote != "":
-		res, err = submitRemote(ctx, *remote, campaign.Spec{
+		rspec := campaign.Spec{
 			Workload:   *name,
 			Input:      *input,
 			Trials:     *n,
@@ -153,9 +181,40 @@ func main() {
 			Ranks:      1,
 			MaxRetries: fault.ExplicitRetries(*maxRetries),
 			Watchdog:   *watchdog,
-		}, *progress)
+		}
+		if *sections {
+			// The coordinator derives the trial count from the
+			// per-section allocation.
+			rspec.Sections, rspec.Coverage, rspec.MaxPerSection = true, *coverage, *maxPerSection
+			rspec.Trials = 0
+		}
+		res, err = submitRemote(ctx, *remote, rspec, *progress)
 		if err == nil && res.Failed > 0 {
 			err = errors.New(res.ErrorSummary())
+		}
+		if *sections && res != nil {
+			// Re-derive the (deterministic) section plan locally so the
+			// remote trials can be composed: plans and populations are a
+			// pure function of the spec.
+			prep, perr := c.Prepare(ctx)
+			if perr != nil {
+				fatal(perr)
+			}
+			secRes = &fault.SectionResult{CampaignResult: res, Plan: prep.SectionPlan(), Executed: res.Completed}
+			for _, a := range secRes.Plan.Alloc {
+				secRes.Stats = append(secRes.Stats, fault.SectionStat{
+					Section: a.Section, FP: a.FP, Label: a.Label, Pop: a.Pop, Trials: a.Trials,
+				})
+			}
+		}
+	case *sections:
+		prep, perr := c.Prepare(ctx)
+		if perr != nil {
+			fatal(perr)
+		}
+		secRes, err = prep.RunSections(ctx, *journalPath)
+		if secRes != nil {
+			res = secRes.CampaignResult
 		}
 	case *shards > 1:
 		res, err = shard.Run(ctx, c, *n, shard.Options{
@@ -185,11 +244,19 @@ func main() {
 		fatal(errors.New("no trials completed"))
 	}
 
+	total := *n
+	if *sections {
+		total = len(res.Trials)
+	}
 	fmt.Printf("%s input %d (%s): %d/%d injections completed, golden run %d dyn instrs\n",
-		*name, *input, spec.InputDesc, res.Completed, *n, res.GoldenDyn)
-	for _, o := range []fault.Outcome{fault.OutcomeSymptom, fault.OutcomeDetected, fault.OutcomeMasked, fault.OutcomeSOC} {
-		p := res.Proportion(o)
-		fmt.Printf("  %-9s %6.2f%%  ± %.2f%% (95%%)\n", o, 100*p, 100*stats.MarginOfError95(p, res.Completed))
+		*name, *input, spec.InputDesc, res.Completed, total, res.GoldenDyn)
+	if secRes != nil {
+		printSectioned(secRes)
+	} else {
+		for _, o := range []fault.Outcome{fault.OutcomeSymptom, fault.OutcomeDetected, fault.OutcomeMasked, fault.OutcomeSOC} {
+			p := res.Proportion(o)
+			fmt.Printf("  %-9s %6.2f%%  ± %.2f%% (95%%)\n", o, 100*p, 100*stats.MarginOfError95(p, res.Completed))
+		}
 	}
 	if res.Deadlocks > 0 {
 		fmt.Printf("  %d trial(s) deadlocked the job; first attribution:\n", res.Deadlocks)
@@ -241,6 +308,29 @@ func main() {
 
 	if ctx.Err() != nil {
 		os.Exit(130)
+	}
+}
+
+// printSectioned reports a sectioned campaign: the composed
+// whole-program distribution (raw trial proportions would overweight
+// cold sections), per-section dispositions, and the incremental-reuse
+// accounting.
+func printSectioned(secRes *fault.SectionResult) {
+	d, err := compose.Whole(compose.FromSectionResult(secRes))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flipit: composing sections: %v\n", err)
+	} else {
+		fmt.Printf("composed whole-program distribution (population-weighted over %d sections):\n", len(secRes.Plan.Alloc))
+		for _, o := range []fault.Outcome{fault.OutcomeSymptom, fault.OutcomeDetected, fault.OutcomeMasked, fault.OutcomeSOC} {
+			fmt.Printf("  %-9s %6.2f%%\n", o, 100*d[o])
+		}
+	}
+	fmt.Printf("sectioned: %d trials executed, %d restored from journals; monolithic equivalent at equal coverage: %d trials\n",
+		secRes.Executed, secRes.Restored, secRes.Plan.MonoTrials)
+	fmt.Println("per-section allocation:")
+	for _, st := range secRes.Stats {
+		fmt.Printf("  %-32s pop %8d  trials %4d  restored %4d  fp %.12s\n",
+			st.Label, st.Pop, st.Trials, st.Restored, st.FP)
 	}
 }
 

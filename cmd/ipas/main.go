@@ -70,7 +70,15 @@ func main() {
 	remote := flag.String("remote", "", "campaignd coordinator URL; dispatch the collection campaign there")
 	trainWorkers := flag.Int("train-workers", 0, "concurrent grid-search workers for SVM training (0 = GOMAXPROCS; results are identical for any count)")
 	progress := flag.Bool("progress", false, "report campaign and training progress on stderr")
+	sections := flag.Bool("sections", false, "run each campaign sectioned: stratify trials over IR sections with per-section budgets and fingerprint-keyed journals")
+	sectionCoverage := flag.Int("coverage", 1, "sectioned coverage factor: expected injections per exercised site per section")
+	maxPerSection := flag.Int("max-per-section", 0, "cap on any one section's trial budget (0 = engine default)")
+	incremental := flag.Bool("incremental", false, "incremental re-analysis: implies -sections and -resume, so a re-run against the same -journal re-injects only sections whose IR changed")
 	flag.Parse()
+	if *incremental {
+		*sections = true
+		*resume = true
+	}
 
 	opts := ipas.QuickOptions()
 	if *paper {
@@ -96,11 +104,14 @@ func main() {
 	}
 
 	controls := &core.CampaignControls{
-		MaxRetries:   fault.ExplicitRetries(*maxRetries),
-		TrainWorkers: *trainWorkers,
-		Shards:       *shards,
-		ShardRetries: fault.ExplicitRetries(*shardRetries),
-		Watchdog:     *watchdog,
+		MaxRetries:      fault.ExplicitRetries(*maxRetries),
+		TrainWorkers:    *trainWorkers,
+		Shards:          *shards,
+		ShardRetries:    fault.ExplicitRetries(*shardRetries),
+		Watchdog:        *watchdog,
+		Sections:        *sections,
+		SectionCoverage: *sectionCoverage,
+		MaxPerSection:   *maxPerSection,
 	}
 	if *remote != "" {
 		// Only the collection campaign is spec-expressible (it runs the

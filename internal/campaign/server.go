@@ -244,6 +244,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "preparing campaign: %v", err)
 		return
 	}
+	if spec.Sections {
+		// The per-section allocation, not the submitter, sets the
+		// trial count. Derive it before meta, plans, and shard ranges
+		// so the coordinator, journals, and every worker agree on the
+		// same sectioned trial space.
+		spec.Trials = prep.SectionTotal()
+		if spec.Trials == 0 {
+			httpError(w, http.StatusBadRequest, "sectioned campaign has no injectable sections")
+			return
+		}
+		if spec.Shards > spec.Trials {
+			spec.Shards = spec.Trials
+		}
+	}
 	meta := prep.Meta(spec.Trials)
 
 	s.mu.Lock()

@@ -652,3 +652,102 @@ func postStatus(t *testing.T, base, path string, v any) int {
 	resp.Body.Close()
 	return resp.StatusCode
 }
+
+// A sectioned spec dispatches through the same lease/ack protocol as a
+// flat one: the coordinator derives the trial count from the
+// per-section allocation at admission, workers re-derive the identical
+// sectioned plan sequence from the spec, and the remote result matches
+// the local sectioned engine trial for trial.
+func TestServerSectionedCampaign(t *testing.T) {
+	spec := Spec{Source: testSource, Verifier: "exact", Seed: 42, Shards: 3, Sections: true, Coverage: 2}
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := c.Prepare(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := prep.RunSections(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client := newTestServer(t, Options{})
+	sub, status, err := client.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusCreated {
+		t.Fatalf("fresh sectioned submit returned HTTP %d, want 201", status)
+	}
+	startWorker(t, client, nil)
+	startWorker(t, client, nil)
+
+	res := waitComplete(t, client, sub.ID)
+	if len(res.Trials) != want.Plan.Total {
+		t.Fatalf("server ran %d trials, want the allocation's %d", len(res.Trials), want.Plan.Total)
+	}
+	assertSameTrials(t, res, want.CampaignResult)
+}
+
+// A plain campaign must never adopt a sectioned campaign's journals:
+// the trial spaces are incompatible. Both admission paths refuse — the
+// in-memory name-pinned comparison and, after a coordinator restart,
+// the durable journal headers' format fingerprint.
+func TestServerSectionedPlainCrossAdmission(t *testing.T) {
+	sectioned := Spec{Name: "xver", Source: testSource, Verifier: "exact", Seed: 7, Shards: 2, Sections: true, Coverage: 1}
+	sectioned.Normalize()
+	if err := sectioned.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	root := t.TempDir()
+	client := newTestServer(t, Options{Dir: root})
+	sub, status, err := client.Submit(context.Background(), sectioned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusCreated {
+		t.Fatalf("sectioned submit returned HTTP %d, want 201", status)
+	}
+	startWorker(t, client, nil)
+	res := waitComplete(t, client, sub.ID)
+
+	plain := Spec{Name: "xver", Source: testSource, Verifier: "exact", Seed: 7, Shards: 2, Trials: len(res.Trials)}
+	plain.Normalize()
+
+	// In-memory: same name, plain spec — a different campaign, not a
+	// resume.
+	_, status, err = client.Submit(context.Background(), plain)
+	if status != http.StatusConflict {
+		t.Fatalf("plain spec over live sectioned campaign returned HTTP %d, want 409", status)
+	}
+	if !errors.Is(err, fault.ErrCampaignMismatch) {
+		t.Fatalf("plain spec error %v, want ErrCampaignMismatch", err)
+	}
+
+	// Durable: a fresh coordinator restoring the sectioned campaign's
+	// directory refuses the plain spec on the journal headers alone.
+	root2 := t.TempDir()
+	copyDir(t, root, root2)
+	client2 := newTestServer(t, Options{Dir: root2})
+	_, status, err = client2.Submit(context.Background(), plain)
+	if status != http.StatusConflict {
+		t.Fatalf("plain spec over durable sectioned journals returned HTTP %d, want 409", status)
+	}
+	if !errors.Is(err, fault.ErrCampaignMismatch) {
+		t.Fatalf("plain spec error after restart %v, want ErrCampaignMismatch", err)
+	}
+
+	// The reverse direction is refused identically.
+	_, status, err = client2.Submit(context.Background(), sectioned)
+	if status != http.StatusOK {
+		t.Fatalf("sectioned resume after restart returned HTTP %d, want 200", status)
+	}
+}

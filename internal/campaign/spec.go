@@ -72,6 +72,21 @@ type Spec struct {
 	// Watchdog bounds each blocked MPI op's wall-clock time on workers
 	// (interp.Config.Watchdog; 0 = the interpreter's 60s default).
 	Watchdog time.Duration `json:"watchdog_ns,omitempty"`
+
+	// Sections runs the campaign sectioned: the trial space stratifies
+	// over IR sections and the per-section allocation derives the
+	// trial count, so Trials may be left 0 — the coordinator fills it
+	// at admission (fault.Prepared.SectionTotal) before computing
+	// shard ranges, and every worker re-derives the same allocation
+	// from the spec. Single-rank programs only.
+	Sections bool `json:"sections,omitempty"`
+	// Coverage is the sectioned coverage factor — expected injections
+	// per exercised site per section (0 = 1). Only meaningful with
+	// Sections.
+	Coverage int `json:"coverage,omitempty"`
+	// MaxPerSection caps any one section's trial budget (0 = engine
+	// default). Only meaningful with Sections.
+	MaxPerSection int `json:"max_per_section,omitempty"`
 }
 
 // Normalize fills derivable defaults in place (shard count bounds).
@@ -85,11 +100,23 @@ func (s *Spec) Normalize() {
 	if s.Workload != "" && s.Input == 0 {
 		s.Input = 1
 	}
+	if s.Sections && s.Coverage <= 0 {
+		s.Coverage = 1
+	}
 }
 
 // Validate rejects specs the coordinator could not execute.
 func (s *Spec) Validate() error {
-	if s.Trials <= 0 {
+	if s.Sections {
+		// The allocation supplies the trial count; a submitted count
+		// would either be redundant or wrong.
+		if s.Trials != 0 {
+			return fmt.Errorf("campaign: sectioned spec must leave trials 0 (the allocation derives it; got %d)", s.Trials)
+		}
+		if max(s.Ranks, 1) > 1 {
+			return fmt.Errorf("campaign: sectioned campaigns are single-rank (got ranks=%d)", s.Ranks)
+		}
+	} else if s.Trials <= 0 {
 		return fmt.Errorf("campaign: spec needs trials > 0 (got %d)", s.Trials)
 	}
 	switch {
@@ -160,12 +187,15 @@ func (s *Spec) Build() (*fault.Campaign, error) {
 	}
 	cfg.Watchdog = s.Watchdog
 	return &fault.Campaign{
-		Prog:       prog,
-		Verify:     verify,
-		Config:     cfg,
-		Seed:       s.Seed,
-		HangFactor: s.HangFactor,
-		MaxRetries: s.MaxRetries,
+		Prog:          prog,
+		Verify:        verify,
+		Config:        cfg,
+		Seed:          s.Seed,
+		HangFactor:    s.HangFactor,
+		MaxRetries:    s.MaxRetries,
+		Sections:      s.Sections,
+		Coverage:      s.Coverage,
+		MaxPerSection: s.MaxPerSection,
 	}, nil
 }
 

@@ -1,0 +1,154 @@
+package compose
+
+import (
+	"math"
+	"testing"
+
+	"ipas/internal/fault"
+)
+
+const eps = 1e-12
+
+func almost(a, b float64) bool { return math.Abs(a-b) < eps }
+
+func TestWholeSingleSection(t *testing.T) {
+	// One section: the composition is just its empirical distribution.
+	d, err := Whole([]SectionOutcome{{
+		FP: "a", Population: 100, Trials: 10,
+		Counts: [fault.NumOutcomes]int{2, 3, 4, 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Distribution{0.2, 0.3, 0.4, 0.1}
+	for o := range d {
+		if !almost(d[o], want[o]) {
+			t.Errorf("outcome %v: got %v, want %v", fault.Outcome(o), d[o], want[o])
+		}
+	}
+	if !almost(d.Sum(), 1) {
+		t.Errorf("sum = %v, want 1", d.Sum())
+	}
+}
+
+func TestWholeTwoSequentialSections(t *testing.T) {
+	// Two straight-line sections, populations 30 and 70: the whole is
+	// the 0.3/0.7 weighted average.
+	d, err := Whole([]SectionOutcome{
+		{FP: "a", Population: 30, Trials: 10, Counts: [fault.NumOutcomes]int{10, 0, 0, 0}},
+		{FP: "b", Population: 70, Trials: 10, Counts: [fault.NumOutcomes]int{0, 0, 10, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(d[fault.OutcomeSymptom], 0.3) || !almost(d[fault.OutcomeMasked], 0.7) {
+		t.Errorf("got %v, want symptom 0.3 / masked 0.7", d)
+	}
+}
+
+func TestWholeLoopSectionOccurrenceWeighting(t *testing.T) {
+	// A loop section's population counts dynamic occurrences, not
+	// static sites: a 2-site loop body running 500 iterations carries
+	// 1000 instances against a 10-instance epilogue — the loop's
+	// conditional SOC rate dominates the whole at weight 1000/1010,
+	// even though both sections have the same trial budget.
+	loopSOC := 0.5
+	d, err := Whole([]SectionOutcome{
+		{FP: "loop", Population: 1000, Trials: 20, Counts: [fault.NumOutcomes]int{0, 0, 10, 10}},
+		{FP: "epi", Population: 10, Trials: 20, Counts: [fault.NumOutcomes]int{0, 0, 20, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSOC := (1000.0 / 1010.0) * loopSOC
+	if !almost(d[fault.OutcomeSOC], wantSOC) {
+		t.Errorf("SOC = %v, want %v", d[fault.OutcomeSOC], wantSOC)
+	}
+	if !almost(d.Sum(), 1) {
+		t.Errorf("sum = %v, want 1", d.Sum())
+	}
+}
+
+func TestWholeAllCrashSection(t *testing.T) {
+	// A section whose every trial crashes contributes pure symptom mass
+	// scaled by its population share.
+	d, err := Whole([]SectionOutcome{
+		{FP: "crash", Population: 25, Trials: 8, Counts: [fault.NumOutcomes]int{8, 0, 0, 0}},
+		{FP: "rest", Population: 75, Trials: 8, Counts: [fault.NumOutcomes]int{0, 0, 8, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(d[fault.OutcomeSymptom], 0.25) {
+		t.Errorf("symptom = %v, want 0.25", d[fault.OutcomeSymptom])
+	}
+}
+
+func TestWholeZeroPopulationSectionIgnored(t *testing.T) {
+	// A never-executed section (zero population) carries no mass and
+	// needs no trials.
+	d, err := Whole([]SectionOutcome{
+		{FP: "dead", Population: 0, Trials: 0},
+		{FP: "live", Population: 50, Trials: 4, Counts: [fault.NumOutcomes]int{0, 4, 0, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(d[fault.OutcomeDetected], 1) {
+		t.Errorf("detected = %v, want 1", d[fault.OutcomeDetected])
+	}
+}
+
+func TestWholeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		secs []SectionOutcome
+	}{
+		{"no population", []SectionOutcome{{FP: "a", Population: 0}}},
+		{"uncovered stratum", []SectionOutcome{
+			{FP: "a", Population: 10, Trials: 0},
+		}},
+		{"counts mismatch", []SectionOutcome{
+			{FP: "a", Population: 10, Trials: 5, Counts: [fault.NumOutcomes]int{1, 1, 1, 1}},
+		}},
+		{"negative population", []SectionOutcome{{FP: "a", Population: -1}}},
+	}
+	for _, c := range cases {
+		if _, err := Whole(c.secs); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+// FuzzWholeIsDistribution feeds arbitrary section shapes through Whole
+// and asserts the composition, whenever it succeeds, is a probability
+// distribution: every component in [0, 1] and the total mass 1.
+func FuzzWholeIsDistribution(f *testing.F) {
+	f.Add(int64(100), 5, 2, 1, 1, int64(3), 4, 0, 0, 0)
+	f.Add(int64(1), 1, 0, 0, 0, int64(1_000_000), 1, 0, 0, 0)
+	f.Add(int64(7), 0, 0, 0, 0, int64(0), 0, 0, 0, 0)
+	f.Fuzz(func(t *testing.T, pop1 int64, c10, c11, c12, c13 int, pop2 int64, c20, c21, c22, c23 int) {
+		mk := func(fp string, pop int64, c [4]int) SectionOutcome {
+			n := 0
+			for _, v := range c {
+				n += v
+			}
+			return SectionOutcome{FP: fp, Population: pop, Trials: n, Counts: c}
+		}
+		d, err := Whole([]SectionOutcome{
+			mk("a", pop1, [4]int{c10, c11, c12, c13}),
+			mk("b", pop2, [4]int{c20, c21, c22, c23}),
+		})
+		if err != nil {
+			return // rejected inputs are fine; only successes must be sound
+		}
+		for o, p := range d {
+			if p < 0 || p > 1+eps || math.IsNaN(p) {
+				t.Fatalf("outcome %d probability %v out of range (input %v / %v)", o, p, pop1, pop2)
+			}
+		}
+		if s := d.Sum(); math.Abs(s-1) > 1e-9 {
+			t.Fatalf("mass sums to %v, want 1", s)
+		}
+	})
+}

@@ -63,6 +63,19 @@ type CampaignControls struct {
 	// Checkpoint, when non-nil, supplies one trial journal per
 	// campaign so an interrupted workflow resumes from disk.
 	Checkpoint *Checkpoint
+	// Sections, when true, runs eligible campaigns (single-rank) as
+	// sectioned campaigns: the trial space stratifies over IR sections,
+	// per-section budgets replace the flat trial count, and — with a
+	// Checkpoint — per-section journals keyed by content fingerprint
+	// make re-analysis after an edit incremental. Multi-rank campaigns
+	// degrade gracefully to the flat engines.
+	Sections bool
+	// SectionCoverage is the per-section coverage factor (expected
+	// injections per exercised site); 0 means 1.
+	SectionCoverage int
+	// MaxPerSection caps any one section's trial budget (0 = engine
+	// default).
+	MaxPerSection int
 }
 
 // Apply configures one campaign with the controls, opening its journal
@@ -104,6 +117,9 @@ func (cc *CampaignControls) Run(ctx context.Context, c *fault.Campaign, n int, s
 			return cc.runRemote(ctx, c, spec, n, stage)
 		}
 	}
+	if cc != nil && cc.Sections && c.Config.Ranks <= 1 {
+		return cc.runSectioned(ctx, c, stage)
+	}
 	if cc == nil || cc.Shards <= 1 {
 		if err := cc.Apply(c, stage); err != nil {
 			return nil, err
@@ -130,6 +146,45 @@ func (cc *CampaignControls) Run(ctx context.Context, c *fault.Campaign, n int, s
 	return shard.Run(ctx, c, n, opts)
 }
 
+// runSectioned runs one campaign on the sectioned engine. The flat
+// trial count is superseded by the per-section allocation (coverage
+// drives the budget), and checkpointing goes to a per-stage section
+// journal directory whose fingerprint-keyed journals make resumption
+// incremental across program edits: only sections whose IR changed
+// re-execute.
+func (cc *CampaignControls) runSectioned(ctx context.Context, c *fault.Campaign, stage string) (*fault.CampaignResult, error) {
+	c.MaxRetries = cc.MaxRetries
+	c.RetryBackoff = cc.RetryBackoff
+	c.Workers = cc.Workers
+	if cc.Watchdog > 0 {
+		c.Config.Watchdog = cc.Watchdog
+	}
+	if cc.Progress != nil {
+		report := cc.Progress
+		c.Progress = func(done, total, failed, deadlocked int) { report(stage, done, total, failed, deadlocked) }
+	}
+	c.Sections = true
+	c.Coverage = max(cc.SectionCoverage, 1)
+	c.MaxPerSection = cc.MaxPerSection
+	var dir string
+	if cc.Checkpoint != nil {
+		d, err := cc.Checkpoint.SectionDir(stage)
+		if err != nil {
+			return nil, err
+		}
+		dir = d
+	}
+	prep, err := c.Prepare(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res, err := prep.RunSections(ctx, dir)
+	if err != nil {
+		return nil, err
+	}
+	return res.CampaignResult, nil
+}
+
 // runRemote dispatches one campaign to the coordinator and polls it to
 // completion. The partial spec from RemoteSpec names the program; the
 // controls and campaign fill every knob that pins the plan sequence and
@@ -144,6 +199,14 @@ func (cc *CampaignControls) runRemote(ctx context.Context, c *fault.Campaign, sp
 	s.Watchdog = cc.Watchdog
 	if s.Shards == 0 {
 		s.Shards = max(cc.Shards, 1)
+	}
+	if cc.Sections && max(s.Ranks, 1) <= 1 {
+		// Sectioned submission: the coordinator derives the trial
+		// count from the allocation, so the flat count stays home.
+		s.Sections = true
+		s.Coverage = max(cc.SectionCoverage, 1)
+		s.MaxPerSection = cc.MaxPerSection
+		s.Trials = 0
 	}
 	s.Normalize()
 	sub, _, err := cc.Remote.Submit(ctx, s)
@@ -276,6 +339,23 @@ func (c *Checkpoint) ShardDir(stage string) (string, error) {
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", fmt.Errorf("core: creating shard journal dir: %w", err)
+	}
+	return dir, nil
+}
+
+// SectionDir returns (creating it) the per-section journal directory
+// for the named campaign stage. Unlike ShardDir there is no
+// non-empty-directory guard: section journals are keyed by content
+// fingerprint and self-invalidate when the program, seed, or budget
+// changes, so reusing the directory is exactly the incremental
+// re-analysis contract — unchanged sections restore, changed ones
+// rebuild.
+func (c *Checkpoint) SectionDir(stage string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dir := filepath.Join(c.Dir, stageFileName(stage)+".sections")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("core: creating section journal dir: %w", err)
 	}
 	return dir, nil
 }

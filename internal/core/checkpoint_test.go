@@ -121,3 +121,57 @@ func TestCheckpointSubScopesStages(t *testing.T) {
 		t.Fatal("Sub is not cached per name")
 	}
 }
+
+// A sectioned collection checkpoints one fingerprint-keyed journal per
+// section; re-running against the same directory restores every trial
+// bit-identically (the incremental re-analysis contract at the
+// workflow layer).
+func TestCollectSectionedIncrementalCheckpoint(t *testing.T) {
+	app := loadApp(t, "FFT")
+	dir := filepath.Join(t.TempDir(), "ckpt")
+
+	cp1, err := NewCheckpoint(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc1 := &CampaignControls{Checkpoint: cp1, Sections: true, SectionCoverage: 1, MaxPerSection: 6}
+	d1, err := CollectContext(context.Background(), app, 0, 9, cc1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1.X) == 0 {
+		t.Fatal("sectioned collection produced no samples")
+	}
+	secs, err := filepath.Glob(filepath.Join(dir, "collect.sections", "sec-*.jsonl"))
+	if err != nil || len(secs) == 0 {
+		t.Fatalf("no per-section journals under collect.sections (err=%v)", err)
+	}
+	if err := cp1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cp2, err := NewCheckpoint(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	cc2 := &CampaignControls{Checkpoint: cp2, Sections: true, SectionCoverage: 1, MaxPerSection: 6}
+	d2, err := CollectContext(context.Background(), app, 0, 9, cc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Campaign.Trials) != len(d1.Campaign.Trials) {
+		t.Fatalf("restored collection has %d trials, want %d", len(d2.Campaign.Trials), len(d1.Campaign.Trials))
+	}
+	for i := range d1.Campaign.Trials {
+		if d1.Campaign.Trials[i] != d2.Campaign.Trials[i] {
+			t.Fatalf("trial %d differs after sectioned restore: %+v vs %+v",
+				i, d1.Campaign.Trials[i], d2.Campaign.Trials[i])
+		}
+	}
+	for i := range d1.SOC {
+		if d1.SOC[i] != d2.SOC[i] || d1.Symptom[i] != d2.Symptom[i] {
+			t.Fatalf("labels differ at sample %d after sectioned restore", i)
+		}
+	}
+}

@@ -263,6 +263,26 @@ type Campaign struct {
 	HangFactor int64
 	// Seed makes the campaign deterministic.
 	Seed int64
+	// Sections partitions the trial space by IR section (FastFlip-style
+	// compositional analysis): the golden run captures per-section
+	// boundary state, each section gets its own deterministic trial
+	// allocation sized by Coverage, plans carry section targets, and
+	// trials that return to the golden boundary state stop early as
+	// Masked. Requires Ranks == 1 and AssignSiteIDs on the module.
+	Sections bool
+	// Coverage is the per-site dynamic-occurrence coverage target k for
+	// sectioned campaigns: section s receives
+	// ceil(k * pop_s / dmin_s) trials, where pop_s is its injectable
+	// instance population and dmin_s the dynamic count of its rarest
+	// exercised site — enough uniform draws to hit every site about k
+	// times in expectation. Required (>= 1) when Sections is set.
+	Coverage int
+	// MaxPerSection caps one section's trial allocation (test and
+	// smoke-run budgets); 0 = uncapped. Capping trades per-site
+	// coverage in hot sections for bounded wall clock; the analytic
+	// trial-count comparison (cmd/composebench) always reports the
+	// uncapped numbers.
+	MaxPerSection int
 	// Workers bounds concurrent trial execution (default: GOMAXPROCS).
 	// Trials are independent interpreter runs and the plan sequence is
 	// drawn up front, so results are identical for any worker count.
@@ -363,6 +383,24 @@ type Prepared struct {
 	budget     int64
 	maxRetries int
 	backoff    time.Duration
+
+	// secs is the sectioned-campaign substrate (nil for plain
+	// campaigns): the partition, the golden boundary trace, and the
+	// per-section trial allocation.
+	secs *SectionPlan
+}
+
+// SectionPlan returns the sectioned substrate, nil for plain campaigns.
+func (p *Prepared) SectionPlan() *SectionPlan { return p.secs }
+
+// SectionTotal returns the sectioned campaign's total trial count (the
+// sum of per-section allocations); 0 for plain campaigns. Coordinators
+// that size shard ranges from a trial count call this after Prepare.
+func (p *Prepared) SectionTotal() int {
+	if p.secs == nil {
+		return 0
+	}
+	return p.secs.Total
 }
 
 // Prepare performs the golden run and resolves the campaign's knobs,
@@ -379,7 +417,30 @@ func (c *Campaign) Prepare(ctx context.Context) (*Prepared, error) {
 	if hang <= 0 {
 		hang = 10
 	}
-	golden := interp.RunContext(ctx, c.Prog, c.Config)
+	cfg := c.Config
+	var (
+		parts  *ir.Sections
+		tables *interp.SectionTables
+	)
+	if c.Sections {
+		// Sectioned golden run: capture boundary digests and per-site
+		// dynamic counts (the allocation inputs) on the same run.
+		if cfg.Ranks > 1 {
+			return nil, fmt.Errorf("fault: sectioned campaigns require Ranks == 1 (got %d)", cfg.Ranks)
+		}
+		if c.Coverage < 1 {
+			return nil, fmt.Errorf("fault: sectioned campaign needs Coverage >= 1 (got %d)", c.Coverage)
+		}
+		parts = ir.ModuleSections(c.Prog.Module())
+		var err error
+		tables, err = interp.NewSectionTables(c.Prog, parts)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Sections = &interp.SectionConfig{Tables: tables, Capture: true}
+		cfg.CountSites = true
+	}
+	golden := interp.RunContext(ctx, c.Prog, cfg)
 	if golden.Trap == interp.TrapCancelled || ctx.Err() != nil {
 		return nil, fmt.Errorf("fault: golden run cancelled: %w", ctx.Err())
 	}
@@ -394,14 +455,22 @@ func (c *Campaign) Prepare(ctx context.Context) (*Prepared, error) {
 	if backoff <= 0 {
 		backoff = 10 * time.Millisecond
 	}
-	return &Prepared{
+	p := &Prepared{
 		c:          c,
 		Golden:     golden,
 		Population: pop,
 		budget:     golden.MaxRankDyn*hang + 1_000_000,
 		maxRetries: retries(c.MaxRetries),
 		backoff:    backoff,
-	}, nil
+	}
+	if c.Sections {
+		sp, err := newSectionPlan(c, parts, tables, golden)
+		if err != nil {
+			return nil, err
+		}
+		p.secs = sp
+	}
+	return p, nil
 }
 
 // Plans draws the campaign's first n fault plans up front so results
@@ -409,6 +478,9 @@ func (c *Campaign) Prepare(ctx context.Context) (*Prepared, error) {
 // checkpoint/resume bit-identical and sharding a pure index partition:
 // trial t's plan is a pure function of (Seed, t).
 func (p *Prepared) Plans(n int) []interp.FaultPlan {
+	if p.secs != nil {
+		return p.secs.plans(n)
+	}
 	rng := rand.New(rand.NewSource(p.c.Seed))
 	plans := make([]interp.FaultPlan, n)
 	for t := range plans {
@@ -420,10 +492,18 @@ func (p *Prepared) Plans(n int) []interp.FaultPlan {
 // Meta fingerprints an n-trial campaign over this substrate for
 // journal validation.
 func (p *Prepared) Meta(n int) JournalMeta {
-	return JournalMeta{
+	m := JournalMeta{
 		Format: JournalFormat, Seed: p.c.Seed, Trials: n,
 		GoldenDyn: p.Golden.TotalDyn, Population: p.Population,
 	}
+	if p.secs != nil {
+		// The distinct format and the partition fingerprint make a
+		// sectioned journal refuse a plain campaign (and vice versa)
+		// with ErrCampaignMismatch instead of misreading trial spaces.
+		m.Format = JournalFormatSectioned
+		m.SectionFP = p.secs.FP
+	}
+	return m
 }
 
 // NewResult allocates a result with one pending trial per plan.
@@ -440,7 +520,7 @@ func (p *Prepared) NewResult(plans []interp.FaultPlan) *CampaignResult {
 // cancelled. Safe for concurrent use: trials share only the immutable
 // golden result and program.
 func (p *Prepared) RunTrial(ctx context.Context, t int, plan interp.FaultPlan) Trial {
-	return p.c.runTrial(ctx, t, plan, p.Golden, p.budget, p.maxRetries, p.backoff)
+	return p.runTrial(ctx, t, plan)
 }
 
 // Finalize recomputes the status partition and outcome statistics from
@@ -601,23 +681,23 @@ feed:
 
 // runTrial executes one trial with panic isolation and bounded
 // retry-with-backoff; a still-pending result means cancellation.
-func (c *Campaign) runTrial(ctx context.Context, t int, plan interp.FaultPlan, golden *interp.Result, budget int64, maxRetries int, backoff time.Duration) Trial {
+func (p *Prepared) runTrial(ctx context.Context, t int, plan interp.FaultPlan) Trial {
 	pending := Trial{Site: -1, Bit: plan.Bit, Index: plan.Index, Status: TrialPending}
 	var lastErr error
 	attempts := 0
-	for attempt := 0; attempt <= maxRetries; attempt++ {
+	for attempt := 0; attempt <= p.maxRetries; attempt++ {
 		if ctx.Err() != nil {
 			return pending
 		}
 		if attempt > 0 {
 			select {
-			case <-time.After(backoff << (attempt - 1)):
+			case <-time.After(p.backoff << (attempt - 1)):
 			case <-ctx.Done():
 				return pending
 			}
 		}
 		attempts++
-		tr, err := c.attemptTrial(ctx, t, plan, golden, budget, attempt)
+		tr, err := p.attemptTrial(ctx, t, plan, attempt)
 		if err == nil {
 			tr.Attempts = attempts
 			return tr
@@ -636,20 +716,26 @@ func (c *Campaign) runTrial(ctx context.Context, t int, plan interp.FaultPlan, g
 // attemptTrial performs a single isolated execution of one trial; any
 // panic in the interpreter or the user's verification routine is
 // converted into an infrastructure error.
-func (c *Campaign) attemptTrial(ctx context.Context, t int, plan interp.FaultPlan, golden *interp.Result, budget int64, attempt int) (tr Trial, err error) {
+func (p *Prepared) attemptTrial(ctx context.Context, t int, plan interp.FaultPlan, attempt int) (tr Trial, err error) {
 	defer func() {
-		if p := recover(); p != nil {
-			err = fmt.Errorf("worker panic: %v", p)
+		if pv := recover(); pv != nil {
+			err = fmt.Errorf("worker panic: %v", pv)
 		}
 	}()
+	c := p.c
 	if c.beforeTrial != nil {
 		c.beforeTrial(t, attempt)
 	}
 	cfg := c.Config
 	cfg.Fault = &plan
-	cfg.MaxInstrs = budget
+	cfg.MaxInstrs = p.budget
+	if p.secs != nil {
+		// Arm section targeting and the early-masked exit against the
+		// golden boundary trace.
+		cfg.Sections = p.secs.trialCfg
+	}
 	res := interp.RunContext(ctx, c.Prog, cfg)
-	return trialFromResult(plan, golden, res, c.Verify)
+	return trialFromResult(plan, p.Golden, res, c.Verify)
 }
 
 // trialFromResult converts one interpreter run into a completed Trial
@@ -672,6 +758,19 @@ func trialFromResult(plan interp.FaultPlan, golden, res *interp.Result, verify V
 		return Trial{}, fmt.Errorf("did not inject (index %d never reached)", plan.Index)
 	case !res.Injected:
 		return Trial{}, fmt.Errorf("pre-injection trap %v (%s)", res.Trap, res.TrapMsg)
+	case res.EarlyMasked:
+		// The run stopped at a section boundary whose state digest
+		// matched the golden run: the suffix would replay the fault-free
+		// execution verbatim, so the trial is Masked by construction.
+		// Outputs are truncated at the stop point — verification must
+		// not run (it would misread the truncation as corruption).
+		return Trial{
+			Site:    res.InjectedSite,
+			Bit:     plan.Bit,
+			Index:   plan.Index,
+			Outcome: OutcomeMasked,
+			Latency: res.InjectedRankDyn - res.InjectedAt,
+		}, nil
 	}
 	tr := Trial{
 		Site:    res.InjectedSite,

@@ -14,6 +14,15 @@ import (
 // JournalFormat identifies the trial-journal file format.
 const JournalFormat = "ipas-trial-journal-v1"
 
+// JournalFormatSectioned identifies per-section trial journals
+// (internal/fault section campaigns): same line format, but Trial.Site
+// holds section-local site ordinals and the header carries the
+// section's content fingerprint. The distinct format string makes a
+// plain campaign driving a sectioned journal (or vice versa) fail
+// loudly with ErrCampaignMismatch instead of silently misreading
+// site ids.
+const JournalFormatSectioned = "ipas-trial-journal-sectioned-v1"
+
 // JournalMeta fingerprints the campaign a journal belongs to. Seed and
 // Trials pin the plan sequence; GoldenDyn and Population pin the
 // program + configuration (a different binary or input produces a
@@ -40,6 +49,15 @@ type JournalMeta struct {
 	Shard      int `json:"shard,omitempty"`
 	ShardStart int `json:"shard_start,omitempty"`
 	ShardEnd   int `json:"shard_end,omitempty"`
+
+	// SectionFP pins a sectioned journal to code content: the section's
+	// own fingerprint for a per-section journal, or the whole-partition
+	// fingerprint for a campaign-level sectioned header. Empty — and
+	// omitted, so plain v1 journals parse and compare equal — outside
+	// sectioned campaigns. Incremental re-analysis keys on it: a
+	// journal whose fingerprint still matches the recompiled section is
+	// reused wholesale, one that does not is discarded.
+	SectionFP string `json:"section_fp,omitempty"`
 }
 
 // journalLine is one JSONL record: exactly one of Meta (first line) or
@@ -155,7 +173,7 @@ func (j *Journal) load() (int64, error) {
 		}
 		switch {
 		case rec.Meta != nil:
-			if rec.Meta.Format != JournalFormat {
+			if rec.Meta.Format != JournalFormat && rec.Meta.Format != JournalFormatSectioned {
 				return 0, fmt.Errorf("fault: journal %s: %w: unknown format %q", j.path, ErrJournalCorrupt, rec.Meta.Format)
 			}
 			if j.meta != nil {
@@ -202,17 +220,19 @@ func (j *Journal) Meta() *JournalMeta {
 func (j *Journal) Begin(meta JournalMeta) (map[int]Trial, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	meta.Format = JournalFormat
+	if meta.Format == "" {
+		meta.Format = JournalFormat
+	}
 	if j.began {
 		return nil, fmt.Errorf("fault: journal %s: already driving a campaign", j.path)
 	}
 	if j.meta != nil {
 		if *j.meta != meta {
 			return nil, fmt.Errorf(
-				"fault: journal %s: %w (journal seed=%d trials=%d goldenDyn=%d pop=%d shard=%d/%d; campaign seed=%d trials=%d goldenDyn=%d pop=%d shard=%d/%d)",
+				"fault: journal %s: %w (journal format=%q seed=%d trials=%d goldenDyn=%d pop=%d shard=%d/%d sectionFP=%.16s; campaign format=%q seed=%d trials=%d goldenDyn=%d pop=%d shard=%d/%d sectionFP=%.16s)",
 				j.path, ErrCampaignMismatch,
-				j.meta.Seed, j.meta.Trials, j.meta.GoldenDyn, j.meta.Population, j.meta.Shard, j.meta.Shards,
-				meta.Seed, meta.Trials, meta.GoldenDyn, meta.Population, meta.Shard, meta.Shards)
+				j.meta.Format, j.meta.Seed, j.meta.Trials, j.meta.GoldenDyn, j.meta.Population, j.meta.Shard, j.meta.Shards, j.meta.SectionFP,
+				meta.Format, meta.Seed, meta.Trials, meta.GoldenDyn, meta.Population, meta.Shard, meta.Shards, meta.SectionFP)
 		}
 		j.began = true
 		return j.restored, nil
@@ -316,7 +336,9 @@ func (j *Journal) append(rec journalLine) error {
 // is atomic (temp file + rename), so a crash mid-merge leaves either
 // the previous file or the complete new one, never a torn hybrid.
 func WriteCanonical(path string, meta JournalMeta, trials []Trial) error {
-	meta.Format = JournalFormat
+	if meta.Format == "" {
+		meta.Format = JournalFormat
+	}
 	var buf bytes.Buffer
 	write := func(rec journalLine) error {
 		data, err := json.Marshal(&rec)

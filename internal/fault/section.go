@@ -1,0 +1,450 @@
+package fault
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+
+	"ipas/internal/interp"
+	"ipas/internal/ir"
+)
+
+// This file implements sectioned campaigns: the trial space is
+// stratified by IR section (outermost loop nests and straight-line
+// runs; see internal/ir/section.go), each stratum gets its own
+// deterministic allocation and seed derived from the section's content
+// fingerprint, and per-section journals make re-analysis after a code
+// edit incremental — only sections whose fingerprints changed re-run.
+//
+// Two execution paths share the substrate:
+//
+//   - The generic engines (Campaign.RunContext, internal/fault/shard,
+//     internal/campaign) see a sectioned campaign as an ordinary one
+//     whose Plans carry section targets: Prepare captures the golden
+//     boundary trace, Plans returns the concatenated per-section
+//     lists, and Meta pins the partition fingerprint in a
+//     distinct journal format.
+//
+//   - RunSections adds incrementality on top: one journal per section,
+//     named by fingerprint, holding section-local site ordinals so a
+//     journal stays valid even when edits elsewhere shift global
+//     SiteIDs. A journal whose header still matches is reused
+//     wholesale; a stale one (the section's code changed) is discarded
+//     and its trials re-run.
+
+// SectionAlloc is one section's slice of a sectioned trial space.
+type SectionAlloc struct {
+	// Section is the module-global section ID (ir.Section.ID).
+	Section int
+	// FP is the section's content fingerprint.
+	FP string
+	// Label is the section's human-readable name ("@fn#i(loop hdr)").
+	Label string
+	// Pop is the section's injectable dynamic-instance population in
+	// the golden run — the space Index draws from.
+	Pop int64
+	// Dmin is the dynamic count of the section's rarest exercised site.
+	Dmin int64
+	// Trials is the allocation: ceil(Coverage * Pop / Dmin), capped by
+	// Campaign.MaxPerSection.
+	Trials int
+	// Seed drives this section's plan sequence; derived from the
+	// campaign seed and FP, so it survives edits to other sections.
+	Seed int64
+	// Start is the section's offset in the concatenated plan list.
+	Start int
+}
+
+// SectionPlan is the sectioned substrate Prepare builds: the partition,
+// the golden boundary trace, and the per-section allocations.
+type SectionPlan struct {
+	// Partition is the module's section partition.
+	Partition *ir.Sections
+	// Trace is the golden run's boundary capture.
+	Trace *interp.SectionTrace
+	// FP is the whole-partition fingerprint (journal headers pin it).
+	FP string
+	// Alloc holds one entry per section, in section-ID order.
+	Alloc []SectionAlloc
+	// Total is the summed trial count.
+	Total int
+	// MonoTrials is the analytic trial count a monolithic campaign
+	// needs for the same per-site coverage target:
+	// ceil(Coverage * Population / dmin-global). The sectioned saving
+	// is MonoTrials / Total.
+	MonoTrials int64
+
+	tables   *interp.SectionTables
+	trialCfg *interp.SectionConfig
+}
+
+// sectionSeed derives a per-section plan seed from the campaign seed
+// and the section's content fingerprint: stable across edits elsewhere
+// in the module, changed whenever the section itself changes.
+func sectionSeed(seed int64, fp string) int64 {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(seed))
+	h := sha256.New()
+	h.Write(b[:])
+	h.Write([]byte(fp))
+	return int64(binary.LittleEndian.Uint64(h.Sum(nil)[:8]))
+}
+
+// newSectionPlan sizes every section's allocation from the golden run.
+func newSectionPlan(c *Campaign, parts *ir.Sections, tables *interp.SectionTables, golden *interp.Result) (*SectionPlan, error) {
+	trace := golden.Sections
+	if trace == nil {
+		return nil, fmt.Errorf("fault: sectioned golden run recorded no boundary trace")
+	}
+	sp := &SectionPlan{
+		Partition: parts,
+		Trace:     trace,
+		FP:        parts.Fingerprint(),
+		tables:    tables,
+		trialCfg:  &interp.SectionConfig{Tables: tables, Golden: trace},
+	}
+	var dminGlobal int64 = -1
+	for sid, s := range parts.All {
+		a := SectionAlloc{
+			Section: sid,
+			FP:      s.Fingerprint,
+			Label:   s.String(),
+			Pop:     trace.Pops[sid],
+			Seed:    sectionSeed(c.Seed, s.Fingerprint),
+			Start:   sp.Total,
+		}
+		if a.Pop > 0 {
+			for _, site := range parts.Sites(sid) {
+				n := golden.SiteCounts[site]
+				if n > 0 && (a.Dmin <= 0 || n < a.Dmin) {
+					a.Dmin = n
+				}
+				if n > 0 && (dminGlobal <= 0 || n < dminGlobal) {
+					dminGlobal = n
+				}
+			}
+			if a.Dmin <= 0 {
+				a.Dmin = a.Pop // defensive; Pop > 0 implies an exercised site
+			}
+			n := (int64(c.Coverage)*a.Pop + a.Dmin - 1) / a.Dmin
+			if c.MaxPerSection > 0 && n > int64(c.MaxPerSection) {
+				n = int64(c.MaxPerSection)
+			}
+			a.Trials = int(n)
+		}
+		sp.Total += a.Trials
+		sp.Alloc = append(sp.Alloc, a)
+	}
+	if sp.Total == 0 {
+		return nil, fmt.Errorf("fault: no section has injectable dynamic instances")
+	}
+	if dminGlobal <= 0 {
+		dminGlobal = golden.Injectable[0]
+	}
+	sp.MonoTrials = (int64(c.Coverage)*golden.Injectable[0] + dminGlobal - 1) / dminGlobal
+	return sp, nil
+}
+
+// plans returns the concatenated per-section plan lists. Each section's
+// subsequence is a pure function of (campaign seed, section
+// fingerprint), so it is bit-identical across runs and unaffected by
+// edits to other sections.
+func (sp *SectionPlan) plans(n int) []interp.FaultPlan {
+	out := make([]interp.FaultPlan, 0, sp.Total)
+	for _, a := range sp.Alloc {
+		if a.Trials == 0 {
+			continue
+		}
+		rng := rand.New(rand.NewSource(a.Seed))
+		for t := 0; t < a.Trials; t++ {
+			out = append(out, interp.FaultPlan{
+				Rank:    0,
+				Index:   rng.Int63n(a.Pop),
+				Bit:     rng.Intn(64),
+				Section: int32(a.Section),
+			})
+		}
+	}
+	if n >= 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// allocOf maps a concatenated trial index onto its section allocation.
+func (sp *SectionPlan) allocOf(t int) *SectionAlloc {
+	i := sort.Search(len(sp.Alloc), func(i int) bool { return sp.Alloc[i].Start+sp.Alloc[i].Trials > t })
+	if i == len(sp.Alloc) {
+		return nil
+	}
+	return &sp.Alloc[i]
+}
+
+// localizeSite rewrites a trial's global SiteID into the section-local
+// ordinal stored in per-section journals: global IDs shift when other
+// sections change, local ordinals are pinned by the section's own
+// fingerprint.
+func (sp *SectionPlan) localizeSite(sec int, tr Trial) Trial {
+	sites := sp.Partition.Sites(sec)
+	i := sort.SearchInts(sites, tr.Site)
+	if i < len(sites) && sites[i] == tr.Site {
+		tr.Site = i
+	} else {
+		tr.Site = -1
+	}
+	return tr
+}
+
+// globalizeSite is the inverse mapping applied on journal restore.
+func (sp *SectionPlan) globalizeSite(sec int, tr Trial) Trial {
+	sites := sp.Partition.Sites(sec)
+	if tr.Site >= 0 && tr.Site < len(sites) {
+		tr.Site = sites[tr.Site]
+	} else {
+		tr.Site = -1
+	}
+	return tr
+}
+
+// sectionMeta pins one section's journal. GoldenDyn is deliberately 0:
+// the whole-program dynamic count changes when *other* sections change,
+// and must not invalidate this section's trials — the section
+// fingerprint and population pin everything the trials depend on.
+func (sp *SectionPlan) sectionMeta(a *SectionAlloc) JournalMeta {
+	return JournalMeta{
+		Format:     JournalFormatSectioned,
+		Seed:       a.Seed,
+		Trials:     a.Trials,
+		Population: a.Pop,
+		SectionFP:  a.FP,
+	}
+}
+
+// sectionJournalName names a section's journal by fingerprint prefix.
+func sectionJournalName(fp string) string {
+	if len(fp) > 16 {
+		fp = fp[:16]
+	}
+	return "sec-" + fp + ".jsonl"
+}
+
+// SectionStat is one section's disposition in a sectioned run.
+type SectionStat struct {
+	Section  int    `json:"section"`
+	FP       string `json:"fp"`
+	Label    string `json:"label"`
+	Pop      int64  `json:"pop"`
+	Trials   int    `json:"trials"`
+	Restored int    `json:"restored"`
+}
+
+// / SectionResult is a sectioned campaign's outcome: the concatenated
+// trials (global SiteIDs, ready for internal/features and
+// internal/compose) plus per-section accounting that incremental
+// re-analysis and its tests assert against.
+type SectionResult struct {
+	*CampaignResult
+	// Plan is the substrate the trials were drawn from.
+	Plan *SectionPlan
+	// Stats has one entry per section, in section-ID order.
+	Stats []SectionStat
+	// Restored counts trials reused from matching per-section journals;
+	// Executed counts trials actually run this invocation.
+	Restored int
+	Executed int
+}
+
+// SectionTrials returns section sec's slice of the concatenated trials.
+func (r *SectionResult) SectionTrials(sec int) []Trial {
+	a := &r.Plan.Alloc[sec]
+	return r.Trials[a.Start : a.Start+a.Trials]
+}
+
+// RunSections executes the sectioned campaign with per-section journals
+// under dir (created if missing; "" disables journaling): sections
+// whose journal header still matches — same fingerprint, seed,
+// population, allocation — restore their trials without running
+// anything; stale journals (the section's code changed, so the
+// fingerprint-derived name or header differs) are discarded and
+// re-run. This is the edit-one-function re-protect path: after an
+// edit, only the changed sections' trial budgets are spent.
+func (p *Prepared) RunSections(ctx context.Context, dir string) (*SectionResult, error) {
+	sp := p.secs
+	if sp == nil {
+		return nil, fmt.Errorf("fault: RunSections on a non-sectioned campaign (set Campaign.Sections)")
+	}
+	plans := sp.plans(sp.Total)
+	out := &SectionResult{CampaignResult: p.NewResult(plans), Plan: sp}
+
+	journals := make([]*Journal, len(sp.Alloc))
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("fault: creating section journal dir: %w", err)
+		}
+		defer func() {
+			for _, j := range journals {
+				if j != nil {
+					j.Close()
+				}
+			}
+		}()
+		for i := range sp.Alloc {
+			a := &sp.Alloc[i]
+			if a.Trials == 0 {
+				continue
+			}
+			j, restored, err := openSectionJournal(dir, sp, a)
+			if err != nil {
+				return nil, err
+			}
+			journals[i] = j
+			n := 0
+			for t, tr := range restored {
+				if t < 0 || t >= a.Trials || tr.Status == TrialPending {
+					continue
+				}
+				out.Trials[a.Start+t] = sp.globalizeSite(a.Section, tr)
+				n++
+			}
+			out.Restored += n
+		}
+	}
+
+	// Execute what the journals did not cover.
+	var pendingIdx []int
+	for t := range out.Trials {
+		if out.Trials[t].Status == TrialPending {
+			pendingIdx = append(pendingIdx, t)
+		}
+	}
+	workers := p.c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pendingIdx) {
+		workers = len(pendingIdx)
+	}
+	var (
+		mu         sync.Mutex
+		journalErr error
+	)
+	record := func(t int, tr Trial) {
+		mu.Lock()
+		defer mu.Unlock()
+		out.Executed++
+		a := sp.allocOf(t)
+		if j := journals[a.Section]; j != nil {
+			if err := j.Record(t-a.Start, sp.localizeSite(a.Section, tr)); err != nil && journalErr == nil {
+				journalErr = err
+			}
+		}
+		if p.c.Progress != nil {
+			p.c.Progress(out.Restored+out.Executed, sp.Total, 0, 0)
+		}
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				tr := p.RunTrial(ctx, t, plans[t])
+				if tr.Status == TrialPending {
+					continue // cancelled mid-trial
+				}
+				out.Trials[t] = tr
+				record(t, tr)
+			}
+		}()
+	}
+feed:
+	for _, t := range pendingIdx {
+		select {
+		case next <- t:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	for i := range sp.Alloc {
+		a := &sp.Alloc[i]
+		st := SectionStat{
+			Section: a.Section, FP: a.FP, Label: a.Label,
+			Pop: a.Pop, Trials: a.Trials,
+		}
+		for t := a.Start; t < a.Start+a.Trials; t++ {
+			if out.Trials[t].Status != TrialPending {
+				st.Restored++ // provisional: executed subtracted below
+			}
+		}
+		out.Stats = append(out.Stats, st)
+	}
+	// Restored per section = finished minus executed this invocation;
+	// recompute exactly from the global counters when nothing pended.
+	executedBySec := make([]int, len(sp.Alloc))
+	for _, t := range pendingIdx {
+		if out.Trials[t].Status != TrialPending {
+			executedBySec[sp.allocOf(t).Section]++
+		}
+	}
+	for i := range out.Stats {
+		out.Stats[i].Restored -= executedBySec[i]
+	}
+
+	var errs []error
+	if ferr := out.Finalize(); ferr != nil {
+		errs = append(errs, ferr)
+	}
+	if journalErr != nil {
+		errs = append(errs, fmt.Errorf("fault: section journal write: %w", journalErr))
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	if len(errs) > 0 {
+		return out, errors.Join(errs...)
+	}
+	return out, nil
+}
+
+// openSectionJournal opens (or rebuilds) one section's journal and
+// binds it to the allocation. A corrupt or mismatched journal under our
+// own checkpoint directory is a stale artifact of an earlier binary or
+// allocation — deleted and recreated, never fatal. A locked journal is
+// a genuinely concurrent campaign and stays fatal.
+func openSectionJournal(dir string, sp *SectionPlan, a *SectionAlloc) (*Journal, map[int]Trial, error) {
+	path := filepath.Join(dir, sectionJournalName(a.FP))
+	for attempt := 0; ; attempt++ {
+		j, err := OpenJournal(path)
+		if err != nil {
+			if errors.Is(err, ErrJournalLocked) || attempt > 0 {
+				return nil, nil, err
+			}
+			os.Remove(path)
+			continue
+		}
+		restored, err := j.Begin(sp.sectionMeta(a))
+		if err != nil {
+			j.Close()
+			if attempt > 0 {
+				return nil, nil, err
+			}
+			// Stale header (e.g. a different Coverage or an older
+			// allocation of the same section content): rebuild.
+			os.Remove(path)
+			continue
+		}
+		return j, restored, nil
+	}
+}

@@ -86,11 +86,17 @@ func (r *rank) callBuiltin(id builtinID, args []Val) Val {
 	case bFmax:
 		return FloatVal(math.Max(args[0].F, args[1].F))
 	case bMallocF64, bMallocI64:
+		// Allocation sizes enter the section digest so that two runs
+		// whose heap frontiers coincide by different allocation
+		// sequences still digest apart.
+		r.fold2(0x9a110c, uint64(args[0].I))
 		return IntVal(r.mem.Malloc(args[0].I * 8))
 	case bOutF64:
+		r.fold2(uint64(args[0].I), math.Float64bits(args[1].F))
 		r.outF64(args[0].I, args[1].F)
 		return Val{}
 	case bOutI64:
+		r.fold2(uint64(args[0].I), uint64(args[1].I))
 		r.outI64(args[0].I, args[1].I)
 		return Val{}
 	case bAssertTrue:
@@ -99,9 +105,11 @@ func (r *rank) callBuiltin(id builtinID, args []Val) Val {
 		}
 		return Val{}
 	case bPrintF64:
+		r.fold2(0x9c14, math.Float64bits(args[0].F))
 		r.printLog = append(r.printLog, args[0].F)
 		return Val{}
 	case bPrintI64:
+		r.fold2(0x9c14, uint64(args[0].I))
 		r.printLog = append(r.printLog, float64(args[0].I))
 		return Val{}
 	case bMPIRank:
@@ -112,37 +120,79 @@ func (r *rank) callBuiltin(id builtinID, args []Val) Val {
 		r.comm.barrier(r)
 		return Val{}
 	case bMPIAllreduceF64:
-		return FloatVal(r.comm.allreduceF64(r, args[0].F, args[1].I))
+		v := FloatVal(r.comm.allreduceF64(r, args[0].F, args[1].I))
+		r.fold2(0x317, math.Float64bits(v.F))
+		return v
 	case bMPIAllreduceI64:
-		return IntVal(r.comm.allreduceI64(r, args[0].I, args[1].I))
+		v := IntVal(r.comm.allreduceI64(r, args[0].I, args[1].I))
+		r.fold2(0x317, uint64(v.I))
+		return v
 	case bMPIBcastF64:
-		return FloatVal(r.comm.bcastF64(r, args[0].F, args[1].I))
+		v := FloatVal(r.comm.bcastF64(r, args[0].F, args[1].I))
+		r.fold2(0xbc, math.Float64bits(v.F))
+		return v
 	case bMPIBcastI64:
-		return IntVal(r.comm.bcastI64(r, args[0].I, args[1].I))
+		v := IntVal(r.comm.bcastI64(r, args[0].I, args[1].I))
+		r.fold2(0xbc, uint64(v.I))
+		return v
 	case bMPISendF64:
+		r.foldMsg(args[0].I, args[1].I, args[2:3])
 		r.comm.send(r, args[0].I, args[1].I, []Val{args[2]})
 		return Val{}
 	case bMPIRecvF64:
-		return r.comm.recv(r, args[0].I, args[1].I, 1)[0]
+		v := r.comm.recv(r, args[0].I, args[1].I, 1)[0]
+		r.foldMsg(args[0].I, args[1].I, []Val{v})
+		return v
 	case bMPISendI64:
+		r.foldMsg(args[0].I, args[1].I, args[2:3])
 		r.comm.send(r, args[0].I, args[1].I, []Val{args[2]})
 		return Val{}
 	case bMPIRecvI64:
-		return r.comm.recv(r, args[0].I, args[1].I, 1)[0]
+		v := r.comm.recv(r, args[0].I, args[1].I, 1)[0]
+		r.foldMsg(args[0].I, args[1].I, []Val{v})
+		return v
 	case bMPISendF64s:
-		r.comm.send(r, args[0].I, args[1].I, r.readVec(args[2].I, args[3].I, true))
+		vs := r.readVec(args[2].I, args[3].I, true)
+		r.foldMsg(args[0].I, args[1].I, vs)
+		r.comm.send(r, args[0].I, args[1].I, vs)
 		return Val{}
 	case bMPIRecvF64s:
-		r.writeVec(args[2].I, r.comm.recv(r, args[0].I, args[1].I, args[3].I), true)
+		vs := r.comm.recv(r, args[0].I, args[1].I, args[3].I)
+		r.foldMsg(args[0].I, args[1].I, vs)
+		r.writeVec(args[2].I, vs, true)
 		return Val{}
 	case bMPISendI64s:
-		r.comm.send(r, args[0].I, args[1].I, r.readVec(args[2].I, args[3].I, false))
+		vs := r.readVec(args[2].I, args[3].I, false)
+		r.foldMsg(args[0].I, args[1].I, vs)
+		r.comm.send(r, args[0].I, args[1].I, vs)
 		return Val{}
 	case bMPIRecvI64s:
-		r.writeVec(args[2].I, r.comm.recv(r, args[0].I, args[1].I, args[3].I), false)
+		vs := r.comm.recv(r, args[0].I, args[1].I, args[3].I)
+		r.foldMsg(args[0].I, args[1].I, vs)
+		r.writeVec(args[2].I, vs, false)
 		return Val{}
 	}
 	panic(trapPanic{TrapAbort, "unimplemented builtin"})
+}
+
+// fold2 folds one tagged event into the section digest; a no-op unless
+// section tracking is armed.
+func (r *rank) fold2(a, b uint64) {
+	if r.sec != nil {
+		r.hist = mix(mix(r.hist, a), b)
+	}
+}
+
+// foldMsg folds an MPI message (peer, tag, payload) into the digest.
+func (r *rank) foldMsg(peer, tag int64, vs []Val) {
+	if r.sec == nil {
+		return
+	}
+	h := mix(mix(r.hist, uint64(peer)), uint64(tag))
+	for _, v := range vs {
+		h = mix(h, valBits(v))
+	}
+	r.hist = h
 }
 
 // readVec loads n 8-byte elements starting at addr.

@@ -40,6 +40,20 @@ type rank struct {
 	countSites bool
 	siteCounts []int64
 
+	// Section tracking (see section.go). sec non-nil selects the full
+	// loop and enables boundary hooks; secTarget >= 0 restricts
+	// injectable-instance counting to one section; hist is the running
+	// observable-event digest; secOrd holds per-section entry counters.
+	sec         *SectionTables
+	secCap      *SectionTrace // capture target (golden runs)
+	secGold     *SectionTrace // golden trace (trials; arms early exit)
+	secTarget   int32
+	secOrd      []int64
+	hist        uint64
+	injSec      int32 // section of the fired injection
+	injOrd      int64 // instance ordinal of the fired injection
+	earlyMasked bool
+
 	outputF  []float64
 	outputI  []int64
 	printLog []float64
@@ -112,6 +126,12 @@ const cancelPollPeriod = 4096
 func (r *rank) run() (trap Trap, msg string) {
 	defer func() {
 		if p := recover(); p != nil {
+			if _, ok := p.(earlyMaskedExit); ok {
+				// Clean stop: the suffix was proven identical to the
+				// golden run (r.earlyMasked is already set).
+				trap, msg = TrapNone, ""
+				return
+			}
 			tp, ok := p.(trapPanic)
 			if !ok {
 				panic(p)
@@ -277,11 +297,17 @@ func (r *rank) execFast(pf *progFunc, slots []Val) Val {
 }
 
 // execFull is the fully instrumented loop for armed trials: budget
-// accounting (the hang detector), per-site dynamic counting, and the
-// single-bit injection hook, all over the same flat stream.
+// accounting (the hang detector), per-site dynamic counting, the
+// single-bit injection hook, and the section-boundary hooks, all over
+// the same flat stream. Section state is block-constant, so
+// transitions are only checked at branch targets and returns.
 func (r *rank) execFull(pf *progFunc, slots []Val) Val {
 	code := pf.code
 	consts := pf.consts
+	var fs frameSec
+	if r.sec != nil {
+		fs = r.secFrame(pf)
+	}
 	pc := 0
 	for {
 		pi := &code[pc]
@@ -308,6 +334,11 @@ func (r *rank) execFull(pf *progFunc, slots []Val) Val {
 				r.runCopies(slots, consts, pf.edgeCopies[e])
 			}
 			pc = int(pi.targets[0])
+			if fs.tab != nil {
+				if ns := fs.tab.pcSec[pc]; ns != fs.cur {
+					r.secTransition(&fs, ns, pc, slots)
+				}
+			}
 		case ir.OpCondBr:
 			k := 1
 			if get(slots, consts, pi.a0).I != 0 {
@@ -317,26 +348,46 @@ func (r *rank) execFull(pf *progFunc, slots []Val) Val {
 				r.runCopies(slots, consts, pf.edgeCopies[e])
 			}
 			pc = int(pi.targets[k])
-		case ir.OpRet:
-			if pi.nops > 0 {
-				return get(slots, consts, pi.a0)
+			if fs.tab != nil {
+				if ns := fs.tab.pcSec[pc]; ns != fs.cur {
+					r.secTransition(&fs, ns, pc, slots)
+				}
 			}
-			return Val{}
+		case ir.OpRet:
+			var ret Val
+			if pi.nops > 0 {
+				ret = get(slots, consts, pi.a0)
+			}
+			if fs.tab != nil {
+				r.secRet(&fs, ret)
+			}
+			return ret
 		case ir.OpTrap:
 			raiseTrap(get(slots, consts, pi.a0).I)
 		case ir.OpStore:
-			r.mem.Store(get(slots, consts, pi.a1).I, pi.elemSize, get(slots, consts, pi.a0), pi.storeFloat)
+			addr := get(slots, consts, pi.a1).I
+			v := get(slots, consts, pi.a0)
+			if r.sec != nil {
+				r.hist = mix(mix(r.hist, uint64(addr)), valBits(v))
+			}
+			r.mem.Store(addr, pi.elemSize, v, pi.storeFloat)
 			pc++
 		default:
 			v := r.eval(pi, slots, consts)
 			if pi.injectable {
-				r.injectableSeen++
-				if r.injectArmed && r.injectableSeen-1 == r.injectIndex {
-					v = FlipBit(v, pi.typ, r.injectBit)
-					r.injected = true
-					r.injectedSite = int(pi.siteID)
-					r.injectedAt = r.executed
-					r.injectArmed = false
+				if r.secCap != nil && fs.tab != nil {
+					r.secCap.Pops[fs.cur]++
+				}
+				if r.secTarget < 0 || (fs.tab != nil && fs.cur == r.secTarget) {
+					r.injectableSeen++
+					if r.injectArmed && r.injectableSeen-1 == r.injectIndex {
+						v = FlipBit(v, pi.typ, r.injectBit)
+						r.injected = true
+						r.injectedSite = int(pi.siteID)
+						r.injectedAt = r.executed
+						r.injectArmed = false
+						r.injSec, r.injOrd = fs.cur, fs.ord
+					}
 				}
 			}
 			if pi.dst >= 0 {
@@ -415,7 +466,11 @@ func (r *rank) eval(pi *pInstr, slots, consts []Val) Val {
 	case ir.OpAtomicRMW:
 		addr := get(slots, consts, pi.a0).I
 		old := r.mem.Load(addr, pi.elemSize, false)
-		r.mem.Store(addr, pi.elemSize, IntVal(old.I+get(slots, consts, pi.a1).I), false)
+		nv := IntVal(old.I + get(slots, consts, pi.a1).I)
+		if r.sec != nil {
+			r.hist = mix(mix(r.hist, uint64(addr)), uint64(nv.I))
+		}
+		r.mem.Store(addr, pi.elemSize, nv, false)
 		return old
 	case ir.OpTrunc, ir.OpSExt:
 		return IntVal(truncToType(pi.typ, get(slots, consts, pi.a0).I))

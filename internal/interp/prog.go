@@ -47,6 +47,11 @@ type progFunc struct {
 	// (pred, succ) pair at lowering time is what removes the old
 	// per-block-entry predecessor scan from the hot loop.
 	edgeCopies [][]phiCopy
+	// blockOf maps each pc onto the index of its source block in
+	// fn.Blocks(). It is a side table — never consulted by the
+	// execution loops — that lets section analysis (section.go)
+	// project an IR block partition onto flat pcs.
+	blockOf []int32
 }
 
 // phiCopy is one slot assignment of a parallel copy (dst = src). All
@@ -224,7 +229,8 @@ func (p *Program) compileFunc(f *ir.Func) error {
 	}
 
 	// Pass 2: emit the flat stream.
-	for _, b := range f.Blocks() {
+	pf.blockOf = make([]int32, 0, pc)
+	for bi, b := range f.Blocks() {
 		for _, in := range b.Instrs() {
 			if in.Op() == ir.OpPhi {
 				continue // handled by edge copies
@@ -294,6 +300,7 @@ func (p *Program) compileFunc(f *ir.Func) error {
 			}
 			pi.injectable = in.HasResult() && p.injectable(in)
 			pf.code = append(pf.code, pi)
+			pf.blockOf = append(pf.blockOf, int32(bi))
 			if in.Op().IsTerminator() {
 				break
 			}

@@ -12,6 +12,11 @@ type FaultPlan struct {
 	Rank  int
 	Index int64
 	Bit   int
+	// Section restricts instance counting to dynamic instances executed
+	// while the named section is current: Index then selects within the
+	// section's own population (SectionTrace.Pops). Only consulted when
+	// Config.Sections is armed; a plain plan leaves it zero.
+	Section int32
 }
 
 // Config parameterizes a job execution.
@@ -37,6 +42,12 @@ type Config struct {
 	Fault *FaultPlan
 	// CountSites enables per-site dynamic instruction counting.
 	CountSites bool
+	// Sections arms section-boundary tracking (capture on golden runs,
+	// section-targeted injection and early-masked exit on trials). It
+	// selects the instrumented loop and is honored only for
+	// single-rank runs: a rank stopping early at a boundary would
+	// strand MPI peers, so multi-rank configurations ignore it.
+	Sections *SectionConfig
 	// Watchdog bounds the wall-clock blocking of one MPI operation as
 	// defense in depth (default 60s). Deadlocks are detected
 	// structurally and instantly by the rank supervisor; the watchdog
@@ -110,6 +121,15 @@ type Result struct {
 	// SiteCounts is the per-site dynamic instruction count summed over
 	// ranks (only when Config.CountSites).
 	SiteCounts []int64
+
+	// EarlyMasked reports that the run stopped at a section boundary
+	// because its state digest matched the golden run's: the suffix
+	// would replay the fault-free execution, so the trial is Masked.
+	// Outputs are truncated at the stop point and must not be verified.
+	EarlyMasked bool
+	// Sections is the boundary trace captured on rank 0 when
+	// Config.Sections.Capture was set.
+	Sections *SectionTrace
 }
 
 // Run executes the program under the given configuration.
@@ -135,6 +155,8 @@ func RunContext(ctx context.Context, p *Program, cfg Config) *Result {
 			cancel:       cancel,
 			budget:       -1,
 			injectedSite: -1,
+			secTarget:    -1,
+			injSec:       -1,
 			zeroFrames:   p.zeroFrames,
 		}
 		if cfg.MaxInstrs > 0 {
@@ -149,11 +171,22 @@ func RunContext(ctx context.Context, p *Program, cfg Config) *Result {
 			r.countSites = true
 			r.siteCounts = make([]int64, p.NumSites)
 		}
+		if cfg.Sections != nil && cfg.Sections.Tables != nil && cfg.Ranks == 1 {
+			r.sec = cfg.Sections.Tables
+			r.secOrd = make([]int64, r.sec.NumSections())
+			if cfg.Sections.Capture {
+				r.secCap = newSectionTrace(r.sec.NumSections())
+			}
+			r.secGold = cfg.Sections.Golden
+			if r.injectArmed {
+				r.secTarget = cfg.Fault.Section
+			}
+		}
 		// Loop specialization (decided once per run): a rank with any
-		// instrumentation armed — budget, site counting, or an
-		// injection plan targeting it — takes the full loop; everything
-		// else takes the fast loop.
-		r.instrumented = r.budget >= 0 || r.countSites || r.injectArmed
+		// instrumentation armed — budget, site counting, section
+		// tracking, or an injection plan targeting it — takes the full
+		// loop; everything else takes the fast loop.
+		r.instrumented = r.budget >= 0 || r.countSites || r.injectArmed || r.sec != nil
 		ranks[i] = r
 	}
 
@@ -211,10 +244,14 @@ func RunContext(ctx context.Context, p *Program, cfg Config) *Result {
 			// Latency from injection to this rank's termination.
 			res.InjectedRankDyn = r.executed
 		}
+		if r.earlyMasked {
+			res.EarlyMasked = true
+		}
 		if i == 0 {
 			res.OutputF = r.outputF
 			res.OutputI = r.outputI
 			res.PrintLog = r.printLog
+			res.Sections = r.secCap
 		}
 		if cfg.CountSites {
 			if res.SiteCounts == nil {
