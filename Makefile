@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet lint race ci bench bench-svm bench-all bench-smoke bench-check bench-compose compose-smoke chaos-smoke server-chaos-smoke fuzz-smoke experiments experiments-paper examples clean
+.PHONY: build test test-short vet lint race ci bench bench-svm bench-all bench-smoke bench-check bench-compose compose-smoke chaos-smoke server-chaos-smoke fuzz-smoke fuzz-nightly experiments experiments-paper examples clean
 
 build:
 	$(GO) build ./...
@@ -42,8 +42,10 @@ test-short:
 race:
 	$(GO) test -race -shuffle=on -timeout=30m ./...
 
-# What CI runs (see .github/workflows/ci.yml).
-ci: lint build race chaos-smoke server-chaos-smoke bench-check compose-smoke
+# The pre-push check: lint, race+shuffle tests, then every smoke suite
+# in the same order as the CI workflow's matrix (see
+# .github/workflows/ci.yml) — a green `make ci` is a green CI run.
+ci: lint build race bench-check chaos-smoke server-chaos-smoke compose-smoke fuzz-smoke
 
 # Interpreter + campaign throughput benchmarks (the perf trajectory of
 # the execution engine), recorded machine-readably in BENCH_interp.json.
@@ -51,7 +53,10 @@ ci: lint build race chaos-smoke server-chaos-smoke bench-check compose-smoke
 # latency — the metric that replaced the former 10 s wall-clock wait.
 # BenchmarkShardedCampaign tracks the sharded engine's overhead floor
 # (1 shard) and its scaling configuration (one shard per core).
-BENCH_INTERP = BenchmarkInterpreter|BenchmarkInterpreterInstrumented|BenchmarkCampaignThroughput|BenchmarkShardedCampaign|BenchmarkDeadlockDetection
+# BenchmarkCampaignSetup records Prepare cold vs warm: the warm number
+# is the golden-run cache's enforced win (breaking the cache turns a
+# sub-millisecond hit into a full golden run, which benchdiff rejects).
+BENCH_INTERP = BenchmarkInterpreter|BenchmarkInterpreterInstrumented|BenchmarkCampaignThroughput|BenchmarkCampaignSetup|BenchmarkShardedCampaign|BenchmarkDeadlockDetection
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_INTERP)' -benchtime=2s . \
 		| $(GO) run ./cmd/bench2json -o BENCH_interp.json
@@ -123,6 +128,16 @@ server-chaos-smoke:
 # smoke; run it open-ended with a larger -fuzztime to go hunting.
 fuzz-smoke:
 	$(GO) test -run '^FuzzMPISchedule$$' -fuzz '^FuzzMPISchedule$$' -fuzztime 10s -race ./internal/interp
+
+# Long-running fuzz of the differential oracle (fused fast loop vs
+# instrumented loop vs IR reference walker) and the MPI schedule
+# invariants. The nightly CI job runs each for 10 minutes and uploads
+# any crashers from testdata/fuzz as artifacts; FUZZTIME overrides the
+# budget locally.
+FUZZTIME ?= 10m
+fuzz-nightly:
+	$(GO) test -run '^FuzzDifferential$$' -fuzz '^FuzzDifferential$$' -fuzztime $(FUZZTIME) ./internal/interp
+	$(GO) test -run '^FuzzMPISchedule$$' -fuzz '^FuzzMPISchedule$$' -fuzztime $(FUZZTIME) -race ./internal/interp
 
 # One benchmark per paper table/figure plus component and ablation
 # benches; writes bench_output.txt.

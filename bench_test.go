@@ -207,6 +207,63 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignSetup measures Campaign.Prepare cold (golden run
+// executed, caching disabled) against warm (golden served from a
+// pre-warmed cache; the iteration still pays compiling-adjacent work —
+// fingerprinting a freshly compiled program — so the number reflects a
+// new campaign process adopting a shared golden run). The warm number
+// is the enforced cache win: breaking the cache turns warm into cold,
+// an order-of-magnitude jump the benchdiff gate rejects.
+func BenchmarkCampaignSetup(b *testing.B) {
+	spec := workloads.MustGet("AMG", 1)
+	newProg := func() *interp.Program {
+		m, err := spec.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := fault.Compile(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	campaign := func(p *interp.Program, gc *fault.GoldenCache) *fault.Campaign {
+		return &fault.Campaign{
+			Prog: p, Verify: spec.Verify, Config: spec.BaseConfig(1), Seed: 7,
+			GoldenCache: gc, NoGoldenCache: gc == nil,
+		}
+	}
+	b.Run("path=cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p := newProg()
+			b.StartTimer()
+			if _, err := campaign(p, nil).Prepare(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("path=warm", func(b *testing.B) {
+		gc := fault.NewGoldenCache(8)
+		if _, err := campaign(newProg(), gc).Prepare(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p := newProg()
+			b.StartTimer()
+			prep, err := campaign(p, gc).Prepare(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !prep.GoldenCached {
+				b.Fatal("warm Prepare missed the cache")
+			}
+		}
+	})
+}
+
 // BenchmarkShardedCampaign measures the sharded campaign engine
 // (internal/fault/shard) against the single-loop baseline above:
 // "1shard" is the engine's overhead floor (scheduler + partition, no
@@ -265,6 +322,12 @@ func main() {
 		b.Fatal(err)
 	}
 	cfg := interp.Config{Ranks: 2, Watchdog: time.Hour}
+	// Warm the interpreter's memory pool: a single-iteration smoke run
+	// should measure detection latency, not the one-time allocation of
+	// two 64 MiB rank address spaces.
+	if res := interp.Run(p, cfg); res.Trap != interp.TrapDeadlock {
+		b.Fatalf("warmup trap = %v, want structural deadlock", res.Trap)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := interp.Run(p, cfg)

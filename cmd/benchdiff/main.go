@@ -61,9 +61,17 @@ func main() {
 		fatal(err)
 	}
 
-	lines, regressions := compare(base, cur, *tol, *minNs)
-	for _, l := range lines {
+	rows, regressions := compare(base, cur, *tol, *minNs)
+	for _, l := range renderText(rows) {
 		fmt.Println(l)
+	}
+	// On GitHub Actions, append the comparison as a markdown table to
+	// the run's step summary so regressions are readable from the run
+	// page instead of raw logs.
+	if path := os.Getenv("GITHUB_STEP_SUMMARY"); path != "" {
+		if err := appendStepSummary(path, renderMarkdown(rows, *basePath, *tol)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff: step summary:", err)
+		}
 	}
 	if len(regressions) > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %gx tolerance\n", len(regressions), *tol)
@@ -87,11 +95,22 @@ func load(path string) (*report, error) {
 	return &r, nil
 }
 
-// compare renders one line per reference benchmark and returns the
-// names that regressed beyond tol. Benchmarks below the minNs noise
-// floor, or with no timing in the reference, are reported but never
-// gate.
-func compare(base, cur *report, tol, minNs float64) (lines, regressions []string) {
+// A row is one benchmark's comparison outcome, rendered both as a
+// plain-text log line and as a markdown table row.
+type row struct {
+	status  string // "ok", "REGRESS", "MISSING", "noise", "SKIP", "new"
+	name    string
+	baseNs  float64
+	curNs   float64
+	ratio   float64 // curNs / baseNs when both are valid, else 0
+	comment string
+}
+
+// compare produces one row per reference benchmark (plus informational
+// rows for new benchmarks) and returns the names that regressed beyond
+// tol. Benchmarks below the minNs noise floor, or with no timing in
+// the reference, are reported but never gate.
+func compare(base, cur *report, tol, minNs float64) (rows []row, regressions []string) {
 	current := map[string]float64{}
 	for _, b := range cur.Benchmarks {
 		name := canonical(b.Name)
@@ -107,28 +126,119 @@ func compare(base, cur *report, tol, minNs float64) (lines, regressions []string
 		}
 		seen[name] = true
 		now, ok := current[name]
+		r := row{name: b.Name, baseNs: b.NsPerOp, curNs: now}
+		if ok && b.NsPerOp > 0 && now > 0 {
+			r.ratio = now / b.NsPerOp
+		}
 		switch {
 		case !ok:
-			lines = append(lines, fmt.Sprintf("MISSING  %-50s (reference %.0f ns/op)", b.Name, b.NsPerOp))
+			r.status = "MISSING"
+			r.comment = "not in current report"
 			regressions = append(regressions, b.Name)
 		case b.NsPerOp <= 0 || now <= 0:
-			lines = append(lines, fmt.Sprintf("SKIP     %-50s no ns/op to compare", b.Name))
+			r.status = "SKIP"
+			r.comment = "no ns/op to compare"
 		case b.NsPerOp < minNs:
-			lines = append(lines, fmt.Sprintf("noise    %-50s %.0f -> %.0f ns/op (below %.0f ns floor)", b.Name, b.NsPerOp, now, minNs))
+			r.status = "noise"
+			r.comment = fmt.Sprintf("below %.0f ns floor", minNs)
 		case now > b.NsPerOp*tol:
-			lines = append(lines, fmt.Sprintf("REGRESS  %-50s %.0f -> %.0f ns/op (%.1fx > %gx)", b.Name, b.NsPerOp, now, now/b.NsPerOp, tol))
+			r.status = "REGRESS"
+			r.comment = fmt.Sprintf("%.1fx > %gx", r.ratio, tol)
 			regressions = append(regressions, b.Name)
 		default:
-			lines = append(lines, fmt.Sprintf("ok       %-50s %.0f -> %.0f ns/op (%.2fx)", b.Name, b.NsPerOp, now, now/b.NsPerOp))
+			r.status = "ok"
 		}
+		rows = append(rows, r)
 	}
 	for _, b := range cur.Benchmarks {
 		if !seen[canonical(b.Name)] {
 			seen[canonical(b.Name)] = true
-			lines = append(lines, fmt.Sprintf("new      %-50s %.0f ns/op (not in reference)", b.Name, b.NsPerOp))
+			rows = append(rows, row{
+				status: "new", name: b.Name, curNs: b.NsPerOp,
+				comment: "not in reference",
+			})
 		}
 	}
-	return lines, regressions
+	return rows, regressions
+}
+
+// renderText renders the classic log-line form of the comparison.
+func renderText(rows []row) []string {
+	var lines []string
+	for _, r := range rows {
+		switch r.status {
+		case "MISSING":
+			lines = append(lines, fmt.Sprintf("MISSING  %-50s (reference %.0f ns/op)", r.name, r.baseNs))
+		case "SKIP":
+			lines = append(lines, fmt.Sprintf("SKIP     %-50s no ns/op to compare", r.name))
+		case "noise":
+			lines = append(lines, fmt.Sprintf("noise    %-50s %.0f -> %.0f ns/op (%s)", r.name, r.baseNs, r.curNs, r.comment))
+		case "REGRESS":
+			lines = append(lines, fmt.Sprintf("REGRESS  %-50s %.0f -> %.0f ns/op (%s)", r.name, r.baseNs, r.curNs, r.comment))
+		case "new":
+			lines = append(lines, fmt.Sprintf("new      %-50s %.0f ns/op (not in reference)", r.name, r.curNs))
+		default:
+			lines = append(lines, fmt.Sprintf("ok       %-50s %.0f -> %.0f ns/op (%.2fx)", r.name, r.baseNs, r.curNs, r.ratio))
+		}
+	}
+	return lines
+}
+
+// renderMarkdown renders the comparison as a GitHub-flavored markdown
+// table for the Actions step summary. Regressions float to the top so
+// the failure cause is the first row on the run page.
+func renderMarkdown(rows []row, basePath string, tol float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### Bench regression gate (`%s`, tolerance %gx)\n\n", basePath, tol)
+	sb.WriteString("| Status | Benchmark | Reference ns/op | Current ns/op | Ratio | Note |\n")
+	sb.WriteString("|---|---|---:|---:|---:|---|\n")
+	ordered := make([]row, 0, len(rows))
+	for _, r := range rows {
+		if r.status == "REGRESS" || r.status == "MISSING" {
+			ordered = append(ordered, r)
+		}
+	}
+	for _, r := range rows {
+		if r.status != "REGRESS" && r.status != "MISSING" {
+			ordered = append(ordered, r)
+		}
+	}
+	ns := func(v float64) string {
+		if v <= 0 {
+			return "—"
+		}
+		return fmt.Sprintf("%.0f", v)
+	}
+	for _, r := range ordered {
+		status := r.status
+		switch r.status {
+		case "REGRESS", "MISSING":
+			status = "❌ " + r.status
+		case "ok":
+			status = "✅ ok"
+		}
+		ratio := "—"
+		if r.ratio > 0 {
+			ratio = fmt.Sprintf("%.2fx", r.ratio)
+		}
+		fmt.Fprintf(&sb, "| %s | `%s` | %s | %s | %s | %s |\n",
+			status, r.name, ns(r.baseNs), ns(r.curNs), ratio, r.comment)
+	}
+	return sb.String()
+}
+
+// appendStepSummary appends markdown to the GitHub Actions step-summary
+// file (the file accumulates across steps, so append, never truncate).
+func appendStepSummary(path, md string) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(md + "\n"); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // canonical strips go test's trailing -GOMAXPROCS suffix so reports

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -28,7 +30,8 @@ func TestCompareWithinTolerance(t *testing.T) {
 func TestCompareFlagsRegression(t *testing.T) {
 	base := rep("BenchmarkA", 1e6, "BenchmarkB", 5e4)
 	cur := rep("BenchmarkA", 1.5e7, "BenchmarkB", 4e4)
-	lines, regressions := compare(base, cur, 10, 1000)
+	rows, regressions := compare(base, cur, 10, 1000)
+	lines := renderText(rows)
 	if len(regressions) != 1 || regressions[0] != "BenchmarkA" {
 		t.Fatalf("want [BenchmarkA], got %v", regressions)
 	}
@@ -51,7 +54,8 @@ func TestCompareNoiseFloorNeverGates(t *testing.T) {
 	// 3000 ns must not gate: below the floor it is timer noise.
 	base := rep("BenchmarkTiny", 30.0)
 	cur := rep("BenchmarkTiny", 3000.0)
-	lines, regressions := compare(base, cur, 10, 1000)
+	rows, regressions := compare(base, cur, 10, 1000)
+	lines := renderText(rows)
 	if len(regressions) != 0 {
 		t.Fatalf("noise-floor bench gated: %v", regressions)
 	}
@@ -63,7 +67,8 @@ func TestCompareNoiseFloorNeverGates(t *testing.T) {
 func TestCompareExtraCurrentBenchmarkIsInformational(t *testing.T) {
 	base := rep("BenchmarkA", 1e6)
 	cur := rep("BenchmarkA", 1e6, "BenchmarkNew", 5e6)
-	lines, regressions := compare(base, cur, 10, 1000)
+	rows, regressions := compare(base, cur, 10, 1000)
+	lines := renderText(rows)
 	if len(regressions) != 0 {
 		t.Fatalf("extra benchmark gated: %v", regressions)
 	}
@@ -78,7 +83,8 @@ func TestCompareStripsGomaxprocsSuffix(t *testing.T) {
 	// key=value sub-bench names must survive canonicalization.
 	base := rep("BenchmarkGridSearch/workers=8", 1e9, "BenchmarkInterpreter/CoMD", 1e6)
 	cur := rep("BenchmarkGridSearch/workers=8-4", 1.2e9, "BenchmarkInterpreter/CoMD-4", 1.1e6)
-	lines, regressions := compare(base, cur, 10, 1000)
+	rows, regressions := compare(base, cur, 10, 1000)
+	lines := renderText(rows)
 	if len(regressions) != 0 {
 		t.Fatalf("suffixed names did not pair: %v\n%s", regressions, strings.Join(lines, "\n"))
 	}
@@ -110,11 +116,55 @@ func TestCompareDuplicateReferenceNamesUseFirst(t *testing.T) {
 	// compare against the first occurrence only, not double-report.
 	base := rep("BenchmarkA", 1e6, "BenchmarkA", 9e9)
 	cur := rep("BenchmarkA", 2e6)
-	lines, regressions := compare(base, cur, 10, 1000)
+	rows, regressions := compare(base, cur, 10, 1000)
+	lines := renderText(rows)
 	if len(regressions) != 0 {
 		t.Fatalf("duplicate reference gated: %v", regressions)
 	}
 	if len(lines) != 1 {
 		t.Fatalf("want 1 line, got %d:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+}
+
+func TestRenderMarkdownRegressionsFirst(t *testing.T) {
+	base := rep("BenchmarkFast", 1e6, "BenchmarkSlow", 1e6, "BenchmarkGone", 1e6)
+	cur := rep("BenchmarkFast", 1.1e6, "BenchmarkSlow", 2e7)
+	rows, _ := compare(base, cur, 10, 1000)
+	md := renderMarkdown(rows, "BENCH_interp.json", 10)
+	if !strings.Contains(md, "| Status | Benchmark |") {
+		t.Fatalf("no table header:\n%s", md)
+	}
+	// Regressed and missing rows must precede the ok row.
+	slow := strings.Index(md, "BenchmarkSlow")
+	gone := strings.Index(md, "BenchmarkGone")
+	fast := strings.Index(md, "BenchmarkFast")
+	if slow < 0 || gone < 0 || fast < 0 {
+		t.Fatalf("missing rows:\n%s", md)
+	}
+	if slow > fast || gone > fast {
+		t.Fatalf("regressions not floated to the top:\n%s", md)
+	}
+	if !strings.Contains(md, "❌ REGRESS") || !strings.Contains(md, "❌ MISSING") {
+		t.Fatalf("failure rows unmarked:\n%s", md)
+	}
+	if !strings.Contains(md, "20.00x") {
+		t.Fatalf("ratio missing:\n%s", md)
+	}
+}
+
+func TestAppendStepSummaryAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "summary.md")
+	if err := appendStepSummary(path, "first"); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendStepSummary(path, "second"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "first\nsecond\n" {
+		t.Fatalf("summary file content %q: prior steps' output must survive", data)
 	}
 }

@@ -311,6 +311,18 @@ type Campaign struct {
 	// count of trials whose fault deadlocked the job.
 	Progress func(done, total, failed, deadlocked int)
 
+	// GoldenCache overrides the golden-run cache consulted by Prepare
+	// (nil selects SharedGoldenCache). Campaigns over the same program
+	// content and execution configuration then share one golden run —
+	// outputs, instruction counts, per-site counts and section boundary
+	// digests are computed once per (workload, input), not once per
+	// campaign or shard. The cached Result is shared and must be
+	// treated as immutable.
+	GoldenCache *GoldenCache
+	// NoGoldenCache opts this campaign out of golden-run caching: its
+	// golden run is always recomputed and never published.
+	NoGoldenCache bool
+
 	// beforeTrial is a test hook called at the start of every trial
 	// attempt; panics it raises exercise the worker isolation path.
 	beforeTrial func(t, attempt int)
@@ -380,6 +392,10 @@ type Prepared struct {
 	// the sampling population every plan draws from.
 	Population int64
 
+	// GoldenCached reports that Golden was served from the golden-run
+	// cache rather than executed by this Prepare.
+	GoldenCached bool
+
 	budget     int64
 	maxRetries int
 	backoff    time.Duration
@@ -417,35 +433,74 @@ func (c *Campaign) Prepare(ctx context.Context) (*Prepared, error) {
 	if hang <= 0 {
 		hang = 10
 	}
-	cfg := c.Config
 	var (
 		parts  *ir.Sections
 		tables *interp.SectionTables
 	)
 	if c.Sections {
-		// Sectioned golden run: capture boundary digests and per-site
-		// dynamic counts (the allocation inputs) on the same run.
-		if cfg.Ranks > 1 {
-			return nil, fmt.Errorf("fault: sectioned campaigns require Ranks == 1 (got %d)", cfg.Ranks)
+		if c.Config.Ranks > 1 {
+			return nil, fmt.Errorf("fault: sectioned campaigns require Ranks == 1 (got %d)", c.Config.Ranks)
 		}
 		if c.Coverage < 1 {
 			return nil, fmt.Errorf("fault: sectioned campaign needs Coverage >= 1 (got %d)", c.Coverage)
 		}
+		// The partition and tables bind to this Program instance (they
+		// key on its compiled functions), so they are rebuilt per
+		// campaign even when the golden run itself is served from the
+		// cache — they are compile-time derivations, not executions.
 		parts = ir.ModuleSections(c.Prog.Module())
 		var err error
 		tables, err = interp.NewSectionTables(c.Prog, parts)
 		if err != nil {
 			return nil, err
 		}
-		cfg.Sections = &interp.SectionConfig{Tables: tables, Capture: true}
-		cfg.CountSites = true
 	}
-	golden := interp.RunContext(ctx, c.Prog, cfg)
-	if golden.Trap == interp.TrapCancelled || ctx.Err() != nil {
-		return nil, fmt.Errorf("fault: golden run cancelled: %w", ctx.Err())
+
+	// compute executes the golden run (sectioned golden runs also
+	// capture boundary digests and per-site dynamic counts — the
+	// allocation inputs — on the same run) and is invoked only on a
+	// cache miss, or directly when caching is off.
+	compute := func() (*interp.Result, error) {
+		cfg := c.Config
+		if c.Sections {
+			cfg.Sections = &interp.SectionConfig{Tables: tables, Capture: true}
+			cfg.CountSites = true
+		}
+		golden := interp.RunContext(ctx, c.Prog, cfg)
+		if golden.Trap == interp.TrapCancelled || ctx.Err() != nil {
+			return nil, fmt.Errorf("fault: golden run cancelled: %w", ctx.Err())
+		}
+		if golden.Trap != interp.TrapNone {
+			return nil, fmt.Errorf("fault: golden run trapped: %v (%s)", golden.Trap, golden.TrapMsg)
+		}
+		return golden, nil
 	}
-	if golden.Trap != interp.TrapNone {
-		return nil, fmt.Errorf("fault: golden run trapped: %v (%s)", golden.Trap, golden.TrapMsg)
+
+	gc := c.GoldenCache
+	if gc == nil && !c.NoGoldenCache {
+		gc = SharedGoldenCache
+	}
+	var (
+		golden *interp.Result
+		cached bool
+		err    error
+	)
+	if gc != nil {
+		norm := c.Config.WithDefaults()
+		key := goldenKey{
+			progFP:    c.Prog.Fingerprint(),
+			ranks:     norm.Ranks,
+			heap:      norm.HeapBytes,
+			stack:     norm.StackBytes,
+			maxInstrs: norm.MaxInstrs,
+			sectioned: c.Sections,
+		}
+		golden, cached, err = gc.goldenRun(ctx, key, compute)
+	} else {
+		golden, err = compute()
+	}
+	if err != nil {
+		return nil, err
 	}
 	pop := golden.Injectable[0]
 	if pop == 0 {
@@ -456,12 +511,13 @@ func (c *Campaign) Prepare(ctx context.Context) (*Prepared, error) {
 		backoff = 10 * time.Millisecond
 	}
 	p := &Prepared{
-		c:          c,
-		Golden:     golden,
-		Population: pop,
-		budget:     golden.MaxRankDyn*hang + 1_000_000,
-		maxRetries: retries(c.MaxRetries),
-		backoff:    backoff,
+		c:            c,
+		Golden:       golden,
+		Population:   pop,
+		GoldenCached: cached,
+		budget:       golden.MaxRankDyn*hang + 1_000_000,
+		maxRetries:   retries(c.MaxRetries),
+		backoff:      backoff,
 	}
 	if c.Sections {
 		sp, err := newSectionPlan(c, parts, tables, golden)

@@ -1,0 +1,199 @@
+package interp
+
+import "ipas/internal/ir"
+
+// Superinstruction fusion: at lowering time, hot adjacent instruction
+// pairs are fused into single dispatch units on a second instruction
+// stream (progFunc.fast) that only the uninstrumented fast loop
+// executes. The canonical stream (progFunc.code) is untouched, so the
+// fully instrumented injection loop — budgets, per-site counts, the
+// single-bit injection hook, section boundaries — keeps its
+// one-dynamic-instruction-per-opcode semantics bit for bit.
+//
+// A fused pair still accounts for two dynamic instructions and for each
+// half's injectable instance exactly where the unfused stream would:
+// the fast loop increments rank.executed before each half and
+// rank.injectableSeen after evaluating an injectable half, so trap
+// points mid-pair (a store to a bad address, a load past the heap)
+// observe identical counters, and the golden sampling population is
+// unchanged. Execution of a pair is strictly sequential — the first
+// half's result is written to its slot (unless provably dead, see
+// below) before the second half's operands are read — so fusion is an
+// encoding change, never a reordering.
+//
+// Fused shapes (the hot pairs in the mini-app profiles):
+//
+//	icmp/fcmp + condbr   -> opICmpBr / opFCmpBr
+//	load      + arith    -> opLoadArith  (arith ∈ add/sub/mul/fadd/fsub/fmul/fdiv)
+//	arith     + store    -> opArithStore
+//	gep       + load     -> opGEPLoad
+//
+// sdiv/srem are excluded from the arith set: they can trap between the
+// halves and buy nothing on the profiles that matter.
+//
+// When the first half's result has exactly one use — necessarily the
+// second half, since fusion requires the second half to read it — the
+// slot write is elided (dst = -1) and the value flows through the
+// superinstruction in flight (fuseB0/fuseB1). That removes the bool
+// materialization from compare-and-branch loop back-edges and the
+// address materialization from gep+load, the two most common shapes.
+const (
+	opICmpBr ir.Op = ir.OpTrap + 1 + iota
+	opFCmpBr
+	opLoadArith
+	opArithStore
+	opGEPLoad
+)
+
+// fusableArith reports whether op may be the arithmetic half of a
+// load+arith or arith+store pair: two-operand, result-producing, and —
+// so a pair never traps between its halves on the arithmetic — unable
+// to trap.
+func fusableArith(op ir.Op) bool {
+	switch op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv:
+		return true
+	}
+	return false
+}
+
+// fuseFunc builds the fused fast stream for one compiled function and
+// returns it. pf.code and pf.blockOf must be final.
+func (p *Program) fuseFunc(pf *progFunc) []pInstr {
+	code := pf.code
+	n := len(code)
+	if n == 0 {
+		return code
+	}
+
+	// Slot use counts: a first-half result with exactly one use is dead
+	// after the pair, so its slot write can be elided. Uses are operand
+	// references in instructions (ops when present, else a0/a1 by
+	// arity) plus phi parallel-copy sources.
+	uses := make([]int32, pf.numSlots)
+	count := func(x int32) {
+		if x >= 0 {
+			uses[x]++
+		}
+	}
+	for i := range code {
+		pi := &code[i]
+		if pi.ops != nil {
+			for _, o := range pi.ops {
+				count(o)
+			}
+			continue
+		}
+		if pi.nops > 0 {
+			count(pi.a0)
+		}
+		if pi.nops > 1 {
+			count(pi.a1)
+		}
+	}
+	for _, cps := range pf.edgeCopies {
+		for _, cp := range cps {
+			count(cp.src)
+		}
+	}
+
+	// blockStart[pc] marks pcs that begin a block — the only possible
+	// branch targets, and the only place a pair may not span.
+	blockStart := func(pc int) bool {
+		return pc == 0 || pf.blockOf[pc] != pf.blockOf[pc-1]
+	}
+
+	old2new := make([]int32, n)
+	fast := make([]pInstr, 0, n)
+	for i := 0; i < n; {
+		old2new[i] = int32(len(fast))
+		if i+1 < n && !blockStart(i+1) {
+			if fi, ok := tryFuse(&code[i], &code[i+1], uses); ok {
+				old2new[i+1] = int32(len(fast)) // never a branch target
+				fast = append(fast, fi)
+				p.fusedPairs++
+				i += 2
+				continue
+			}
+		}
+		fast = append(fast, code[i])
+		i++
+	}
+	// Branch targets in the fused stream still hold canonical pcs;
+	// remap them. Targets always name block starts, which are never
+	// consumed as the second half of a pair, so the mapping is exact.
+	for j := range fast {
+		for k := 0; k < 2; k++ {
+			if t := fast[j].targets[k]; t >= 0 {
+				fast[j].targets[k] = old2new[t]
+			}
+		}
+	}
+	return fast
+}
+
+// tryFuse attempts to fuse the adjacent pair (a, b) and returns the
+// superinstruction. Both instructions are in the same block and b is
+// not a branch target.
+func tryFuse(a, b *pInstr, uses []int32) (pInstr, bool) {
+	switch {
+	case (a.op == ir.OpICmp || a.op == ir.OpFCmp) && b.op == ir.OpCondBr && b.a0 == a.dst:
+		fi := *a
+		if a.op == ir.OpICmp {
+			fi.op = opICmpBr
+		} else {
+			fi.op = opFCmpBr
+		}
+		fi.targets = b.targets
+		fi.edges = b.edges
+		elideDst(&fi, uses)
+		return fi, true
+
+	case a.op == ir.OpLoad && fusableArith(b.op) && b.ops == nil &&
+		(b.a0 == a.dst || b.a1 == a.dst):
+		fi := *a
+		fi.op = opLoadArith
+		fi.op2 = b.op
+		fi.typ = b.typ // the arith result type (load needs only elemSize/isFloat)
+		fi.b0, fi.b1 = b.a0, b.a1
+		fi.fuseB0, fi.fuseB1 = b.a0 == a.dst, b.a1 == a.dst
+		fi.dst2 = b.dst
+		fi.inj2 = b.injectable
+		elideDst(&fi, uses)
+		return fi, true
+
+	case fusableArith(a.op) && a.ops == nil && b.op == ir.OpStore &&
+		(b.a0 == a.dst || b.a1 == a.dst):
+		fi := *a
+		fi.op = opArithStore
+		fi.op2 = a.op
+		fi.b0, fi.b1 = b.a0, b.a1
+		fi.fuseB0, fi.fuseB1 = b.a0 == a.dst, b.a1 == a.dst
+		fi.elemSize2 = b.elemSize
+		fi.storeFloat2 = b.storeFloat
+		elideDst(&fi, uses)
+		return fi, true
+
+	case a.op == ir.OpGEP && b.op == ir.OpLoad && b.a0 == a.dst:
+		fi := *a
+		fi.op = opGEPLoad
+		fi.fuseB0 = true
+		fi.elemSize2 = b.elemSize
+		fi.isFloat2 = b.isFloat
+		fi.dst2 = b.dst
+		fi.inj2 = b.injectable
+		elideDst(&fi, uses)
+		return fi, true
+	}
+	return pInstr{}, false
+}
+
+// elideDst drops the first half's slot write when its only use is the
+// second half of the pair. uses counts every operand reference in the
+// function, so a count of 1 means the reference that justified fusion
+// is the only one.
+func elideDst(fi *pInstr, uses []int32) {
+	if fi.dst >= 0 && uses[fi.dst] == 1 {
+		fi.dst = -1
+	}
+}

@@ -1,0 +1,136 @@
+package interp_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ipas/internal/fault"
+	"ipas/internal/interp"
+	"ipas/internal/ir"
+	"ipas/internal/workloads"
+)
+
+// compileTwice compiles a workload's module into a fused program and a
+// fusion-disabled one. Each gets its own module instance so neither
+// compile can observe the other's side effects.
+func compileTwice(t *testing.T, spec *workloads.Spec) (fused, plain *interp.Program) {
+	t.Helper()
+	compile := func(opts interp.Options) *interp.Program {
+		m, err := spec.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.AssignSiteIDs()
+		p, err := interp.CompileWithOptions(m, fault.Injectable, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	return compile(interp.Options{}), compile(interp.Options{NoFuse: true})
+}
+
+// TestFusionWorkloadBitIdentity runs all five mini-apps with and
+// without superinstruction fusion and requires every observable to be
+// bit-identical: outputs, print log, dynamic instruction counts, the
+// injectable population, and the sectioned golden capture (per-section
+// populations, entry counts and boundary digests). Fusion is an
+// encoding of the fast stream, never a semantic change.
+func TestFusionWorkloadBitIdentity(t *testing.T) {
+	for _, name := range workloads.Names {
+		t.Run(name, func(t *testing.T) {
+			spec := workloads.MustGet(name, 1)
+			fused, plain := compileTwice(t, spec)
+
+			if fused.FusedPairs() == 0 {
+				t.Errorf("%s: no pairs fused on a real workload", name)
+			}
+			if plain.FusedPairs() != 0 {
+				t.Errorf("%s: NoFuse program reports %d fused pairs", name, plain.FusedPairs())
+			}
+			// Fusion is invisible to content identity: campaigns over a
+			// fused and an unfused build of the same module must share
+			// golden-cache entries.
+			if fused.Fingerprint() != plain.Fingerprint() {
+				t.Errorf("%s: fingerprints differ across fusion: %s vs %s",
+					name, fused.Fingerprint(), plain.Fingerprint())
+			}
+
+			cfg := spec.BaseConfig(1)
+			a := interp.Run(fused, cfg)
+			b := interp.Run(plain, cfg)
+			compareResults(t, a, b)
+
+			// Sectioned golden capture (instrumented loop): the section
+			// tables project the canonical stream, which fusion must not
+			// have disturbed.
+			secA := sectionedCapture(t, fused, cfg)
+			secB := sectionedCapture(t, plain, cfg)
+			if !reflect.DeepEqual(secA.Pops, secB.Pops) {
+				t.Errorf("%s: section populations differ: %v vs %v", name, secA.Pops, secB.Pops)
+			}
+			if !reflect.DeepEqual(secA.Entries, secB.Entries) {
+				t.Errorf("%s: section entry counts differ: %v vs %v", name, secA.Entries, secB.Entries)
+			}
+			if !reflect.DeepEqual(secA.Exits, secB.Exits) {
+				t.Errorf("%s: section boundary digests differ", name)
+			}
+		})
+	}
+}
+
+func sectionedCapture(t *testing.T, p *interp.Program, cfg interp.Config) *interp.SectionTrace {
+	t.Helper()
+	parts := ir.ModuleSections(p.Module())
+	tables, err := interp.NewSectionTables(p, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Sections = &interp.SectionConfig{Tables: tables, Capture: true}
+	cfg.CountSites = true
+	res := interp.Run(p, cfg)
+	if res.Trap != interp.TrapNone {
+		t.Fatalf("sectioned run trapped: %v (%s)", res.Trap, res.TrapMsg)
+	}
+	if res.Sections == nil {
+		t.Fatal("sectioned run captured no trace")
+	}
+	return res.Sections
+}
+
+func compareResults(t *testing.T, a, b *interp.Result) {
+	t.Helper()
+	if a.Trap != b.Trap {
+		t.Fatalf("trap: %v vs %v", a.Trap, b.Trap)
+	}
+	if a.TotalDyn != b.TotalDyn {
+		t.Errorf("TotalDyn: %d vs %d", a.TotalDyn, b.TotalDyn)
+	}
+	if !reflect.DeepEqual(a.DynInstrs, b.DynInstrs) {
+		t.Errorf("DynInstrs: %v vs %v", a.DynInstrs, b.DynInstrs)
+	}
+	if !reflect.DeepEqual(a.Injectable, b.Injectable) {
+		t.Errorf("Injectable: %v vs %v", a.Injectable, b.Injectable)
+	}
+	if len(a.OutputF) != len(b.OutputF) {
+		t.Fatalf("OutputF length: %d vs %d", len(a.OutputF), len(b.OutputF))
+	}
+	for i := range a.OutputF {
+		if math.Float64bits(a.OutputF[i]) != math.Float64bits(b.OutputF[i]) {
+			t.Errorf("OutputF[%d]: %x vs %x", i,
+				math.Float64bits(a.OutputF[i]), math.Float64bits(b.OutputF[i]))
+		}
+	}
+	if !reflect.DeepEqual(a.OutputI, b.OutputI) {
+		t.Errorf("OutputI differs")
+	}
+	if len(a.PrintLog) != len(b.PrintLog) {
+		t.Fatalf("PrintLog length: %d vs %d", len(a.PrintLog), len(b.PrintLog))
+	}
+	for i := range a.PrintLog {
+		if math.Float64bits(a.PrintLog[i]) != math.Float64bits(b.PrintLog[i]) {
+			t.Errorf("PrintLog[%d] differs", i)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package interp
 import (
 	"encoding/binary"
 	"math"
+	"sync"
 )
 
 // Memory is a rank's flat byte-addressed address space:
@@ -21,21 +22,89 @@ type Memory struct {
 	stackPtr   int64
 	stackLimit int64
 	size       int64
+
+	// Dirty-span tracking for pooled reuse. Stores record the extent of
+	// written bytes on each side of the address space: the heap dirties
+	// upward from nullGuard (heapDirtyHi), the stack downward from the
+	// top (stackDirtyLo). Tracking the two sides separately keeps the
+	// untouched middle of a mostly-unused heap out of the re-zero: a
+	// rank that mallocs 2 MiB of a 64 MiB heap costs 2 MiB of clearing
+	// on reuse, not 64. Wild stores (fault trials corrupting an address)
+	// still pass check(), so they land in one of the two spans and are
+	// cleared like any other write.
+	heapDirtyHi  int64
+	stackDirtyLo int64
 }
 
 const nullGuard = 4096
 
+// memPool recycles address spaces across runs. Zeroing a fresh 64 MiB
+// heap dominates short executions (it is pure memclr in the allocator),
+// and campaigns run thousands of short executions; reuse plus dirty-span
+// clearing makes per-run memory cost proportional to bytes written, not
+// bytes configured.
+var memPool sync.Pool
+
 // NewMemory creates an address space with the given heap and stack
-// capacities in bytes.
+// capacities in bytes, reusing a pooled buffer when one is large enough.
 func NewMemory(heapBytes, stackBytes int64) *Memory {
 	size := nullGuard + heapBytes + stackBytes
-	return &Memory{
-		data:       make([]byte, size),
-		heapPtr:    nullGuard,
-		heapEnd:    nullGuard + heapBytes,
-		stackPtr:   size,
-		stackLimit: nullGuard + heapBytes,
-		size:       size,
+	if v := memPool.Get(); v != nil {
+		m := v.(*Memory)
+		if int64(len(m.data)) >= size {
+			m.reset(heapBytes, stackBytes)
+			return m
+		}
+		// Too small for this configuration; drop it and allocate.
+	}
+	m := &Memory{data: make([]byte, size)}
+	m.init(heapBytes, stackBytes)
+	return m
+}
+
+// Release returns the address space to the pool. The caller must not
+// touch m afterwards. Results never alias the buffer (outputs, print
+// logs and section digests are copied out by the builtins), so release
+// at end of run is safe.
+func (m *Memory) Release() {
+	memPool.Put(m)
+}
+
+// reset clears exactly the bytes the previous run wrote and re-initializes
+// the layout. The buffer invariant — every byte outside the dirty spans
+// is zero — is restored before the new bounds take effect, so reads of
+// never-written memory see zero exactly as with a fresh allocation.
+func (m *Memory) reset(heapBytes, stackBytes int64) {
+	if m.heapDirtyHi > nullGuard {
+		clear(m.data[nullGuard:m.heapDirtyHi])
+	}
+	if m.stackDirtyLo < m.size {
+		clear(m.data[m.stackDirtyLo:m.size])
+	}
+	m.init(heapBytes, stackBytes)
+}
+
+func (m *Memory) init(heapBytes, stackBytes int64) {
+	size := nullGuard + heapBytes + stackBytes
+	m.heapPtr = nullGuard
+	m.heapEnd = nullGuard + heapBytes
+	m.stackPtr = size
+	m.stackLimit = nullGuard + heapBytes
+	m.size = size
+	m.heapDirtyHi = nullGuard
+	m.stackDirtyLo = size
+}
+
+// dirty records a store's span. One compare against the heap/stack
+// boundary plus one span update; stores through a corrupted address are
+// covered because dirty runs after the same check() every store passes.
+func (m *Memory) dirty(addr, width int64) {
+	if addr >= m.stackLimit {
+		if addr < m.stackDirtyLo {
+			m.stackDirtyLo = addr
+		}
+	} else if addr+width > m.heapDirtyHi {
+		m.heapDirtyHi = addr + width
 	}
 }
 
@@ -105,6 +174,7 @@ func (m *Memory) Load(addr, width int64, isFloat bool) Val {
 // Store writes a value of the given width at addr.
 func (m *Memory) Store(addr, width int64, v Val, isFloat bool) {
 	m.check(addr, width)
+	m.dirty(addr, width)
 	switch width {
 	case 1:
 		m.data[addr] = byte(v.I)

@@ -57,6 +57,12 @@ type Config struct {
 	Watchdog time.Duration
 }
 
+// WithDefaults resolves zero-valued knobs to their defaults. RunContext
+// applies it internally; external callers needing the resolved values —
+// e.g. the golden cache keying on the effective heap and stack sizes —
+// call it explicitly.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.Ranks <= 0 {
 		c.Ranks = 1
@@ -261,6 +267,11 @@ func RunContext(ctx context.Context, p *Program, cfg Config) *Result {
 				res.SiteCounts[s] += n
 			}
 		}
+	}
+	// All observables have been copied out of rank state; the address
+	// spaces can be recycled for the next run.
+	for _, r := range ranks {
+		r.mem.Release()
 	}
 	return res
 }

@@ -75,8 +75,12 @@ func ComputeDom(fn *Func) *DomTree {
 	}
 	t.idom[entry] = nil // entry has no immediate dominator
 
-	for b, id := range t.idom {
-		if id != nil {
+	// Children in RPO order: map iteration here would make the
+	// dominator-tree walk — and everything downstream of it, like
+	// mem2reg's phi-incoming order and therefore the printed IR and the
+	// program fingerprint — vary run to run.
+	for _, b := range t.rpo {
+		if id := t.idom[b]; id != nil {
 			t.kids[id] = append(t.kids[id], b)
 		}
 	}
