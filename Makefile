@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet lint race ci bench bench-svm bench-all bench-smoke bench-check bench-compose compose-smoke chaos-smoke server-chaos-smoke fuzz-smoke fuzz-nightly experiments experiments-paper examples clean
+.PHONY: build test test-short vet lint race ci bench bench-svm bench-all bench-smoke bench-check bench-compose compose-smoke chaos-smoke server-chaos-smoke errmodel-smoke fuzz-smoke fuzz-nightly experiments experiments-paper examples clean
 
 build:
 	$(GO) build ./...
@@ -45,7 +45,7 @@ race:
 # The pre-push check: lint, race+shuffle tests, then every smoke suite
 # in the same order as the CI workflow's matrix (see
 # .github/workflows/ci.yml) — a green `make ci` is a green CI run.
-ci: lint build race bench-check chaos-smoke server-chaos-smoke compose-smoke fuzz-smoke
+ci: lint build race bench-check chaos-smoke server-chaos-smoke compose-smoke errmodel-smoke fuzz-smoke
 
 # Interpreter + campaign throughput benchmarks (the perf trajectory of
 # the execution engine), recorded machine-readably in BENCH_interp.json.
@@ -120,6 +120,18 @@ chaos-smoke:
 # single-loop run (see internal/campaign/chaos_test.go).
 server-chaos-smoke:
 	$(GO) test -race -shuffle=on -run 'TestServerChaos' -timeout=10m ./internal/campaign
+
+# Error-model smoke under the race detector: the per-model determinism
+# matrix (worker/shard/resume/remote invariance for every built-in
+# model), the instrumented-loop-vs-reference-walker differential over
+# masks/correlation/stickiness, journal forward-compat (unknown models
+# refuse resume in every format), and the iterative-convergence
+# workloads' golden checks across all five harness paths (see
+# "Error models" in DESIGN.md).
+errmodel-smoke:
+	$(GO) test -race -shuffle=on -count=1 -timeout=10m \
+		-run 'Model|TestDifferentialErrorModels|TestTrialRecordsEffectiveBitAndMask|TestConvergence' \
+		./internal/interp ./internal/fault/... ./internal/campaign ./internal/workloads
 
 # Short randomized-schedule fuzz of the simulated MPI runtime under
 # the race detector: random rank programs with random comm patterns

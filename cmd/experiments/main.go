@@ -53,7 +53,13 @@ func main() {
 	sections := flag.Bool("sections", false, "run each campaign sectioned: stratify trials over IR sections with per-section budgets and fingerprint-keyed journals")
 	sectionCoverage := flag.Int("coverage", 1, "sectioned coverage factor: expected injections per exercised site per section")
 	maxPerSection := flag.Int("max-per-section", 0, "cap on any one section's trial budget (0 = engine default)")
+	errorModel := flag.String("error-model", "", "error model for every injection campaign: single-bit (default), burst-N, random-N, correlated, sticky")
 	flag.Parse()
+	model, err := fault.ParseModel(*errorModel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 
 	params := experiments.Quick()
 	if *paper {
@@ -80,6 +86,7 @@ func main() {
 	}
 
 	controls := &core.CampaignControls{
+		Model:           model,
 		MaxRetries:      fault.ExplicitRetries(*maxRetries),
 		TrainWorkers:    *trainWorkers,
 		Shards:          *shards,

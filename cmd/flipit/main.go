@@ -48,18 +48,22 @@ import (
 	"os/signal"
 	"sort"
 	"syscall"
+	"text/tabwriter"
 	"time"
 
 	"ipas/internal/campaign"
 	"ipas/internal/compose"
+	"ipas/internal/dup"
 	"ipas/internal/fault"
 	"ipas/internal/fault/shard"
+	"ipas/internal/interp"
+	"ipas/internal/ir"
 	"ipas/internal/stats"
 	"ipas/internal/workloads"
 )
 
 func main() {
-	name := flag.String("workload", "FFT", "workload: CoMD, HPCCG, AMG, FFT, IS")
+	name := flag.String("workload", "FFT", "workload: CoMD, HPCCG, AMG, FFT, IS, Jacobi, GradDesc")
 	input := flag.Int("input", 1, "input level 1..4 (Table 5)")
 	n := flag.Int("n", 200, "number of injection trials")
 	seed := flag.Int64("seed", 1, "campaign RNG seed")
@@ -77,7 +81,14 @@ func main() {
 	sections := flag.Bool("sections", false, "sectioned campaign: stratify the trial space over IR sections and compose the whole-program distribution; -n is ignored (the per-section allocation sets the budget) and -journal names a directory of fingerprint-keyed per-section journals reused incrementally across program edits")
 	coverage := flag.Int("coverage", 1, "sectioned coverage factor: expected injections per exercised site per section")
 	maxPerSection := flag.Int("max-per-section", 0, "cap on any one section's trial budget (0 = engine default)")
+	errorModel := flag.String("error-model", "", "error model for injected faults: single-bit (default), burst-N, random-N, correlated, sticky")
+	modelReport := flag.Bool("model-report", false, "compare every built-in error model: unprotected outcome distribution plus DMR detector recall per model (two local campaigns per model; ignores -error-model, -journal, -shards, -remote, -sections)")
 	flag.Parse()
+
+	model, err := fault.ParseModel(*errorModel)
+	if err != nil {
+		fatal(err)
+	}
 
 	// Ctrl-C / SIGTERM cancels the campaign; completed trials are
 	// already in the journal by the time we observe the cancellation.
@@ -100,6 +111,13 @@ func main() {
 	prog, err := fault.Compile(m)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *modelReport {
+		if err := reportModels(ctx, m, spec, prog, *n, *seed, *workers, *maxRetries, *watchdog); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *remote != "" && *journalPath != "" {
@@ -151,6 +169,7 @@ func main() {
 		Verify:     spec.Verify,
 		Config:     cfg,
 		Seed:       *seed,
+		Model:      model,
 		Workers:    *workers,
 		MaxRetries: fault.ExplicitRetries(*maxRetries),
 		Journal:    journal,
@@ -177,6 +196,7 @@ func main() {
 			Input:      *input,
 			Trials:     *n,
 			Seed:       *seed,
+			Model:      fault.ModelName(model),
 			Shards:     *shards,
 			Ranks:      1,
 			MaxRetries: fault.ExplicitRetries(*maxRetries),
@@ -363,6 +383,78 @@ func submitRemote(ctx context.Context, url string, spec campaign.Spec, progress 
 		}
 	}
 	return client.WaitResult(ctx, sub.ID, time.Second, onProgress)
+}
+
+// reportModels runs the per-model resilience comparison: for every
+// built-in error model, one campaign against the unprotected workload
+// (how does the outcome distribution shift as faults get nastier?) and
+// one against a fully duplicated (DMR) build of the same module (how
+// much of the residual SOC does the stock detector still catch?).
+// Recall = Detected / (Detected + SOC) on the protected build — the
+// figure that collapses when a model defeats the protection's
+// single-upset assumption.
+func reportModels(ctx context.Context, m *ir.Module, spec *workloads.Spec, prog *interp.Program, trials int, seed int64, workers, maxRetries int, watchdog time.Duration) error {
+	pm := ir.CloneModule(m)
+	st, err := dup.FullDuplication(pm)
+	if err != nil {
+		return err
+	}
+	pprog, err := fault.Compile(pm)
+	if err != nil {
+		return err
+	}
+	cfg := spec.BaseConfig(1)
+	cfg.Watchdog = watchdog
+
+	run := func(p *interp.Program, model fault.ErrorModel) (*fault.CampaignResult, error) {
+		c := &fault.Campaign{
+			Prog:       p,
+			Verify:     spec.Verify,
+			Config:     cfg,
+			Seed:       seed,
+			Model:      model,
+			Workers:    workers,
+			MaxRetries: fault.ExplicitRetries(maxRetries),
+		}
+		res, err := c.RunContext(ctx, trials)
+		if res == nil {
+			return nil, err
+		}
+		if err != nil && ctx.Err() != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+
+	fmt.Printf("error-model report: %d trials per campaign, seed %d; DMR build duplicates %d of %d instructions\n",
+		trials, seed, st.Duplicated, st.Candidates)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "model\tsymptom%\tdetected%\tmasked%\tSOC%\t|\tDMR SOC%\tDMR recall%")
+	for _, model := range fault.BuiltinModels() {
+		base, err := run(prog, model)
+		if err != nil {
+			return err
+		}
+		prot, err := run(pprog, model)
+		if err != nil {
+			return err
+		}
+		det := prot.Counts[fault.OutcomeDetected]
+		soc := prot.Counts[fault.OutcomeSOC]
+		recall := "n/a"
+		if det+soc > 0 {
+			recall = fmt.Sprintf("%.1f", 100*float64(det)/float64(det+soc))
+		}
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\t%.1f\t|\t%.1f\t%s\n",
+			model.Name(),
+			100*base.Proportion(fault.OutcomeSymptom),
+			100*base.Proportion(fault.OutcomeDetected),
+			100*base.Proportion(fault.OutcomeMasked),
+			100*base.Proportion(fault.OutcomeSOC),
+			100*prot.Proportion(fault.OutcomeSOC),
+			recall)
+	}
+	return w.Flush()
 }
 
 func fatal(err error) {

@@ -50,7 +50,7 @@ import (
 )
 
 func main() {
-	name := flag.String("workload", "FFT", "workload: CoMD, HPCCG, AMG, FFT, IS")
+	name := flag.String("workload", "FFT", "workload: CoMD, HPCCG, AMG, FFT, IS, Jacobi, GradDesc")
 	input := flag.Int("input", 1, "input level 1..4")
 	paper := flag.Bool("paper", false, "paper-scale parameters (2500 samples, 500 grid points, 1024 trials)")
 	samples := flag.Int("samples", 0, "override training sample count")
@@ -74,10 +74,15 @@ func main() {
 	sectionCoverage := flag.Int("coverage", 1, "sectioned coverage factor: expected injections per exercised site per section")
 	maxPerSection := flag.Int("max-per-section", 0, "cap on any one section's trial budget (0 = engine default)")
 	incremental := flag.Bool("incremental", false, "incremental re-analysis: implies -sections and -resume, so a re-run against the same -journal re-injects only sections whose IR changed")
+	errorModel := flag.String("error-model", "", "error model for every injection campaign: single-bit (default), burst-N, random-N, correlated, sticky")
 	flag.Parse()
 	if *incremental {
 		*sections = true
 		*resume = true
+	}
+	model, err := fault.ParseModel(*errorModel)
+	if err != nil {
+		fatal(err)
 	}
 
 	opts := ipas.QuickOptions()
@@ -104,6 +109,7 @@ func main() {
 	}
 
 	controls := &core.CampaignControls{
+		Model:           model,
 		MaxRetries:      fault.ExplicitRetries(*maxRetries),
 		TrainWorkers:    *trainWorkers,
 		Shards:          *shards,

@@ -60,6 +60,15 @@ type Spec struct {
 	Trials int   `json:"trials"`
 	Seed   int64 `json:"seed"`
 
+	// Model names the error model plans are drawn with (fault.ParseModel
+	// wire names: "single-bit", "burst-N", "random-N", "correlated",
+	// "sticky"). Empty selects single-bit and keeps the spec JSON — and
+	// therefore content-hashed campaign IDs — identical to pre-model
+	// submissions. The model is part of the campaign fingerprint
+	// (fault.JournalMeta.Model), so coordinator and workers refuse to
+	// mix trials drawn under different models (ErrCampaignMismatch).
+	Model string `json:"model,omitempty"`
+
 	// Shards partitions the trial space (default 1, capped at Trials).
 	Shards int `json:"shards,omitempty"`
 
@@ -118,6 +127,9 @@ func (s *Spec) Validate() error {
 		}
 	} else if s.Trials <= 0 {
 		return fmt.Errorf("campaign: spec needs trials > 0 (got %d)", s.Trials)
+	}
+	if _, err := fault.ParseModel(s.Model); err != nil {
+		return fmt.Errorf("campaign: %w", err)
 	}
 	switch {
 	case s.Workload != "" && s.Source != "":
@@ -185,12 +197,17 @@ func (s *Spec) Build() (*fault.Campaign, error) {
 	if err != nil {
 		return nil, fmt.Errorf("campaign: %w", err)
 	}
+	model, err := fault.ParseModel(s.Model)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
 	cfg.Watchdog = s.Watchdog
 	return &fault.Campaign{
 		Prog:          prog,
 		Verify:        verify,
 		Config:        cfg,
 		Seed:          s.Seed,
+		Model:         model,
 		HangFactor:    s.HangFactor,
 		MaxRetries:    s.MaxRetries,
 		Sections:      s.Sections,

@@ -34,6 +34,11 @@ type CampaignControls struct {
 	// ShardRetries bounds shard-level quarantine retries (0 = default;
 	// fault.NoRetries = none). Only meaningful with Shards > 1.
 	ShardRetries int
+	// Model selects the error model every campaign's plans are drawn
+	// with (nil = single-bit, the paper's model). It rides journal
+	// headers and remote specs, so checkpoints and coordinators refuse
+	// to mix trials across models.
+	Model fault.ErrorModel
 	// TrainWorkers bounds concurrent grid-point evaluations during SVM
 	// training (0 = GOMAXPROCS). Training results are bit-identical for
 	// any worker count.
@@ -87,6 +92,9 @@ func (cc *CampaignControls) Apply(c *fault.Campaign, stage string) error {
 	c.MaxRetries = cc.MaxRetries
 	c.RetryBackoff = cc.RetryBackoff
 	c.Workers = cc.Workers
+	if cc.Model != nil {
+		c.Model = cc.Model
+	}
 	if cc.Watchdog > 0 {
 		c.Config.Watchdog = cc.Watchdog
 	}
@@ -128,6 +136,9 @@ func (cc *CampaignControls) Run(ctx context.Context, c *fault.Campaign, n int, s
 	}
 	c.MaxRetries = cc.MaxRetries
 	c.RetryBackoff = cc.RetryBackoff
+	if cc.Model != nil {
+		c.Model = cc.Model
+	}
 	if cc.Watchdog > 0 {
 		c.Config.Watchdog = cc.Watchdog
 	}
@@ -156,6 +167,9 @@ func (cc *CampaignControls) runSectioned(ctx context.Context, c *fault.Campaign,
 	c.MaxRetries = cc.MaxRetries
 	c.RetryBackoff = cc.RetryBackoff
 	c.Workers = cc.Workers
+	if cc.Model != nil {
+		c.Model = cc.Model
+	}
 	if cc.Watchdog > 0 {
 		c.Config.Watchdog = cc.Watchdog
 	}
@@ -197,6 +211,11 @@ func (cc *CampaignControls) runRemote(ctx context.Context, c *fault.Campaign, sp
 	s.HangFactor = c.HangFactor
 	s.MaxRetries = cc.MaxRetries
 	s.Watchdog = cc.Watchdog
+	if cc.Model != nil {
+		s.Model = fault.ModelName(cc.Model)
+	} else if c.Model != nil {
+		s.Model = fault.ModelName(c.Model)
+	}
 	if s.Shards == 0 {
 		s.Shards = max(cc.Shards, 1)
 	}

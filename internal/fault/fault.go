@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	mbits "math/bits"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -145,8 +146,19 @@ func (s TrialStatus) String() string {
 type Trial struct {
 	// Site is the static instruction (SiteID) the fault landed on.
 	Site int `json:"site"`
-	// Bit is the flipped bit position (modulo the result width).
+	// Bit is the *effective* flipped bit position: the plan's raw draw
+	// reduced modulo the victim value's width at injection time (a plan
+	// bit of 37 landing on an i1 comparison flips bit 0, and that is
+	// what gets recorded). For multi-bit corruptions it is the lowest
+	// set bit of Mask; -1 when the folded mask cancelled to zero (the
+	// plan fired but left the value unchanged). Pending trials hold the
+	// plan's raw bit until they execute.
 	Bit int `json:"bit"`
+	// Mask is the effective corruption mask the injection XORed into the
+	// value's bit pattern, in the value's own width. Zero — and omitted,
+	// keeping single-bit journal lines byte-identical to the v1 format —
+	// when the corruption was the single flip 1<<Bit.
+	Mask uint64 `json:"mask,omitempty"`
 	// Index is the dynamic injectable-instance index targeted.
 	Index int64 `json:"index"`
 	// Outcome is the classified result (valid only when Status is
@@ -263,6 +275,12 @@ type Campaign struct {
 	HangFactor int64
 	// Seed makes the campaign deterministic.
 	Seed int64
+	// Model selects the injection strategy each trial's plan is drawn
+	// with (nil = SingleBit, the paper's model). The model's name rides
+	// journal headers and campaign specs, so resuming or remotely
+	// executing a campaign under a different model fails with
+	// ErrCampaignMismatch instead of mixing incompatible trial spaces.
+	Model ErrorModel
 	// Sections partitions the trial space by IR section (FastFlip-style
 	// compositional analysis): the golden run captures per-section
 	// boundary state, each section gets its own deterministic trial
@@ -538,9 +556,15 @@ func (p *Prepared) Plans(n int) []interp.FaultPlan {
 		return p.secs.plans(n)
 	}
 	rng := rand.New(rand.NewSource(p.c.Seed))
+	model := p.c.model()
 	plans := make([]interp.FaultPlan, n)
 	for t := range plans {
-		plans[t] = interp.FaultPlan{Rank: 0, Index: rng.Int63n(p.Population), Bit: rng.Intn(64)}
+		// Index first, then the model's draws, all from one sequential
+		// stream: the single-bit model consumes exactly the historical
+		// rng.Intn(64), so its plans match pre-model journals bit for
+		// bit.
+		plans[t] = interp.FaultPlan{Rank: 0, Index: rng.Int63n(p.Population)}
+		model.Draw(rng, &plans[t])
 	}
 	return plans
 }
@@ -551,6 +575,7 @@ func (p *Prepared) Meta(n int) JournalMeta {
 	m := JournalMeta{
 		Format: JournalFormat, Seed: p.c.Seed, Trials: n,
 		GoldenDyn: p.Golden.TotalDyn, Population: p.Population,
+		Model: ModelName(p.c.Model),
 	}
 	if p.secs != nil {
 		// The distinct format and the partition fingerprint make a
@@ -820,17 +845,21 @@ func trialFromResult(plan interp.FaultPlan, golden, res *interp.Result, verify V
 		// execution verbatim, so the trial is Masked by construction.
 		// Outputs are truncated at the stop point — verification must
 		// not run (it would misread the truncation as corruption).
+		bit, mask := effectiveBitMask(res.InjectedMask)
 		return Trial{
 			Site:    res.InjectedSite,
-			Bit:     plan.Bit,
+			Bit:     bit,
+			Mask:    mask,
 			Index:   plan.Index,
 			Outcome: OutcomeMasked,
 			Latency: res.InjectedRankDyn - res.InjectedAt,
 		}, nil
 	}
+	bit, mask := effectiveBitMask(res.InjectedMask)
 	tr := Trial{
 		Site:    res.InjectedSite,
-		Bit:     plan.Bit,
+		Bit:     bit,
+		Mask:    mask,
 		Index:   plan.Index,
 		Outcome: Classify(golden, res, verify),
 		Latency: res.InjectedRankDyn - res.InjectedAt,
@@ -839,6 +868,22 @@ func trialFromResult(plan interp.FaultPlan, golden, res *interp.Result, verify V
 		tr.Deadlock = res.Deadlock.Summary()
 	}
 	return tr, nil
+}
+
+// effectiveBitMask renders the interpreter's effective corruption mask
+// into Trial fields: a single-bit corruption records only its position
+// (Mask 0 keeps the v1 journal line format); a multi-bit one records the
+// full mask plus its lowest position; an empty mask — folded raw bits
+// cancelled — records Bit -1.
+func effectiveBitMask(eff uint64) (bit int, mask uint64) {
+	switch {
+	case eff == 0:
+		return -1, 0
+	case eff&(eff-1) == 0:
+		return mbits.TrailingZeros64(eff), 0
+	default:
+		return mbits.TrailingZeros64(eff), eff
+	}
 }
 
 // Golden runs the program fault-free and returns the result.

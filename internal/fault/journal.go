@@ -50,6 +50,15 @@ type JournalMeta struct {
 	ShardStart int `json:"shard_start,omitempty"`
 	ShardEnd   int `json:"shard_end,omitempty"`
 
+	// Model names the error model the campaign's plans were drawn with
+	// (fault.ErrorModel wire name). Empty — and omitted, so pre-model
+	// journals parse and compare equal — for the default single-bit
+	// model. Begin refuses a header naming a model this build does not
+	// know (ErrModelUnknown wrapping ErrCampaignMismatch): re-running
+	// such a journal's trials under the default model would silently
+	// replace one trial space with another.
+	Model string `json:"model,omitempty"`
+
 	// SectionFP pins a sectioned journal to code content: the section's
 	// own fingerprint for a per-section journal, or the whole-partition
 	// fingerprint for a campaign-level sectioned header. Empty — and
@@ -104,6 +113,16 @@ var ErrJournalCorrupt = errors.New("journal is corrupt")
 // never clobber someone else's checkpoint) from "corrupt journal"
 // (recoverable: rebuild) test for it with errors.Is.
 var ErrCampaignMismatch = errors.New("journal belongs to a different campaign")
+
+// ErrModelUnknown reports that a journal's header names an error model
+// this build does not know — a forward-compatibility refusal, not
+// corruption. It always arrives wrapped together with
+// ErrCampaignMismatch, so shard and server layers that hard-fail on
+// foreign journals inherit the right behavior; paths that *rebuild* on
+// mismatch (per-section journals) must check for this sentinel first
+// and fail instead: rebuilding would silently re-run a newer build's
+// trials under the default model.
+var ErrModelUnknown = errors.New("journal names an unknown error model")
 
 // OpenJournal opens (or creates) the campaign journal at path and
 // loads every complete record already present. The file is held under
@@ -227,12 +246,17 @@ func (j *Journal) Begin(meta JournalMeta) (map[int]Trial, error) {
 		return nil, fmt.Errorf("fault: journal %s: already driving a campaign", j.path)
 	}
 	if j.meta != nil {
+		if !KnownModel(j.meta.Model) {
+			return nil, fmt.Errorf(
+				"fault: journal %s: %w: %w: model %q (written by a newer build?); refusing to resume its trials under a different model",
+				j.path, ErrCampaignMismatch, ErrModelUnknown, j.meta.Model)
+		}
 		if *j.meta != meta {
 			return nil, fmt.Errorf(
-				"fault: journal %s: %w (journal format=%q seed=%d trials=%d goldenDyn=%d pop=%d shard=%d/%d sectionFP=%.16s; campaign format=%q seed=%d trials=%d goldenDyn=%d pop=%d shard=%d/%d sectionFP=%.16s)",
+				"fault: journal %s: %w (journal format=%q seed=%d trials=%d goldenDyn=%d pop=%d shard=%d/%d model=%q sectionFP=%.16s; campaign format=%q seed=%d trials=%d goldenDyn=%d pop=%d shard=%d/%d model=%q sectionFP=%.16s)",
 				j.path, ErrCampaignMismatch,
-				j.meta.Format, j.meta.Seed, j.meta.Trials, j.meta.GoldenDyn, j.meta.Population, j.meta.Shard, j.meta.Shards, j.meta.SectionFP,
-				meta.Format, meta.Seed, meta.Trials, meta.GoldenDyn, meta.Population, meta.Shard, meta.Shards, meta.SectionFP)
+				j.meta.Format, j.meta.Seed, j.meta.Trials, j.meta.GoldenDyn, j.meta.Population, j.meta.Shard, j.meta.Shards, j.meta.Model, j.meta.SectionFP,
+				meta.Format, meta.Seed, meta.Trials, meta.GoldenDyn, meta.Population, meta.Shard, meta.Shards, meta.Model, meta.SectionFP)
 		}
 		j.began = true
 		return j.restored, nil

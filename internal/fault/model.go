@@ -1,0 +1,176 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"ipas/internal/interp"
+)
+
+// ErrorModel is a pluggable injection strategy: given the trial's rng
+// stream, it draws the corruption parameters of one fault plan. The
+// engine draws the target instance (Index) first, then hands the same
+// stream to the model, so for the default single-bit model — whose only
+// draw is rng.Intn(64), exactly what the engine drew before models
+// existed — plan sequences are bit-identical to historical journals.
+//
+// Determinism contract: Draw must consume rng deterministically (same
+// stream in, same plan out) and must not retain rng or the plan. Trial
+// t's plan is then a pure function of (Seed, t) for every model, which
+// is what keeps sharding, checkpoint/resume, sectioned campaigns and
+// remote dispatch bit-identical across worker counts and processes.
+type ErrorModel interface {
+	// Name is the model's stable wire identifier — it rides journal
+	// headers (JournalMeta.Model), campaign specs (campaign.Spec.Model)
+	// and CLI flags, and must round-trip through ParseModel.
+	Name() string
+	// Draw fills the corruption fields of a plan whose Rank, Index and
+	// Section are already set.
+	Draw(rng *rand.Rand, plan *interp.FaultPlan)
+}
+
+// Built-in models. SingleBit is the paper's model and the default
+// (Campaign.Model == nil); the others reproduce the fault behaviors the
+// GPU SDC anatomy and ITHICA studies report: spatially adjacent
+// multi-bit bursts, uncorrelated multi-bit upsets, value-correlated
+// flips, and defect-induced persistent (sticky) faults.
+var (
+	SingleBit  ErrorModel = singleBitModel{}
+	Correlated ErrorModel = correlatedModel{}
+	Sticky     ErrorModel = stickyModel{}
+)
+
+// Burst returns the contiguous n-bit burst model: n adjacent raw
+// positions starting at a uniform draw, wrapping inside the 64-bit raw
+// space (positions fold modulo the victim's width at injection time).
+func Burst(n int) ErrorModel { return burstModel{n: n} }
+
+// RandomK returns the random-k model: k distinct uniform raw positions.
+func RandomK(k int) ErrorModel { return randomKModel{k: k} }
+
+// BuiltinModels returns one canonical instance of every built-in model
+// family, single-bit first — the iteration set for per-model reports
+// and determinism suites.
+func BuiltinModels() []ErrorModel {
+	return []ErrorModel{SingleBit, Burst(3), RandomK(3), Correlated, Sticky}
+}
+
+type singleBitModel struct{}
+
+func (singleBitModel) Name() string { return "single-bit" }
+func (singleBitModel) Draw(rng *rand.Rand, plan *interp.FaultPlan) {
+	plan.Bit = rng.Intn(64)
+}
+
+type burstModel struct{ n int }
+
+func (m burstModel) Name() string { return fmt.Sprintf("burst-%d", m.n) }
+func (m burstModel) Draw(rng *rand.Rand, plan *interp.FaultPlan) {
+	start := rng.Intn(64)
+	plan.Bit = start
+	var mask uint64
+	for i := 0; i < m.n; i++ {
+		mask |= 1 << uint((start+i)%64)
+	}
+	plan.Mask = mask
+}
+
+type randomKModel struct{ k int }
+
+func (m randomKModel) Name() string { return fmt.Sprintf("random-%d", m.k) }
+func (m randomKModel) Draw(rng *rand.Rand, plan *interp.FaultPlan) {
+	var mask uint64
+	first := -1
+	for n := 0; n < m.k; {
+		b := rng.Intn(64)
+		if mask&(1<<uint(b)) != 0 {
+			continue // re-draw duplicates; still a pure function of the stream
+		}
+		mask |= 1 << uint(b)
+		if first < 0 {
+			first = b
+		}
+		n++
+	}
+	plan.Bit = first
+	plan.Mask = mask
+}
+
+type correlatedModel struct{}
+
+func (correlatedModel) Name() string { return "correlated" }
+func (correlatedModel) Draw(rng *rand.Rand, plan *interp.FaultPlan) {
+	plan.Bit = rng.Intn(64)
+	plan.Correlated = true
+}
+
+type stickyModel struct{}
+
+func (stickyModel) Name() string { return "sticky" }
+func (stickyModel) Draw(rng *rand.Rand, plan *interp.FaultPlan) {
+	plan.Bit = rng.Intn(64)
+	plan.Sticky = true
+}
+
+// maxMaskBits bounds the burst-N / random-N parameter: the raw draw
+// space is 64 bits wide.
+const maxMaskBits = 64
+
+// ParseModel resolves a model name from a flag, spec or journal header.
+// The empty string and "single-bit" both yield the default model;
+// "burst-N" and "random-N" accept 1 <= N <= 64.
+func ParseModel(name string) (ErrorModel, error) {
+	switch name {
+	case "", "single-bit":
+		return SingleBit, nil
+	case "correlated":
+		return Correlated, nil
+	case "sticky":
+		return Sticky, nil
+	}
+	for _, fam := range []struct {
+		prefix string
+		mk     func(int) ErrorModel
+	}{{"burst-", Burst}, {"random-", RandomK}} {
+		if rest, ok := strings.CutPrefix(name, fam.prefix); ok {
+			n, err := strconv.Atoi(rest)
+			if err != nil || n < 1 || n > maxMaskBits {
+				return nil, fmt.Errorf("fault: error model %q: want %sN with 1 <= N <= %d", name, fam.prefix, maxMaskBits)
+			}
+			return fam.mk(n), nil
+		}
+	}
+	return nil, fmt.Errorf("fault: unknown error model %q (known: single-bit, burst-N, random-N, correlated, sticky)", name)
+}
+
+// KnownModel reports whether name resolves to a built-in model (the
+// journal forward-compat guard: headers naming a model this build does
+// not know must refuse resume rather than silently re-running trials
+// under the default model).
+func KnownModel(name string) bool {
+	_, err := ParseModel(name)
+	return err == nil
+}
+
+// ModelName canonicalizes a model for wire formats: the default
+// single-bit model — nil or SingleBit — maps to "", keeping journal
+// headers and spec JSON byte-identical to the pre-model formats.
+func ModelName(m ErrorModel) string {
+	if m == nil {
+		return ""
+	}
+	if name := m.Name(); name != SingleBit.Name() {
+		return name
+	}
+	return ""
+}
+
+// model resolves the campaign's model field (nil = single-bit).
+func (c *Campaign) model() ErrorModel {
+	if c.Model == nil {
+		return SingleBit
+	}
+	return c.Model
+}

@@ -84,6 +84,7 @@ type SectionPlan struct {
 
 	tables   *interp.SectionTables
 	trialCfg *interp.SectionConfig
+	model    ErrorModel
 }
 
 // sectionSeed derives a per-section plan seed from the campaign seed
@@ -110,6 +111,7 @@ func newSectionPlan(c *Campaign, parts *ir.Sections, tables *interp.SectionTable
 		FP:        parts.Fingerprint(),
 		tables:    tables,
 		trialCfg:  &interp.SectionConfig{Tables: tables, Golden: trace},
+		model:     c.model(),
 	}
 	var dminGlobal int64 = -1
 	for sid, s := range parts.All {
@@ -165,12 +167,16 @@ func (sp *SectionPlan) plans(n int) []interp.FaultPlan {
 		}
 		rng := rand.New(rand.NewSource(a.Seed))
 		for t := 0; t < a.Trials; t++ {
-			out = append(out, interp.FaultPlan{
+			// Index first, then the model's draws — the same stream
+			// discipline as the flat engine, so the single-bit model's
+			// sequences match pre-model sectioned journals bit for bit.
+			plan := interp.FaultPlan{
 				Rank:    0,
 				Index:   rng.Int63n(a.Pop),
-				Bit:     rng.Intn(64),
 				Section: int32(a.Section),
-			})
+			}
+			sp.model.Draw(rng, &plan)
+			out = append(out, plan)
 		}
 	}
 	if n >= 0 && n < len(out) {
@@ -224,6 +230,7 @@ func (sp *SectionPlan) sectionMeta(a *SectionAlloc) JournalMeta {
 		Seed:       a.Seed,
 		Trials:     a.Trials,
 		Population: a.Pop,
+		Model:      ModelName(sp.model),
 		SectionFP:  a.FP,
 	}
 }
@@ -437,7 +444,10 @@ func openSectionJournal(dir string, sp *SectionPlan, a *SectionAlloc) (*Journal,
 		restored, err := j.Begin(sp.sectionMeta(a))
 		if err != nil {
 			j.Close()
-			if attempt > 0 {
+			// A header naming an unknown error model is a newer build's
+			// checkpoint, not a stale artifact: rebuilding it would
+			// silently re-run its trials under our default model.
+			if attempt > 0 || errors.Is(err, ErrModelUnknown) {
 				return nil, nil, err
 			}
 			// Stale header (e.g. a different Coverage or an older

@@ -39,13 +39,18 @@ type refMachine struct {
 	budget   int64
 	executed int64
 
-	injectable   func(*ir.Instr) bool
-	injectArmed  bool
-	injectIndex  int64
-	injectBit    int
-	injected     bool
-	injectedSite int
-	injectedAt   int64
+	injectable       func(*ir.Instr) bool
+	injectArmed      bool
+	injectIndex      int64
+	injectBit        int
+	injectMask       uint64
+	injectCorrelated bool
+	injectSticky     bool
+	injected         bool
+	injectedSite     int
+	injectedAt       int64
+	injectedMask     uint64
+	corruptions      int64
 
 	injectableSeen int64
 	countSites     bool
@@ -78,6 +83,9 @@ func refRun(m *ir.Module, cfg Config, injectable func(*ir.Instr) bool) *Result {
 		rm.injectArmed = true
 		rm.injectIndex = cfg.Fault.Index
 		rm.injectBit = cfg.Fault.Bit
+		rm.injectMask = cfg.Fault.Mask
+		rm.injectCorrelated = cfg.Fault.Correlated
+		rm.injectSticky = cfg.Fault.Sticky
 	}
 	if cfg.CountSites {
 		rm.countSites = true
@@ -107,6 +115,8 @@ func refRun(m *ir.Module, cfg Config, injectable func(*ir.Instr) bool) *Result {
 		res.InjectedSite = rm.injectedSite
 		res.InjectedAt = rm.injectedAt
 		res.InjectedRankDyn = rm.executed
+		res.InjectedMask = rm.injectedMask
+		res.Corruptions = rm.corruptions
 	}
 	res.OutputF, res.OutputI, res.PrintLog = rm.outputF, rm.outputI, rm.printLog
 	res.SiteCounts = rm.siteCounts
@@ -202,12 +212,19 @@ func (rm *refMachine) callFn(f *ir.Func, args []Val) Val {
 				v := rm.evalInstr(env, in)
 				if in.HasResult() && rm.injectable(in) {
 					rm.injectableSeen++
+					fired := false
 					if rm.injectArmed && rm.injectableSeen-1 == rm.injectIndex {
-						v = FlipBit(v, in.Type(), rm.injectBit)
+						v, rm.injectedMask = CorruptValue(v, in.Type(), rm.injectBit, rm.injectMask, rm.injectCorrelated)
 						rm.injected = true
 						rm.injectedSite = in.SiteID
 						rm.injectedAt = rm.executed
 						rm.injectArmed = false
+						rm.corruptions = 1
+						fired = true
+					}
+					if !fired && rm.injectSticky && rm.injected && in.SiteID == rm.injectedSite {
+						v, _ = CorruptValue(v, in.Type(), rm.injectBit, rm.injectMask, rm.injectCorrelated)
+						rm.corruptions++
 					}
 				}
 				if in.HasResult() {
@@ -395,6 +412,10 @@ func diffCompare(t *testing.T, label string, want, got *Result) {
 			want.Injected, want.InjectedSite, want.InjectedAt,
 			got.Injected, got.InjectedSite, got.InjectedAt)
 	}
+	if want.InjectedMask != got.InjectedMask || want.Corruptions != got.Corruptions {
+		t.Fatalf("%s: corruption: ref (mask %#x, %d applications), engine (mask %#x, %d applications)", label,
+			want.InjectedMask, want.Corruptions, got.InjectedMask, got.Corruptions)
+	}
 	if len(want.OutputF) != len(got.OutputF) || len(want.OutputI) != len(got.OutputI) {
 		t.Fatalf("%s: output lengths: ref (%d f, %d i), engine (%d f, %d i)", label,
 			len(want.OutputF), len(want.OutputI), len(got.OutputF), len(got.OutputI))
@@ -511,14 +532,81 @@ func TestDifferentialInjection(t *testing.T) {
 	}
 }
 
-// FuzzDifferential fuzzes (program seed, injection index, bit) triples;
-// the corpus entries run as part of normal `go test`.
+// TestDifferentialErrorModels compares armed runs across the error-model
+// parameter space — multi-bit masks, value-correlated flips, and sticky
+// per-site faults — between the reference walker and the instrumented
+// loop. Random draws mimic the fault package's built-in models without
+// importing it (fault imports interp).
+func TestDifferentialErrorModels(t *testing.T) {
+	seeds := int64(8)
+	trials := 12
+	if testing.Short() {
+		seeds, trials = 3, 6
+	}
+	draws := []func(rng *rand.Rand, plan *FaultPlan){
+		func(rng *rand.Rand, plan *FaultPlan) { // burst-3
+			start := rng.Intn(64)
+			plan.Bit = start
+			for i := 0; i < 3; i++ {
+				plan.Mask |= 1 << uint((start+i)%64)
+			}
+		},
+		func(rng *rand.Rand, plan *FaultPlan) { // random-k
+			for i := 0; i < 3; i++ {
+				plan.Mask |= 1 << uint(rng.Intn(64))
+			}
+			plan.Bit = rng.Intn(64)
+		},
+		func(rng *rand.Rand, plan *FaultPlan) { // correlated
+			plan.Bit = rng.Intn(64)
+			plan.Correlated = true
+		},
+		func(rng *rand.Rand, plan *FaultPlan) { // sticky
+			plan.Bit = rng.Intn(64)
+			plan.Sticky = true
+		},
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		m := diffModule(t, seed)
+		p, err := Compile(m, refInjectable)
+		if err != nil {
+			t.Fatalf("seed %d: engine compile: %v", seed, err)
+		}
+		golden := Run(p, Config{})
+		if golden.Trap != TrapNone {
+			t.Fatalf("seed %d: golden trap %v", seed, golden.Trap)
+		}
+		pop := golden.Injectable[0]
+		if pop == 0 {
+			continue
+		}
+		budget := golden.MaxRankDyn*10 + 1_000_000
+		rng := rand.New(rand.NewSource(seed * 6121))
+		for k := 0; k < trials; k++ {
+			plan := &FaultPlan{Rank: 0, Index: rng.Int63n(pop)}
+			draws[k%len(draws)](rng, plan)
+			cfg := Config{Fault: plan, MaxInstrs: budget}
+			ref := refRun(m, cfg, refInjectable)
+			got := Run(p, cfg)
+			if !ref.Injected {
+				t.Fatalf("seed %d trial %d: reference did not inject (plan %+v, pop %d)",
+					seed, k, plan, pop)
+			}
+			diffCompare(t, "model-armed", ref, got)
+		}
+	}
+}
+
+// FuzzDifferential fuzzes (program seed, injection index, bit, mask,
+// flags) tuples — flags bit 0 arms value-correlated flips, bit 1 arms
+// sticky re-corruption — so the fuzzer explores the full error-model
+// plan space. The corpus entries run as part of normal `go test`.
 func FuzzDifferential(f *testing.F) {
-	f.Add(int64(1), uint64(0), uint8(0))
-	f.Add(int64(2), uint64(17), uint8(63))
-	f.Add(int64(3), uint64(999), uint8(31))
-	f.Add(int64(7), uint64(123456), uint8(7))
-	f.Fuzz(func(t *testing.T, seed int64, idxRaw uint64, bit uint8) {
+	f.Add(int64(1), uint64(0), uint8(0), uint64(0), uint8(0))
+	f.Add(int64(2), uint64(17), uint8(63), uint64(0), uint8(0))
+	f.Add(int64(3), uint64(999), uint8(31), uint64(0x7000000000000001), uint8(0))
+	f.Add(int64(7), uint64(123456), uint8(7), uint64(0), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, idxRaw uint64, bit uint8, mask uint64, flags uint8) {
 		m, err := lang.Compile(lang.RandomProgram(seed))
 		if err != nil {
 			t.Skip()
@@ -534,7 +622,10 @@ func FuzzDifferential(f *testing.F) {
 			return
 		}
 		pop := golden.Injectable[0]
-		plan := &FaultPlan{Rank: 0, Index: int64(idxRaw % uint64(pop)), Bit: int(bit % 64)}
+		plan := &FaultPlan{
+			Rank: 0, Index: int64(idxRaw % uint64(pop)), Bit: int(bit % 64),
+			Mask: mask, Correlated: flags&1 != 0, Sticky: flags&2 != 0,
+		}
 		cfg := Config{Fault: plan, MaxInstrs: golden.MaxRankDyn*10 + 1_000_000}
 		diffCompare(t, "fuzz-armed", refRun(m, cfg, refInjectable), Run(p, cfg))
 	})

@@ -28,12 +28,17 @@ type rank struct {
 	executed int64
 
 	// Fault plan.
-	injectArmed  bool
-	injectIndex  int64 // dynamic injectable-instance index to corrupt
-	injectBit    int
-	injected     bool
-	injectedSite int
-	injectedAt   int64 // executed-instruction count when the flip fired
+	injectArmed      bool
+	injectIndex      int64 // dynamic injectable-instance index to corrupt
+	injectBit        int
+	injectMask       uint64 // raw multi-bit mask (0 = single-bit)
+	injectCorrelated bool   // value-correlated flip
+	injectSticky     bool   // persistent per-site fault
+	injected         bool
+	injectedSite     int
+	injectedAt       int64  // executed-instruction count when the flip fired
+	injectedMask     uint64 // effective mask of the first firing
+	corruptions      int64  // corruption applications (> 1 only when sticky)
 
 	injectableSeen int64
 
@@ -477,16 +482,27 @@ func (r *rank) execFull(pf *progFunc, slots []Val) Val {
 				if r.secCap != nil && fs.tab != nil {
 					r.secCap.Pops[fs.cur]++
 				}
+				fired := false
 				if r.secTarget < 0 || (fs.tab != nil && fs.cur == r.secTarget) {
 					r.injectableSeen++
 					if r.injectArmed && r.injectableSeen-1 == r.injectIndex {
-						v = FlipBit(v, pi.typ, r.injectBit)
+						v, r.injectedMask = CorruptValue(v, pi.typ, r.injectBit, r.injectMask, r.injectCorrelated)
 						r.injected = true
 						r.injectedSite = int(pi.siteID)
 						r.injectedAt = r.executed
 						r.injectArmed = false
+						r.corruptions = 1
 						r.injSec, r.injOrd = fs.cur, fs.ord
+						fired = true
 					}
+				}
+				// Persistent fault: once fired, every later dynamic
+				// execution of the defective static instruction
+				// re-applies the corruption (with the plan's raw
+				// parameters — the effective mask depends on the value).
+				if !fired && r.injectSticky && r.injected && int(pi.siteID) == r.injectedSite {
+					v, _ = CorruptValue(v, pi.typ, r.injectBit, r.injectMask, r.injectCorrelated)
+					r.corruptions++
 				}
 			}
 			if pi.dst >= 0 {

@@ -6,12 +6,35 @@ import (
 	"time"
 )
 
-// FaultPlan asks the interpreter to flip Bit in the result of the
-// Index-th dynamic injectable-instruction instance executed on Rank.
+// FaultPlan asks the interpreter to corrupt the result of the Index-th
+// dynamic injectable-instruction instance executed on Rank. The default
+// corruption is a single flipped bit (Bit); Mask, Correlated and Sticky
+// select the richer error models (see CorruptValue for the exact
+// semantics of each knob and how raw positions fold into the result
+// type's width).
 type FaultPlan struct {
 	Rank  int
 	Index int64
-	Bit   int
+	// Bit is the raw flip position in [0, 64): reduced modulo the result
+	// width at injection time when neither Mask nor Correlated is set.
+	Bit int
+	// Mask, when non-zero, replaces the single-bit flip with a multi-bit
+	// corruption: every set raw position folds modulo the result width
+	// and the folded positions XOR together (so two raw positions
+	// landing on the same physical bit cancel — a defective bus lane
+	// model, not an OR).
+	Mask uint64
+	// Correlated, when set, makes the flip value-correlated: the flipped
+	// position sits Bit+1 places above the value's most significant set
+	// bit (wrapped to the width), so corruption magnitude tracks value
+	// magnitude.
+	Correlated bool
+	// Sticky, when set, models a defective functional unit: after the
+	// plan fires once, every subsequent dynamic execution of the same
+	// static instruction re-applies the corruption. Sticky runs never
+	// take the early-masked section exit (the suffix keeps being
+	// corrupted, so a matching boundary digest proves nothing).
+	Sticky bool
 	// Section restricts instance counting to dynamic instances executed
 	// while the named section is current: Index then selects within the
 	// section's own population (SectionTrace.Pops). Only consulted when
@@ -104,6 +127,16 @@ type Result struct {
 	InjectedAt   int64
 	// InjectedRankDyn is the injected rank's final executed count.
 	InjectedRankDyn int64
+	// InjectedMask is the effective corruption mask the first firing
+	// actually XORed into the value's bit pattern, in the result type's
+	// own width (raw plan positions fold modulo the width, so this can
+	// differ from the plan — and can even be zero when folded positions
+	// cancel, in which case the value was left unchanged).
+	InjectedMask uint64
+	// Corruptions counts corruption applications: 1 for a transient
+	// fault, >= 1 for a sticky plan (one per dynamic re-execution of the
+	// defective static instruction).
+	Corruptions int64
 
 	// DynInstrs is the per-rank executed dynamic instruction count;
 	// TotalDyn is their sum (the slowdown metric numerator).
@@ -172,6 +205,9 @@ func RunContext(ctx context.Context, p *Program, cfg Config) *Result {
 			r.injectArmed = true
 			r.injectIndex = cfg.Fault.Index
 			r.injectBit = cfg.Fault.Bit
+			r.injectMask = cfg.Fault.Mask
+			r.injectCorrelated = cfg.Fault.Correlated
+			r.injectSticky = cfg.Fault.Sticky
 		}
 		if cfg.CountSites {
 			r.countSites = true
@@ -249,6 +285,8 @@ func RunContext(ctx context.Context, p *Program, cfg Config) *Result {
 			res.InjectedAt = r.injectedAt
 			// Latency from injection to this rank's termination.
 			res.InjectedRankDyn = r.executed
+			res.InjectedMask = r.injectedMask
+			res.Corruptions = r.corruptions
 		}
 		if r.earlyMasked {
 			res.EarlyMasked = true

@@ -294,7 +294,10 @@ func (r *rank) secExit(fs *frameSec, d uint64) {
 	if r.secCap != nil {
 		r.secCap.record(fs.cur, fs.ord, d)
 	}
-	if r.secGold != nil && r.injected && !r.earlyMasked &&
+	// Sticky plans keep corrupting the suffix, so a boundary digest
+	// matching the golden one proves nothing about the remainder of the
+	// run; the early-masked exit is sound only for transient faults.
+	if r.secGold != nil && r.injected && !r.injectSticky && !r.earlyMasked &&
 		fs.cur == r.injSec && fs.ord == r.injOrd {
 		if g := r.secGold.exitAt(fs.cur, fs.ord); g != 0 && g == d {
 			r.earlyMasked = true

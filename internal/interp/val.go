@@ -17,6 +17,7 @@ package interp
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"ipas/internal/ir"
 )
@@ -60,6 +61,63 @@ func FlipBit(v Val, t *ir.Type, bit int) Val {
 	}
 	flipped := v.I ^ (1 << uint(bit%w))
 	return Val{I: truncToType(t, flipped)}
+}
+
+// CorruptValue generalizes FlipBit to the pluggable error models: it
+// returns v corrupted per (bit, mask, correlated) and the *effective*
+// mask actually XORed into the value's bit pattern, expressed in the
+// result type's own width. The effective mask is what journals record —
+// plans carry raw 64-bit positions, but a position only means something
+// after folding modulo the width of the value it lands on.
+//
+//   - correlated: one flip, bit+1 positions above the value's most
+//     significant set bit (wrapped to the width); a zero pattern
+//     degrades to the plain bit%w flip. Corruption magnitude tracks
+//     value magnitude.
+//   - mask != 0: every set raw position folds modulo the width and the
+//     folded positions XOR together. Folded positions can cancel — the
+//     effective mask may be zero, leaving the value unchanged (the run
+//     still counts as injected; callers see InjectedMask == 0).
+//   - otherwise: the classic single flip at bit%w (== FlipBit).
+//
+// Stickiness is not a per-application property: the execution loop
+// re-invokes CorruptValue with the same parameters on every subsequent
+// execution of the defective site.
+func CorruptValue(v Val, t *ir.Type, bit int, mask uint64, correlated bool) (Val, uint64) {
+	if t.IsFloat() {
+		raw := math.Float64bits(v.F)
+		eff := effectiveMask(raw, 64, bit, mask, correlated)
+		return Val{F: math.Float64frombits(raw ^ eff)}, eff
+	}
+	w := t.Bits()
+	if w == 0 {
+		return v, 0
+	}
+	eff := effectiveMask(uint64(v.I)&widthMask(uint64(w)), w, bit, mask, correlated)
+	return Val{I: truncToType(t, v.I^int64(eff))}, eff
+}
+
+// effectiveMask folds a plan's raw corruption parameters into the
+// XOR mask for a w-bit value whose current bit pattern is pattern.
+func effectiveMask(pattern uint64, w, bit int, mask uint64, correlated bool) uint64 {
+	switch {
+	case correlated:
+		pos := bit % w
+		if pattern != 0 {
+			// bits.Len64 is the MSB index + 1, so this lands bit+1
+			// positions above the top set bit, wrapped to the width.
+			pos = (bits.Len64(pattern) + bit) % w
+		}
+		return 1 << uint(pos)
+	case mask != 0:
+		var eff uint64
+		for m := mask; m != 0; m &= m - 1 {
+			eff ^= 1 << (uint(bits.TrailingZeros64(m)) % uint(w))
+		}
+		return eff
+	default:
+		return 1 << uint(bit%w)
+	}
 }
 
 func truncToType(t *ir.Type, v int64) int64 {

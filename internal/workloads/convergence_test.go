@@ -1,0 +1,161 @@
+package workloads
+
+import (
+	"testing"
+
+	"ipas/internal/fault"
+	"ipas/internal/interp"
+)
+
+// TestConvergenceGoldenRuns: every iterative-convergence mini-app must
+// converge within its iteration budget on the training input, pass its
+// own verification, and leave iteration headroom — a golden run that
+// already sits at the iteration cap could never expose slowed
+// convergence.
+func TestConvergenceGoldenRuns(t *testing.T) {
+	for _, name := range ConvergenceNames {
+		t.Run(name, func(t *testing.T) {
+			spec := MustGet(name, 1)
+			m, err := spec.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := interp.Compile(m, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := interp.Run(p, spec.BaseConfig(1))
+			if res.Trap != interp.TrapNone {
+				t.Fatalf("golden trap: %v (%s)", res.Trap, res.TrapMsg)
+			}
+			if got := outF(res, 3); got != 1 {
+				t.Fatalf("golden run did not converge (flag %v, residual %v after %v iters)",
+					got, outF(res, 1), outF(res, 2))
+			}
+			if !spec.Verify(res, res) {
+				t.Fatalf("golden run fails its own verification: %v", head(res.OutputF, 4))
+			}
+			var maxIter, slack float64
+			switch name {
+			case "Jacobi":
+				maxIter, slack = jacobiMaxIter, jacobiIterSlack
+			case "GradDesc":
+				maxIter, slack = graddescMaxIter, graddescIterSlack
+			}
+			if iters := outF(res, 2); iters+slack >= maxIter {
+				t.Fatalf("golden run used %v of %v iterations: no headroom to observe slowed convergence", iters, maxIter)
+			}
+			t.Logf("%s: converged in %v iters, residual %v, %d dyn instrs",
+				name, outF(res, 2), outF(res, 1), res.TotalDyn)
+		})
+	}
+}
+
+// TestConvergenceVerifierClassifiesTrajectories pins the verifier
+// semantics that make these workloads interesting for error models:
+// slowed convergence (past the slack), non-convergence, and a wrong
+// answer must all fail verification — each is an SOC when undetected —
+// while convergence a few iterations late stays acceptable.
+func TestConvergenceVerifierClassifiesTrajectories(t *testing.T) {
+	for _, name := range ConvergenceNames {
+		t.Run(name, func(t *testing.T) {
+			spec := MustGet(name, 1)
+			m, err := spec.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := interp.Compile(m, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := interp.Run(p, spec.BaseConfig(1))
+			if golden.Trap != interp.TrapNone {
+				t.Fatalf("golden trap: %v", golden.Trap)
+			}
+			mutate := func(f func(out []float64)) *interp.Result {
+				faulty := *golden
+				faulty.OutputF = append([]float64(nil), golden.OutputF...)
+				f(faulty.OutputF)
+				return &faulty
+			}
+
+			if !spec.Verify(golden, mutate(func(out []float64) { out[2] += 3 })) {
+				t.Error("a few extra iterations inside the slack must still verify")
+			}
+			if spec.Verify(golden, mutate(func(out []float64) { out[2] += 1000 })) {
+				t.Error("slowed convergence past the slack must fail verification")
+			}
+			if spec.Verify(golden, mutate(func(out []float64) { out[3] = 0 })) {
+				t.Error("a non-converged run must fail verification")
+			}
+			if spec.Verify(golden, mutate(func(out []float64) { out[0] = 1 })) {
+				t.Error("a wrong answer must fail verification")
+			}
+		})
+	}
+}
+
+// TestConvergenceMultiRankMatchesSingleRank: the convergence apps are
+// SPMD like the five evaluation codes; a multi-rank run must pass the
+// verifier against the single-rank golden.
+func TestConvergenceMultiRankMatchesSingleRank(t *testing.T) {
+	for _, name := range ConvergenceNames {
+		t.Run(name, func(t *testing.T) {
+			spec := MustGet(name, 1)
+			m, err := spec.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := interp.Compile(m, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r1 := interp.Run(p, spec.BaseConfig(1))
+			r3 := interp.Run(p, spec.BaseConfig(3))
+			if r3.Trap != interp.TrapNone {
+				t.Fatalf("3-rank trap: %v (%s)", r3.Trap, r3.TrapMsg)
+			}
+			if !spec.Verify(r1, r3) {
+				t.Fatalf("3-rank run fails verification against 1-rank golden: %v vs %v",
+					head(r1.OutputF, 4), head(r3.OutputF, 4))
+			}
+		})
+	}
+}
+
+// TestConvergenceStickyShiftsOutcomes is the error-model evaluation's
+// core claim in miniature: on an iterative solver, persistent (sticky)
+// faults must produce strictly more SOC than transient single-bit
+// faults — the solver's contraction anneals a transient upset but
+// cannot outrun one that re-corrupts every sweep.
+func TestConvergenceStickyShiftsOutcomes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault campaigns are slow")
+	}
+	spec := MustGet("Jacobi", 1)
+	m, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := fault.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(model fault.ErrorModel) *fault.CampaignResult {
+		c := &fault.Campaign{Prog: p, Verify: spec.Verify, Config: spec.BaseConfig(1), Seed: 7, Model: model}
+		res, err := c.Run(60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	transient := run(nil)
+	sticky := run(fault.Sticky)
+	t.Logf("single-bit: soc=%d masked=%d; sticky: soc=%d masked=%d",
+		transient.Counts[fault.OutcomeSOC], transient.Counts[fault.OutcomeMasked],
+		sticky.Counts[fault.OutcomeSOC], sticky.Counts[fault.OutcomeMasked])
+	if sticky.Counts[fault.OutcomeSOC] <= transient.Counts[fault.OutcomeSOC] {
+		t.Errorf("sticky faults produced %d SOC vs single-bit's %d; persistence should defeat iterative annealing",
+			sticky.Counts[fault.OutcomeSOC], transient.Counts[fault.OutcomeSOC])
+	}
+}

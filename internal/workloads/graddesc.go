@@ -1,0 +1,147 @@
+package workloads
+
+import (
+	"fmt"
+
+	"ipas/internal/interp"
+)
+
+// graddescSizes gives the problem dimension per input level.
+var graddescSizes = [4]int{96, 192, 384, 768}
+
+const (
+	graddescMaxIter = 199
+	graddescGTol    = "0.000000001" // gradient tolerance 1e-9
+	graddescErrTol  = 1e-5          // solution-error tolerance
+	// graddescIterSlack bounds how many extra iterations a faulty run
+	// may take over the golden run and still verify (same contract as
+	// jacobiIterSlack: slowed convergence is a wrong answer).
+	graddescIterSlack = 15
+)
+
+// graddescSource is the gradient-descent mini-app: fixed-step steepest
+// descent on the strongly convex quadratic f(x) = x'Ax/2 - b'x with
+// A = 3I - adjacency over a 1-D chain (eigenvalues in [1, 5], so the
+// classic step 2/(L+mu) = 1/3 contracts the error every iteration) and
+// b chosen so the minimizer is all ones. The optimizer's contraction
+// anneals transient faults but a sticky fault biases every gradient,
+// turning clean convergence into a stall — the behaviour the
+// error-model evaluation quantifies. Rows are block-partitioned; the
+// iterate is re-gathered each step and the gradient norm uses
+// allreduce.
+//
+// Outputs: [0] max |x_i - 1| (solution error), [1] final gradient
+// norm, [2] iterations used, [3] converged flag.
+const graddescSource = sciMPILib + `
+// grad computes g = A x - b on rows [lo, hi) of the chain operator
+// A = 3I - adjacency and returns this rank's partial squared norm.
+func grad(n int, lo int, hi int, b *float, x *float, g *float) float {
+	var gg float = 0.0;
+	for (var r int = lo; r < hi; r = r + 1) {
+		var s float = 3.0 * x[r];
+		if (r > 0)     { s = s - x[r - 1]; }
+		if (r < n - 1) { s = s - x[r + 1]; }
+		var gr float = s - b[r];
+		g[r] = gr;
+		gg = gg + gr * gr;
+	}
+	return gg;
+}
+
+func main() {
+	var n int = @N@;
+	var rank int = mpi_rank();
+	var np int = mpi_size();
+	var lo int = block_lo(n, rank, np);
+	var hi int = block_lo(n, rank + 1, np);
+
+	var x *float = malloc_f64(n);
+	var g *float = malloc_f64(n);
+	var b *float = malloc_f64(n);
+
+	// b = A * ones, so the minimizer is all ones. Every rank computes
+	// the replicated setup identically.
+	for (var r int = 0; r < n; r = r + 1) {
+		var deg float = 0.0;
+		if (r > 0)     { deg = deg + 1.0; }
+		if (r < n - 1) { deg = deg + 1.0; }
+		b[r] = 3.0 - deg;
+		x[r] = 0.0;
+		g[r] = 0.0;
+	}
+
+	// Reference gradient norm ||A x0 - b||^2 = ||b||^2 for the
+	// relative stopping test.
+	var g0 float = 0.0;
+	for (var r int = lo; r < hi; r = r + 1) {
+		g0 = g0 + b[r] * b[r];
+	}
+	g0 = mpi_allreduce_f64(g0, 0);
+	var gtol float = @GTOL@;
+	var tol2 float = gtol * gtol * g0;
+	var step float = 1.0 / 3.0;
+	var maxit int = @MAXIT@;
+	var iters int = 0;
+	var converged int = 0;
+	var gg float = g0;
+
+	for (var it int = 0; it < maxit; it = it + 1) {
+		iters = it + 1;
+		gg = mpi_allreduce_f64(grad(n, lo, hi, b, x, g), 0);
+		if (gg < tol2) {
+			converged = 1;
+			break;
+		}
+		for (var r int = lo; r < hi; r = r + 1) {
+			x[r] = x[r] - step * g[r];
+		}
+		allgather_f64(x, n, rank, np, 31);
+	}
+
+	// Solution error against the known minimizer.
+	var err float = 0.0;
+	for (var r int = lo; r < hi; r = r + 1) {
+		err = fmax(err, fabs(x[r] - 1.0));
+	}
+	err = mpi_allreduce_f64(err, 2);
+	if (rank == 0) {
+		out_f64(0, err);
+		out_f64(1, sqrt(gg));
+		out_f64(2, float(iters));
+		out_f64(3, float(converged));
+	}
+}
+`
+
+func graddescSpec(input int) *Spec {
+	n := graddescSizes[input-1]
+	src := subst(graddescSource, map[string]string{
+		"N":     fmt.Sprint(n),
+		"GTOL":  graddescGTol,
+		"MAXIT": fmt.Sprint(graddescMaxIter),
+	})
+	return &Spec{
+		Name:      "GradDesc",
+		Input:     input,
+		InputDesc: fmt.Sprintf("n=%d, max %d steps", n, graddescMaxIter),
+		Source:    src,
+		Verify:    graddescVerify,
+		Heap:      16 << 20,
+	}
+}
+
+// graddescVerify is the residual-based convergence check mirroring
+// jacobiVerify: converged within the iteration-slack of the golden
+// run, with the solution error below tolerance. Slowed or diverged
+// convergence fails the check and (absent a detector) classifies as
+// silent output corruption.
+func graddescVerify(golden, faulty *interp.Result) bool {
+	if !sameLenF(golden, faulty) {
+		return false
+	}
+	err := outF(faulty, 0)
+	iters := outF(faulty, 2)
+	converged := outF(faulty, 3)
+	return finite(err) && err < graddescErrTol && converged == 1 &&
+		iters <= outF(golden, 2)+graddescIterSlack
+}

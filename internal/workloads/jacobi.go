@@ -1,0 +1,174 @@
+package workloads
+
+import (
+	"fmt"
+
+	"ipas/internal/interp"
+)
+
+// jacobiSizes gives nx=ny=nz per input level.
+var jacobiSizes = [4]int{6, 8, 10, 12}
+
+const (
+	jacobiMaxIter = 399
+	jacobiRTol    = "0.00000001" // residual tolerance 1e-8
+	jacobiErrTol  = 1e-5         // solution-error tolerance
+	// jacobiIterSlack bounds how many extra iterations a faulty run may
+	// take over the golden run and still verify: a corruption that only
+	// delays convergence past this margin counts as a wrong answer
+	// (slowed convergence is an SOC for iterative solvers — the result
+	// is bit-different and the time-to-solution contract is broken).
+	jacobiIterSlack = 20
+)
+
+// jacobiSource is the Jacobi solver mini-app: weighted point-Jacobi
+// iteration on the same 7-point operator HPCCG solves (A = 7I -
+// adjacency over an nx*ny*nz grid), with the right-hand side chosen so
+// the exact solution is all ones. Unlike CG's short recurrences, every
+// sweep rebuilds the iterate from the operator, so transient faults
+// tend to be annealed away while persistent (sticky) faults re-corrupt
+// every sweep — the contrast the error-model evaluation measures.
+// Rows are block-partitioned; the iterate is re-gathered each sweep and
+// the residual norm uses allreduce.
+//
+// Outputs: [0] max |x_i - 1| (solution error), [1] final residual,
+// [2] iterations used, [3] converged flag.
+const jacobiSource = sciMPILib + `
+// sweep performs one Jacobi update x_new = (b + adjacency x) / 7 on
+// rows [lo, hi) and returns this rank's partial squared residual of
+// the INCOMING iterate, sum((b - A x)_r^2): since A x = 7 x -
+// adjacency x, the row residual is b[r] + s - 7 x[r] with s the
+// neighbour sum already in hand.
+func sweep(nx int, ny int, nz int, lo int, hi int, b *float, x *float, xn *float) float {
+	var nxy int = nx * ny;
+	var res float = 0.0;
+	for (var r int = lo; r < hi; r = r + 1) {
+		var k int = r / nxy;
+		var rem int = r % nxy;
+		var j int = rem / nx;
+		var i int = rem % nx;
+		var s float = 0.0;
+		if (i > 0)      { s = s + x[r - 1]; }
+		if (i < nx - 1) { s = s + x[r + 1]; }
+		if (j > 0)      { s = s + x[r - nx]; }
+		if (j < ny - 1) { s = s + x[r + nx]; }
+		if (k > 0)      { s = s + x[r - nxy]; }
+		if (k < nz - 1) { s = s + x[r + nxy]; }
+		xn[r] = (b[r] + s) / 7.0;
+		var rr float = b[r] + s - 7.0 * x[r];
+		res = res + rr * rr;
+	}
+	return res;
+}
+
+func main() {
+	var nx int = @NX@;
+	var ny int = @NX@;
+	var nz int = @NX@;
+	var n int = nx * ny * nz;
+	var rank int = mpi_rank();
+	var np int = mpi_size();
+	var lo int = block_lo(n, rank, np);
+	var hi int = block_lo(n, rank + 1, np);
+
+	var x *float = malloc_f64(n);
+	var xn *float = malloc_f64(n);
+	var b *float = malloc_f64(n);
+
+	// b = A * ones, so the exact solution is all ones. Every rank
+	// computes the replicated setup identically.
+	var nxy int = nx * ny;
+	for (var r int = 0; r < n; r = r + 1) {
+		var k int = r / nxy;
+		var rem int = r % nxy;
+		var j int = rem / nx;
+		var i int = rem % nx;
+		var deg float = 0.0;
+		if (i > 0)      { deg = deg + 1.0; }
+		if (i < nx - 1) { deg = deg + 1.0; }
+		if (j > 0)      { deg = deg + 1.0; }
+		if (j < ny - 1) { deg = deg + 1.0; }
+		if (k > 0)      { deg = deg + 1.0; }
+		if (k < nz - 1) { deg = deg + 1.0; }
+		b[r] = 7.0 - deg;
+		x[r] = 0.0;
+		xn[r] = 0.0;
+	}
+
+	// Reference residual ||b - A x0||^2 = ||b||^2 for the relative test.
+	var r0 float = 0.0;
+	for (var r int = lo; r < hi; r = r + 1) {
+		r0 = r0 + b[r] * b[r];
+	}
+	r0 = mpi_allreduce_f64(r0, 0);
+	var rtol float = @RTOL@;
+	var tol2 float = rtol * rtol * r0;
+	var maxit int = @MAXIT@;
+	var iters int = 0;
+	var converged int = 0;
+	var res float = r0;
+
+	for (var it int = 0; it < maxit; it = it + 1) {
+		iters = it + 1;
+		res = mpi_allreduce_f64(sweep(nx, ny, nz, lo, hi, b, x, xn), 0);
+		// Swap iterates by copying: xn -> x on the owned block, then
+		// re-gather so every rank sees the full new iterate.
+		for (var r int = lo; r < hi; r = r + 1) {
+			x[r] = xn[r];
+		}
+		allgather_f64(x, n, rank, np, 30);
+		if (res < tol2) {
+			converged = 1;
+			break;
+		}
+	}
+
+	// Solution error against the known exact solution.
+	var err float = 0.0;
+	for (var r int = lo; r < hi; r = r + 1) {
+		err = fmax(err, fabs(x[r] - 1.0));
+	}
+	err = mpi_allreduce_f64(err, 2);
+	if (rank == 0) {
+		out_f64(0, err);
+		out_f64(1, sqrt(res));
+		out_f64(2, float(iters));
+		out_f64(3, float(converged));
+	}
+}
+`
+
+func jacobiSpec(input int) *Spec {
+	nx := jacobiSizes[input-1]
+	src := subst(jacobiSource, map[string]string{
+		"NX":    fmt.Sprint(nx),
+		"RTOL":  jacobiRTol,
+		"MAXIT": fmt.Sprint(jacobiMaxIter),
+	})
+	return &Spec{
+		Name:      "Jacobi",
+		Input:     input,
+		InputDesc: fmt.Sprintf("nx=ny=nz=%d, max %d sweeps", nx, jacobiMaxIter),
+		Source:    src,
+		Verify:    jacobiVerify,
+		Heap:      16 << 20,
+	}
+}
+
+// jacobiVerify is the residual-based convergence check: the run must
+// converge, the solution error against the known exact answer must be
+// below tolerance, and — the clause that makes slowed convergence
+// visible — it must not need more than jacobiIterSlack sweeps beyond
+// the golden run. A fault that merely delays convergence past the
+// slack, or tips the iteration into non-convergence, fails the check
+// and (absent a detector) classifies as silent output corruption.
+func jacobiVerify(golden, faulty *interp.Result) bool {
+	if !sameLenF(golden, faulty) {
+		return false
+	}
+	err := outF(faulty, 0)
+	iters := outF(faulty, 2)
+	converged := outF(faulty, 3)
+	return finite(err) && err < jacobiErrTol && converged == 1 &&
+		iters <= outF(golden, 2)+jacobiIterSlack
+}

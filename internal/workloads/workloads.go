@@ -23,6 +23,14 @@ import (
 // Names lists the workloads in the paper's order.
 var Names = []string{"CoMD", "HPCCG", "AMG", "FFT", "IS"}
 
+// ConvergenceNames lists the iterative-convergence mini-apps used by
+// the error-model evaluation: solvers whose verifiers track not just
+// the answer but the convergence trajectory (iteration count and
+// converged flag), so faults that merely slow or stall convergence
+// surface as silent output corruption. They are deliberately kept out
+// of Names — the paper's tables sweep the five evaluation codes only.
+var ConvergenceNames = []string{"Jacobi", "GradDesc"}
+
 // Spec is one workload at one input level.
 type Spec struct {
 	// Name is the workload name (one of Names).
@@ -56,6 +64,10 @@ func Get(name string, input int) (*Spec, error) {
 		return fftSpec(input), nil
 	case "IS":
 		return isSpec(input), nil
+	case "Jacobi":
+		return jacobiSpec(input), nil
+	case "GradDesc":
+		return graddescSpec(input), nil
 	}
 	return nil, fmt.Errorf("workloads: unknown workload %q", name)
 }
